@@ -1,0 +1,449 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// "SCTP versus TCP for MPI" (SC'05) at benchmark-friendly scale, plus
+// ablations for the design choices DESIGN.md calls out. b.N iterations
+// each rebuild and rerun the simulated experiment; the interesting
+// output is the per-iteration ReportMetric values (virtual-time
+// results), not wall-clock ns/op.
+//
+// Full-scale paper parameters: use cmd/paper.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/bench/nas"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/netsim"
+	"repro/internal/sctp"
+	"repro/internal/tcp"
+)
+
+// pingpong runs one ping-pong configuration and reports virtual
+// throughput.
+func pingpong(b *testing.B, opts core.Options, size, iters int) {
+	b.Helper()
+	var tput float64
+	for i := 0; i < b.N; i++ {
+		r, err := bench.PingPong(opts, size, iters, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tput = r.Throughput
+	}
+	b.ReportMetric(tput, "vbytes/sec")
+}
+
+// --- Figure 8: ping-pong size sweep, no loss --------------------------
+
+func BenchmarkFig8PingPongTCP(b *testing.B) {
+	for _, sz := range []int{1024, 16384, 22528, 65535, 131069} {
+		b.Run(sizeName(sz), func(b *testing.B) {
+			pingpong(b, core.Options{Transport: core.TCP, Seed: 1}, sz, 30)
+		})
+	}
+}
+
+func BenchmarkFig8PingPongSCTP(b *testing.B) {
+	for _, sz := range []int{1024, 16384, 22528, 65535, 131069} {
+		b.Run(sizeName(sz), func(b *testing.B) {
+			pingpong(b, core.Options{Transport: core.SCTP, Seed: 1}, sz, 30)
+		})
+	}
+}
+
+func sizeName(sz int) string {
+	switch {
+	case sz >= 1<<20:
+		return "1M+"
+	case sz >= 1024:
+		return itoa(sz/1024) + "K"
+	default:
+		return itoa(sz) + "B"
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// --- Table 1: ping-pong under loss ------------------------------------
+
+func BenchmarkTable1Loss1pct30K(b *testing.B) {
+	b.Run("SCTP", func(b *testing.B) {
+		pingpong(b, core.Options{Transport: core.SCTP, Seed: 3, LossRate: 0.01}, 30<<10, 40)
+	})
+	b.Run("TCP", func(b *testing.B) {
+		pingpong(b, core.Options{Transport: core.TCP, Seed: 3, LossRate: 0.01}, 30<<10, 40)
+	})
+}
+
+func BenchmarkTable1Loss2pct30K(b *testing.B) {
+	b.Run("SCTP", func(b *testing.B) {
+		pingpong(b, core.Options{Transport: core.SCTP, Seed: 3, LossRate: 0.02}, 30<<10, 40)
+	})
+	b.Run("TCP", func(b *testing.B) {
+		pingpong(b, core.Options{Transport: core.TCP, Seed: 3, LossRate: 0.02}, 30<<10, 40)
+	})
+}
+
+func BenchmarkTable1Loss1pct300K(b *testing.B) {
+	b.Run("SCTP", func(b *testing.B) {
+		pingpong(b, core.Options{Transport: core.SCTP, Seed: 3, LossRate: 0.01}, 300<<10, 20)
+	})
+	b.Run("TCP", func(b *testing.B) {
+		pingpong(b, core.Options{Transport: core.TCP, Seed: 3, LossRate: 0.01}, 300<<10, 20)
+	})
+}
+
+func BenchmarkTable1Loss2pct300K(b *testing.B) {
+	b.Run("SCTP", func(b *testing.B) {
+		pingpong(b, core.Options{Transport: core.SCTP, Seed: 3, LossRate: 0.02}, 300<<10, 20)
+	})
+	b.Run("TCP", func(b *testing.B) {
+		pingpong(b, core.Options{Transport: core.TCP, Seed: 3, LossRate: 0.02}, 300<<10, 20)
+	})
+}
+
+// --- Figure 9: NAS-like kernels (class S keeps benches fast; cmd/paper
+// runs class B) ---------------------------------------------------------
+
+func BenchmarkFig9NAS(b *testing.B) {
+	for _, k := range nas.Kernels() {
+		k := k
+		for _, tr := range []core.Transport{core.SCTP, core.TCP} {
+			tr := tr
+			b.Run(k.Name+"/"+tr.String(), func(b *testing.B) {
+				var mops float64
+				for i := 0; i < b.N; i++ {
+					r, err := nas.Run(core.Options{Transport: tr, Seed: 1}, k, nas.ClassS)
+					if err != nil {
+						b.Fatal(err)
+					}
+					mops = r.Mops
+				}
+				b.ReportMetric(mops, "Mop/s")
+			})
+		}
+	}
+}
+
+// --- Figures 10-12: Bulk Processor Farm --------------------------------
+
+func farmBench(b *testing.B, tr core.Transport, loss float64, cfg bench.FarmConfig) {
+	b.Helper()
+	var secs float64
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Farm(core.Options{Transport: tr, Seed: 2, LossRate: loss}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		secs = r.RunTime.Seconds()
+	}
+	b.ReportMetric(secs, "vsec/run")
+}
+
+func BenchmarkFig10FarmShort(b *testing.B) {
+	cfg := bench.FarmConfig{NumTasks: 300, TaskSize: 30 << 10, Fanout: 1}
+	for _, tr := range []core.Transport{core.SCTP, core.TCP} {
+		tr := tr
+		for _, loss := range []float64{0, 0.01, 0.02} {
+			loss := loss
+			b.Run(tr.String()+"/loss"+itoa(int(loss*100)), func(b *testing.B) {
+				farmBench(b, tr, loss, cfg)
+			})
+		}
+	}
+}
+
+func BenchmarkFig10FarmLong(b *testing.B) {
+	cfg := bench.FarmConfig{NumTasks: 60, TaskSize: 300 << 10, Fanout: 1}
+	for _, tr := range []core.Transport{core.SCTP, core.TCP} {
+		tr := tr
+		for _, loss := range []float64{0, 0.01, 0.02} {
+			loss := loss
+			b.Run(tr.String()+"/loss"+itoa(int(loss*100)), func(b *testing.B) {
+				farmBench(b, tr, loss, cfg)
+			})
+		}
+	}
+}
+
+func BenchmarkFig11FarmFanout10(b *testing.B) {
+	cfg := bench.FarmConfig{NumTasks: 300, TaskSize: 30 << 10, Fanout: 10}
+	for _, tr := range []core.Transport{core.SCTP, core.TCP} {
+		tr := tr
+		for _, loss := range []float64{0, 0.02} {
+			loss := loss
+			b.Run(tr.String()+"/loss"+itoa(int(loss*100)), func(b *testing.B) {
+				farmBench(b, tr, loss, cfg)
+			})
+		}
+	}
+}
+
+func BenchmarkFig12Streams(b *testing.B) {
+	cfg := bench.FarmConfig{NumTasks: 300, TaskSize: 30 << 10, Fanout: 10}
+	for _, tr := range []core.Transport{core.SCTP, core.SCTPSingleStream} {
+		tr := tr
+		for _, loss := range []float64{0, 0.02} {
+			loss := loss
+			b.Run(tr.String()+"/loss"+itoa(int(loss*100)), func(b *testing.B) {
+				farmBench(b, tr, loss, cfg)
+			})
+		}
+	}
+}
+
+// --- Ablations: design choices DESIGN.md calls out ----------------------
+
+// BenchmarkAblationNagle: LAM disables Nagle; what if it had not?
+func BenchmarkAblationNagle(b *testing.B) {
+	for _, nodelay := range []bool{true, false} {
+		nodelay := nodelay
+		name := "NagleOff"
+		if !nodelay {
+			name = "NagleOn"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := &tcp.Config{NoDelay: nodelay}
+			pingpong(b, core.Options{Transport: core.TCP, Seed: 1, TCPConfig: cfg}, 200, 30)
+		})
+	}
+}
+
+// BenchmarkAblationSackBlocks: TCP's 4-block SACK option versus an
+// unconstrained scoreboard, under loss.
+func BenchmarkAblationSackBlocks(b *testing.B) {
+	for _, blocks := range []int{4, 64} {
+		blocks := blocks
+		b.Run("blocks"+itoa(blocks), func(b *testing.B) {
+			cfg := &tcp.Config{NoDelay: true, MaxSackBlocks: blocks}
+			pingpong(b, core.Options{Transport: core.TCP, Seed: 3, LossRate: 0.02, TCPConfig: cfg},
+				300<<10, 15)
+		})
+	}
+}
+
+// BenchmarkAblationNoSack: the SACK option off entirely (pre-RFC2018
+// TCP) under loss.
+func BenchmarkAblationNoSack(b *testing.B) {
+	for _, nosack := range []bool{false, true} {
+		nosack := nosack
+		name := "SackOn"
+		if nosack {
+			name = "SackOff"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := &tcp.Config{NoDelay: true, NoSack: nosack}
+			pingpong(b, core.Options{Transport: core.TCP, Seed: 3, LossRate: 0.02, TCPConfig: cfg},
+				300<<10, 15)
+		})
+	}
+}
+
+// BenchmarkAblationByteCounting: SCTP's byte-counting cwnd growth versus
+// TCP-style ack counting, under loss.
+func BenchmarkAblationByteCounting(b *testing.B) {
+	for _, ackCounting := range []bool{false, true} {
+		ackCounting := ackCounting
+		name := "ByteCounting"
+		if ackCounting {
+			name = "AckCounting"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := &sctp.Config{AckCountingCwnd: ackCounting, HBDisable: true}
+			pingpong(b, core.Options{Transport: core.SCTP, Seed: 3, LossRate: 0.02, SCTPConfig: cfg},
+				300<<10, 15)
+		})
+	}
+}
+
+// BenchmarkAblationEagerThreshold: where should the short/long protocol
+// switch sit?
+func BenchmarkAblationEagerThreshold(b *testing.B) {
+	for _, limit := range []int{16 << 10, 64 << 10, 256 << 10} {
+		limit := limit
+		b.Run(sizeName(limit), func(b *testing.B) {
+			var secs float64
+			for i := 0; i < b.N; i++ {
+				r, err := bench.Farm(core.Options{
+					Transport:  core.SCTP,
+					Seed:       2,
+					EagerLimit: limit,
+				}, bench.FarmConfig{NumTasks: 150, TaskSize: 100 << 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+				secs = r.RunTime.Seconds()
+			}
+			b.ReportMetric(secs, "vsec/run")
+		})
+	}
+}
+
+// BenchmarkAblationStreamPool: how many SCTP streams does the farm
+// need before head-of-line blocking stops hurting? Loss-event placement
+// dominates single-run variance, so each measurement is the mean of
+// several seeds.
+func BenchmarkAblationStreamPool(b *testing.B) {
+	cfg := bench.FarmConfig{NumTasks: 400, TaskSize: 30 << 10, Fanout: 10}
+	const seeds = 4
+	for _, streams := range []int{1, 2, 10, 64} {
+		streams := streams
+		b.Run("streams"+itoa(streams), func(b *testing.B) {
+			var secs float64
+			for i := 0; i < b.N; i++ {
+				sum := 0.0
+				for s := int64(0); s < seeds; s++ {
+					r, err := bench.Farm(core.Options{
+						Transport: core.SCTP,
+						Seed:      2 + s,
+						LossRate:  0.02,
+						Streams:   streams,
+					}, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sum += r.RunTime.Seconds()
+				}
+				secs = sum / seeds
+			}
+			b.ReportMetric(secs, "vsec/run")
+		})
+	}
+}
+
+// BenchmarkAblationOptionC: the paper's long-message race fix choices —
+// Option B (writer lock per stream, what the paper shipped) versus
+// Option C (control messages interleave, the "most concurrency" option
+// it describes but did not implement). Crossing long messages on one
+// tag under loss stress the difference.
+func BenchmarkAblationOptionC(b *testing.B) {
+	for _, optC := range []bool{false, true} {
+		optC := optC
+		name := "OptionB"
+		if optC {
+			name = "OptionC"
+		}
+		b.Run(name, func(b *testing.B) {
+			var secs float64
+			for i := 0; i < b.N; i++ {
+				rep, err := core.Run(core.Options{
+					Procs: 2, Transport: core.SCTP, Seed: 6,
+					LossRate: 0.01, SCTPOptionC: optC,
+				}, func(pr *mpi.Process, comm *mpi.Comm) error {
+					other := 1 - comm.Rank()
+					for j := 0; j < 5; j++ {
+						out := make([]byte, 200<<10)
+						in := make([]byte, 200<<10)
+						sreq, _ := comm.Isend(other, 0, out)
+						rreq, _ := comm.Irecv(other, 0, in)
+						if err := comm.WaitAll(sreq, rreq); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				secs = rep.Elapsed.Seconds()
+			}
+			b.ReportMetric(secs, "vsec/run")
+		})
+	}
+}
+
+// BenchmarkAblationDelayedSack: immediate versus delayed SACKs.
+func BenchmarkAblationDelayedSack(b *testing.B) {
+	for _, every := range []int{1, 2} {
+		every := every
+		name := "SackEvery" + itoa(every)
+		b.Run(name, func(b *testing.B) {
+			cfg := &sctp.Config{SackEveryPkts: every, HBDisable: true}
+			pingpong(b, core.Options{Transport: core.SCTP, Seed: 3, LossRate: 0.01, SCTPConfig: cfg},
+				30<<10, 40)
+		})
+	}
+}
+
+// BenchmarkExtensionCMT: Concurrent Multipath Transfer (the paper's §5
+// future work) versus single-path SCTP on the multihomed testbed with
+// bandwidth-limited links. CMT should approach a 3x win over three
+// NICs.
+func BenchmarkExtensionCMT(b *testing.B) {
+	lp := netsim.DefaultLinkParams()
+	lp.Bandwidth = 100e6
+	for _, cmt := range []bool{false, true} {
+		cmt := cmt
+		name := "SinglePath"
+		if cmt {
+			name = "CMT"
+		}
+		b.Run(name, func(b *testing.B) {
+			var secs float64
+			for i := 0; i < b.N; i++ {
+				rep, err := core.Run(core.Options{
+					Procs: 2, Transport: core.SCTP, Seed: 4,
+					IfacesPerNode: 3, CMT: cmt, Link: &lp,
+				}, func(pr *mpi.Process, comm *mpi.Comm) error {
+					if comm.Rank() == 0 {
+						for j := 0; j < 10; j++ {
+							if err := comm.Send(1, j, make([]byte, 256<<10)); err != nil {
+								return err
+							}
+						}
+						return nil
+					}
+					buf := make([]byte, 256<<10)
+					for j := 0; j < 10; j++ {
+						if _, err := comm.Recv(0, j, buf); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				secs = rep.Elapsed.Seconds()
+			}
+			b.ReportMetric(secs, "vsec/run")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: simulated
+// packets per benchmark iteration on a bulk exchange (not a paper
+// experiment; useful when changing the kernel or stacks).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var packets int64
+	for i := 0; i < b.N; i++ {
+		rep, err := core.Run(core.Options{Procs: 2, Transport: core.SCTP, Seed: 1},
+			func(pr *mpi.Process, comm *mpi.Comm) error {
+				buf := make([]byte, 256<<10)
+				if comm.Rank() == 0 {
+					return comm.Send(1, 0, buf)
+				}
+				_, err := comm.Recv(0, 0, buf)
+				return err
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		packets = rep.NetStats.PacketsSent
+	}
+	b.ReportMetric(float64(packets), "pkts/run")
+}

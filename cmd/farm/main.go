@@ -1,0 +1,58 @@
+// Command farm runs the Bulk Processor Farm program (paper §4.2.1)
+// standalone: one manager, N-1 workers, configurable task size, fanout
+// and loss rate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func main() {
+	transport := flag.String("transport", "sctp", "tcp|sctp|sctp1 (single stream)")
+	procs := flag.Int("procs", 8, "processes (1 manager + N-1 workers)")
+	tasks := flag.Int("tasks", 10000, "total tasks")
+	size := flag.Int("size", 30<<10, "task size in bytes (paper: 30K short, 300K long)")
+	fanout := flag.Int("fanout", 1, "tasks per request (paper: 1 and 10)")
+	tags := flag.Int("tags", 10, "distinct task tags (MaxWorkTags)")
+	outstanding := flag.Int("outstanding", 10, "outstanding requests per worker")
+	loss := flag.Float64("loss", 0, "Bernoulli loss rate")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var tr core.Transport
+	switch *transport {
+	case "tcp":
+		tr = core.TCP
+	case "sctp":
+		tr = core.SCTP
+	case "sctp1":
+		tr = core.SCTPSingleStream
+	default:
+		fmt.Fprintf(os.Stderr, "unknown transport %q\n", *transport)
+		os.Exit(2)
+	}
+
+	r, err := bench.Farm(core.Options{
+		Procs:     *procs,
+		Transport: tr,
+		Seed:      *seed,
+		LossRate:  *loss,
+	}, bench.FarmConfig{
+		NumTasks:    *tasks,
+		TaskSize:    *size,
+		Fanout:      *fanout,
+		MaxWorkTags: *tags,
+		Outstanding: *outstanding,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s procs=%d tasks=%d size=%d fanout=%d loss=%.2f%%: total run time %.3f s\n",
+		tr, *procs, r.TasksDone, *size, *fanout, *loss*100, r.RunTime.Seconds())
+}

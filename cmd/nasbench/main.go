@@ -1,0 +1,47 @@
+// Command nasbench runs the NAS-like kernels (LU, SP, EP, CG, BT, MG,
+// IS) standalone on the simulated cluster.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench/nas"
+	"repro/internal/core"
+)
+
+func main() {
+	transport := flag.String("transport", "sctp", "tcp|sctp")
+	kernel := flag.String("kernel", "all", "LU|SP|EP|CG|BT|MG|IS|all")
+	class := flag.String("class", "B", "S|W|A|B")
+	loss := flag.Float64("loss", 0, "Bernoulli loss rate")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var tr core.Transport
+	switch *transport {
+	case "tcp":
+		tr = core.TCP
+	case "sctp":
+		tr = core.SCTP
+	default:
+		fmt.Fprintf(os.Stderr, "unknown transport %q\n", *transport)
+		os.Exit(2)
+	}
+	c := nas.Class(strings.ToUpper(*class)[0])
+
+	for _, k := range nas.Kernels() {
+		if *kernel != "all" && !strings.EqualFold(*kernel, k.Name) {
+			continue
+		}
+		r, err := nas.Run(core.Options{Transport: tr, Seed: *seed, LossRate: *loss}, k, c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", k.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-3s class %c %s: %8.1f Mop/s total  (%.3f s virtual)\n",
+			r.Name, r.Class, tr, r.Mops, r.Elapsed.Seconds())
+	}
+}

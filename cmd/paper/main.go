@@ -1,0 +1,112 @@
+// Command paper regenerates the tables and figures of "SCTP versus TCP
+// for MPI" (SC'05) on the simulated cluster.
+//
+//	paper -exp fig8     # ping-pong size sweep, no loss
+//	paper -exp table1   # ping-pong under 1%/2% loss
+//	paper -exp fig9     # NAS-like kernels, both transports
+//	paper -exp fig10    # farm, fanout 1
+//	paper -exp fig11    # farm, fanout 10
+//	paper -exp fig12    # SCTP multi-stream vs single-stream ablation
+//	paper -exp all
+//
+// -quick shrinks iteration/task counts for a fast pass; the defaults
+// match the paper's parameters where tractable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/bench/nas"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig8|table1|fig9|fig10|fig11|fig12|all")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	quick := flag.Bool("quick", false, "smaller iteration/task counts")
+	class := flag.String("class", "B", "NAS class for fig9: S|W|A|B")
+	tasks := flag.Int("tasks", 0, "farm task count override (paper: 10000)")
+	flag.Parse()
+
+	iters := 100
+	farmTasks := 10000
+	if *quick {
+		iters = 30
+		farmTasks = 500
+	}
+	if *tasks > 0 {
+		farmTasks = *tasks
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v wall time)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig8", func() error {
+		t, err := bench.Fig8(*seed, iters)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t.Format())
+		return nil
+	})
+
+	run("table1", func() error {
+		t, err := bench.Table1(*seed, iters)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t.Format())
+		return nil
+	})
+
+	run("fig9", func() error {
+		c := nas.Class(strings.ToUpper(*class)[0])
+		rows, err := nas.Fig9(*seed, c)
+		if err != nil {
+			return err
+		}
+		t := &bench.Table{
+			Title:   fmt.Sprintf("Figure 9: NAS-like benchmarks, class %c, 8 processes (Mop/s total)", c),
+			Columns: []string{"LAM_SCTP", "LAM_TCP", "SCTP/TCP"},
+			Notes:   []string{"paper: comparable overall on class B; TCP slightly ahead on MG and BT"},
+		}
+		for _, r := range rows {
+			t.Rows = append(t.Rows, bench.Row{
+				Label:  r.Kernel,
+				Values: []float64{r.SCTP, r.TCP, r.SCTP / r.TCP},
+			})
+		}
+		fmt.Print(t.Format())
+		return nil
+	})
+
+	farmFig := func(name string, gen func(int64, int) ([]*bench.Table, error)) func() error {
+		return func() error {
+			tables, err := gen(*seed, farmTasks)
+			if err != nil {
+				return err
+			}
+			for _, t := range tables {
+				fmt.Print(t.Format())
+				fmt.Println()
+			}
+			return nil
+		}
+	}
+	run("fig10", farmFig("fig10", bench.Fig10))
+	run("fig11", farmFig("fig11", bench.Fig11))
+	run("fig12", farmFig("fig12", bench.Fig12))
+}

@@ -1,0 +1,54 @@
+// Command pingpong is a standalone MPBench-style ping-pong tool over
+// the simulated cluster: pick a transport, message size, loss rate and
+// iteration count, get throughput.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func main() {
+	transport := flag.String("transport", "sctp", "tcp|sctp|sctp1 (single stream)")
+	size := flag.Int("size", 30<<10, "message size in bytes")
+	iters := flag.Int("iters", 100, "measured iterations")
+	warmup := flag.Int("warmup", 10, "warmup iterations")
+	loss := flag.Float64("loss", 0, "Bernoulli loss rate, e.g. 0.01")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	buf := flag.Int("buf", core.PaperBufSize, "socket buffer bytes")
+	flag.Parse()
+
+	tr, err := parseTransport(*transport)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	r, err := bench.PingPong(core.Options{
+		Transport: tr,
+		Seed:      *seed,
+		LossRate:  *loss,
+		BufSize:   *buf,
+	}, *size, *iters, *warmup)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s size=%d loss=%.2f%%: %.0f bytes/s (%d iters in %v virtual)\n",
+		tr, r.MsgSize, *loss*100, r.Throughput, r.Iters, r.Elapsed)
+}
+
+func parseTransport(s string) (core.Transport, error) {
+	switch s {
+	case "tcp":
+		return core.TCP, nil
+	case "sctp":
+		return core.SCTP, nil
+	case "sctp1":
+		return core.SCTPSingleStream, nil
+	}
+	return 0, fmt.Errorf("unknown transport %q (want tcp, sctp or sctp1)", s)
+}

@@ -1,0 +1,71 @@
+// Multihomed failover demonstration (paper §3.5.1): the cluster nodes
+// have three interfaces on three independent subnets, exactly like the
+// paper's testbed. Mid-run, subnet 0 — the primary path — goes dark.
+// The SCTP association detects the failure via its retransmission and
+// heartbeat error counters and transparently fails over to an alternate
+// path; the MPI program never sees an error.
+//
+//	go run ./examples/multihome
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+)
+
+func main() {
+	cluster, err := core.NewCluster(core.Options{
+		Procs:         2,
+		Transport:     core.SCTP,
+		Seed:          3,
+		IfacesPerNode: 3, // the paper's three gigabit NICs per node
+		NoCost:        true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const rounds = 40
+	var received int
+	cluster.Start(func(pr *mpi.Process, comm *mpi.Comm) error {
+		buf := make([]byte, 4<<10)
+		if comm.Rank() == 0 {
+			for i := 0; i < rounds; i++ {
+				if _, err := comm.Recv(1, 0, buf); err != nil {
+					return err
+				}
+				received++
+				if i == rounds/2 {
+					fmt.Printf("  [%8v] subnet 0 fails (primary path down)\n", pr.P.Now())
+					cluster.Net.SetSubnetDown(0, true)
+				}
+			}
+			return nil
+		}
+		for i := 0; i < rounds; i++ {
+			if err := comm.Send(0, 0, make([]byte, 4<<10)); err != nil {
+				return err
+			}
+			pr.P.Sleep(250 * time.Millisecond)
+		}
+		return nil
+	})
+
+	rep, err := cluster.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  [%8v] done: %d/%d messages delivered despite the dead subnet\n",
+		rep.Elapsed, received, rounds)
+	fmt.Printf("  packets dropped on down interfaces: %d (retransmitted on alternate paths)\n",
+		rep.NetStats.PacketsDown)
+	if received != rounds {
+		log.Fatalf("lost %d messages", rounds-received)
+	}
+	fmt.Println("\nSCTP multihoming kept the MPI job alive through a network failure;")
+	fmt.Println("the TCP module has no equivalent without extra middleware machinery.")
+}

@@ -1,0 +1,369 @@
+package nas
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+)
+
+// --- EP: embarrassingly parallel -------------------------------------
+
+// epM is log2 of the number of random pairs per class.
+var epM = [4]int{24, 25, 28, 30}
+
+// RunEP generates random pairs independently on each process and
+// combines ten counters plus two sums at the end — almost no
+// communication, the paper's canonical latency-tolerant extreme.
+func RunEP(pr *mpi.Process, comm *mpi.Comm, class Class) (float64, error) {
+	m := epM[classIndex(class)]
+	pairs := float64(uint64(1) << m)
+	opsTotal := pairs * 12 // ~12 flops per pair (generation + tests)
+	compute(pr, opsTotal/float64(comm.Size()))
+	// Combine sx, sy and the ten annulus counters.
+	sums := mpi.F64Bytes(make([]float64, 12))
+	if err := comm.Allreduce(sums, mpi.OpSumF64); err != nil {
+		return 0, err
+	}
+	return opsTotal / 1e6, nil
+}
+
+// --- IS: integer sort ------------------------------------------------
+
+var isKeysLog = [4]int{16, 20, 23, 25}
+
+const isIters = 10
+
+// RunIS ranks keys with a bucketed counting sort: each iteration does
+// an Allreduce of the 1024 bucket counts followed by an all-to-all
+// redistribution of the keys — the benchmark is almost pure
+// communication, which is why its Mop/s is tiny in Figure 9.
+func RunIS(pr *mpi.Process, comm *mpi.Comm, class Class) (float64, error) {
+	n := 1 << isKeysLog[classIndex(class)]
+	p := comm.Size()
+	perProc := n / p
+	keyBytes := perProc * 4
+	opsTotal := float64(isIters) * float64(n) * 5
+
+	counts := mpi.I64Bytes(make([]int64, 1024))
+	// Key redistribution: even split across processes.
+	sendCounts := make([]int, p)
+	sendOffs := make([]int, p)
+	for r := 0; r < p; r++ {
+		sendCounts[r] = keyBytes / p
+		sendOffs[r] = r * (keyBytes / p)
+	}
+	sendBuf := make([]byte, keyBytes)
+	recvBuf := make([]byte, keyBytes)
+	for it := 0; it < isIters; it++ {
+		compute(pr, float64(perProc)*5)
+		if err := comm.Allreduce(counts, mpi.OpSumI64); err != nil {
+			return 0, err
+		}
+		if err := comm.Alltoallv(sendBuf, sendCounts, sendOffs,
+			recvBuf, sendCounts, sendOffs); err != nil {
+			return 0, err
+		}
+	}
+	return opsTotal / 1e6, nil
+}
+
+// --- CG: conjugate gradient -------------------------------------------
+
+var cgNA = [4]int{1400, 7000, 14000, 75000}
+var cgIters = [4]int{15, 15, 15, 75}
+
+// RunCG iterates the CG solver's communication pattern on a 4×2 process
+// grid: two vector-segment exchanges across the row plus two scalar
+// all-reductions per iteration.
+func RunCG(pr *mpi.Process, comm *mpi.Comm, class Class) (float64, error) {
+	na := cgNA[classIndex(class)]
+	iters := cgIters[classIndex(class)]
+	p := comm.Size()
+	nnz := float64(na) * 12
+	opsPerIter := 2*nnz + 10*float64(na)
+	opsTotal := float64(iters) * opsPerIter
+
+	// Row partner for the transpose exchange (4 columns × 2 rows).
+	cols := 4
+	if p < 4 {
+		cols = p
+	}
+	me := comm.Rank()
+	partner := me ^ (cols / 2) // exchange across half the row
+	segBytes := na / cols * 8
+	ex := &exchanger{}
+	dot := mpi.F64Bytes([]float64{0})
+	for it := 0; it < iters; it++ {
+		compute(pr, opsPerIter/float64(p))
+		for s := 0; s < 2; s++ {
+			if err := ex.exchange(comm, partner, 7, segBytes); err != nil {
+				return 0, err
+			}
+			if err := comm.Allreduce(dot, mpi.OpSumF64); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return opsTotal / 1e6, nil
+}
+
+// --- MG: multigrid -----------------------------------------------------
+
+var mgDim = [4]int{32, 64, 256, 256}
+var mgIters = [4]int{4, 4, 4, 20}
+
+// RunMG runs V-cycles on a 2×2×2 process cube: at every grid level each
+// process exchanges one face per dimension with its neighbor, faces
+// halving in area as the hierarchy coarsens.
+func RunMG(pr *mpi.Process, comm *mpi.Comm, class Class) (float64, error) {
+	n := mgDim[classIndex(class)]
+	iters := mgIters[classIndex(class)]
+	p := comm.Size()
+	total := float64(n) * float64(n) * float64(n)
+	opsPerIter := total * 14
+	opsTotal := float64(iters) * opsPerIter
+
+	me := comm.Rank()
+	ex := &exchanger{}
+	// Count level visits per V-cycle (descend + ascend) for the
+	// compute share per visit.
+	visits := 0
+	for lev := n; lev >= 4; lev /= 2 {
+		visits++
+	}
+	visits = 2*visits - 1
+	sharePerVisit := opsPerIter / float64(p) / float64(visits)
+
+	levelStep := func(lev, tag int) error {
+		faceBytes := (lev / 2) * (lev / 2) * 8
+		for d := 0; d < 3 && (1<<d) < p; d++ {
+			if err := ex.exchange(comm, me^(1<<d), tag, faceBytes); err != nil {
+				return err
+			}
+		}
+		compute(pr, sharePerVisit)
+		return nil
+	}
+	for it := 0; it < iters; it++ {
+		for lev := n; lev >= 4; lev /= 2 { // restrict
+			if err := levelStep(lev, 11); err != nil {
+				return 0, err
+			}
+		}
+		for lev := 8; lev <= n; lev *= 2 { // prolongate
+			if err := levelStep(lev, 12); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return opsTotal / 1e6, nil
+}
+
+// --- LU, BT, SP: the three pseudo-applications -------------------------
+
+// gridDecomp returns the process grid (rows × cols) and this rank's
+// coordinates for the 2D pencil decompositions.
+func gridDecomp(comm *mpi.Comm) (rows, cols, myRow, myCol int) {
+	p := comm.Size()
+	cols = 1
+	for cols*cols < p {
+		cols <<= 1
+	}
+	if cols > p {
+		cols = p
+	}
+	rows = p / cols
+	if rows == 0 {
+		rows = 1
+	}
+	myRow = comm.Rank() / cols
+	myCol = comm.Rank() % cols
+	return
+}
+
+var luDim = [4]int{12, 33, 64, 102}
+var luIters = [4]int{50, 300, 250, 250}
+
+// RunLU runs the SSOR wavefront: each iteration pipelines lower and
+// upper triangular sweeps across the process grid in k-blocks, with
+// thin 5-variable pencil messages to the south and east neighbors —
+// many small messages, the pattern that keeps LU latency-sensitive.
+func RunLU(pr *mpi.Process, comm *mpi.Comm, class Class) (float64, error) {
+	n := luDim[classIndex(class)]
+	iters := luIters[classIndex(class)]
+	p := comm.Size()
+	opsPerIter := float64(n) * float64(n) * float64(n) * 150
+	opsTotal := float64(iters) * opsPerIter
+
+	rows, cols, myRow, myCol := gridDecomp(comm)
+	north := -1
+	if myRow > 0 {
+		north = (myRow-1)*cols + myCol
+	}
+	south := -1
+	if myRow < rows-1 {
+		south = (myRow+1)*cols + myCol
+	}
+	west := -1
+	if myCol > 0 {
+		west = myRow*cols + myCol - 1
+	}
+	east := -1
+	if myCol < cols-1 {
+		east = myRow*cols + myCol + 1
+	}
+
+	const stages = 8
+	blockDepth := (n + stages - 1) / stages
+	pencil := 5 * (n / cols) * blockDepth * 8
+	if pencil == 0 {
+		pencil = 64
+	}
+	buf := make([]byte, pencil)
+	computePerStage := opsPerIter / float64(p) / float64(2*stages)
+
+	for it := 0; it < iters; it++ {
+		// Lower sweep: wavefront from the northwest.
+		for s := 0; s < stages; s++ {
+			if north >= 0 {
+				if _, err := comm.Recv(north, 21, buf); err != nil {
+					return 0, err
+				}
+			}
+			if west >= 0 {
+				if _, err := comm.Recv(west, 22, buf); err != nil {
+					return 0, err
+				}
+			}
+			compute(pr, computePerStage)
+			if south >= 0 {
+				if err := comm.Send(south, 21, buf[:pencil]); err != nil {
+					return 0, err
+				}
+			}
+			if east >= 0 {
+				if err := comm.Send(east, 22, buf[:pencil]); err != nil {
+					return 0, err
+				}
+			}
+		}
+		// Upper sweep: wavefront from the southeast.
+		for s := 0; s < stages; s++ {
+			if south >= 0 {
+				if _, err := comm.Recv(south, 23, buf); err != nil {
+					return 0, err
+				}
+			}
+			if east >= 0 {
+				if _, err := comm.Recv(east, 24, buf); err != nil {
+					return 0, err
+				}
+			}
+			compute(pr, computePerStage)
+			if north >= 0 {
+				if err := comm.Send(north, 23, buf[:pencil]); err != nil {
+					return 0, err
+				}
+			}
+			if west >= 0 {
+				if err := comm.Send(west, 24, buf[:pencil]); err != nil {
+					return 0, err
+				}
+			}
+		}
+	}
+	return opsTotal / 1e6, nil
+}
+
+var btDim = [4]int{12, 24, 64, 102}
+var btIters = [4]int{60, 200, 200, 200}
+
+// RunBT runs the block-tridiagonal ADI pattern: three directional
+// solves per iteration, each exchanging large 5×5-block faces with the
+// grid neighbors — predominantly long messages at class A/B, which is
+// where the paper notes BT shifts toward TCP's strengths.
+func RunBT(pr *mpi.Process, comm *mpi.Comm, class Class) (float64, error) {
+	return runADI(pr, comm, class, btDim, btIters, 220, 40, 31)
+}
+
+var spDim = [4]int{12, 36, 64, 102}
+var spIters = [4]int{100, 400, 400, 400}
+
+// RunSP is the scalar-pentadiagonal variant of BT: more iterations,
+// thinner faces.
+func RunSP(pr *mpi.Process, comm *mpi.Comm, class Class) (float64, error) {
+	return runADI(pr, comm, class, spDim, spIters, 100, 16, 41)
+}
+
+// runADI is the shared BT/SP skeleton: per iteration, a forward and a
+// backward substitution sweep in each of the two decomposed dimensions,
+// exchanging faces of faceScale bytes per grid point.
+func runADI(pr *mpi.Process, comm *mpi.Comm, class Class, dims, iterTab [4]int, flopsPerPoint, faceScale, tagBase int) (float64, error) {
+	n := dims[classIndex(class)]
+	iters := iterTab[classIndex(class)]
+	p := comm.Size()
+	opsPerIter := float64(n) * float64(n) * float64(n) * float64(flopsPerPoint)
+	opsTotal := float64(iters) * opsPerIter
+
+	rows, cols, myRow, myCol := gridDecomp(comm)
+	faceBytes := n * n / cols * faceScale
+	ex := &exchanger{}
+	computePerPhase := opsPerIter / float64(p) / 6
+
+	for it := 0; it < iters; it++ {
+		for dim := 0; dim < 3; dim++ {
+			var peer int
+			switch dim {
+			case 0: // x: exchange across the row
+				if cols > 1 {
+					peer = myRow*cols + (myCol^1)%cols
+				} else {
+					peer = -1
+				}
+			case 1: // y: exchange across the column
+				if rows > 1 {
+					peer = ((myRow^1)%rows)*cols + myCol
+				} else {
+					peer = -1
+				}
+			default: // z: local sweep, no exchange
+				peer = -1
+			}
+			compute(pr, computePerPhase)
+			if peer >= 0 {
+				if err := ex.exchange(comm, peer, tagBase+dim, faceBytes); err != nil {
+					return 0, err
+				}
+			}
+			compute(pr, computePerPhase)
+		}
+	}
+	return opsTotal / 1e6, nil
+}
+
+// Fig9Table builds the Figure 9 comparison across all kernels for one
+// class (the paper uses class B on 8 processes).
+type Fig9Row struct {
+	Kernel string
+	SCTP   float64
+	TCP    float64
+}
+
+// Fig9 runs every kernel under both transports (no loss), the paper's
+// Figure 9 bar chart.
+func Fig9(seed int64, class Class) ([]Fig9Row, error) {
+	var rows []Fig9Row
+	for _, k := range Kernels() {
+		var vals [2]float64
+		for i, tr := range []core.Transport{core.SCTP, core.TCP} {
+			r, err := Run(core.Options{Transport: tr, Seed: seed}, k, class)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %s %v: %w", k.Name, tr, err)
+			}
+			vals[i] = r.Mops
+		}
+		rows = append(rows, Fig9Row{Kernel: k.Name, SCTP: vals[0], TCP: vals[1]})
+	}
+	return rows, nil
+}

@@ -1,0 +1,125 @@
+package nas
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+)
+
+func TestAllKernelsClassS(t *testing.T) {
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			for _, tr := range []core.Transport{core.SCTP, core.TCP} {
+				r, err := Run(core.Options{Transport: tr, Seed: 1}, k, ClassS)
+				if err != nil {
+					t.Fatalf("%v: %v", tr, err)
+				}
+				if r.Mops <= 0 || r.Elapsed <= 0 {
+					t.Fatalf("%v: degenerate result %+v", tr, r)
+				}
+			}
+		})
+	}
+}
+
+func TestKernelsClassW(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class W is slower")
+	}
+	for _, k := range Kernels() {
+		r, err := Run(core.Options{Transport: core.SCTP, Seed: 1}, k, ClassW)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if r.Mops <= 0 {
+			t.Fatalf("%s: no Mop/s", k.Name)
+		}
+	}
+}
+
+func TestClassOrdering(t *testing.T) {
+	// Larger classes must do more work: virtual runtime S < A for CG.
+	var times [2]float64
+	for i, c := range []Class{ClassS, ClassA} {
+		r, err := Run(core.Options{Transport: core.SCTP, Seed: 1}, Kernel{"CG", RunCG}, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[i] = r.Elapsed.Seconds()
+	}
+	if times[0] >= times[1] {
+		t.Fatalf("class S (%.3fs) should be faster than class A (%.3fs)", times[0], times[1])
+	}
+}
+
+func TestSmallDatasetsFavorTCP(t *testing.T) {
+	// The paper: "TCP does better for the shorter datasets". Check the
+	// suite-wide aggregate on class S.
+	var sctpTotal, tcpTotal float64
+	for _, k := range Kernels() {
+		rs, err := Run(core.Options{Transport: core.SCTP, Seed: 1}, k, ClassS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := Run(core.Options{Transport: core.TCP, Seed: 1}, k, ClassS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sctpTotal += rs.Mops
+		tcpTotal += rt.Mops
+	}
+	if tcpTotal <= sctpTotal {
+		t.Errorf("class S aggregate: TCP %.0f <= SCTP %.0f Mop/s; paper expects TCP ahead on small datasets",
+			tcpTotal, sctpTotal)
+	}
+}
+
+func TestDeterministicKernel(t *testing.T) {
+	r1, err := Run(core.Options{Transport: core.TCP, Seed: 5}, Kernel{"MG", RunMG}, ClassS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(core.Options{Transport: core.TCP, Seed: 5}, Kernel{"MG", RunMG}, ClassS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Elapsed != r2.Elapsed {
+		t.Fatalf("nondeterministic: %v vs %v", r1.Elapsed, r2.Elapsed)
+	}
+}
+
+func TestGridDecompCoverage(t *testing.T) {
+	// Every rank must land on a unique in-bounds grid coordinate.
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	seen := map[[2]int]bool{}
+	_, err := core.Run(core.Options{Procs: 8, Transport: core.SCTP, Seed: 1},
+		func(pr *mpi.Process, comm *mpi.Comm) error {
+			rows, cols, myRow, myCol := gridDecomp(comm)
+			if rows*cols != comm.Size() {
+				return fmt.Errorf("grid %dx%d != %d procs", rows, cols, comm.Size())
+			}
+			if myRow < 0 || myRow >= rows || myCol < 0 || myCol >= cols {
+				return fmt.Errorf("rank %d coords (%d,%d) out of %dx%d",
+					comm.Rank(), myRow, myCol, rows, cols)
+			}
+			<-mu
+			key := [2]int{myRow, myCol}
+			dup := seen[key]
+			seen[key] = true
+			mu <- struct{}{}
+			if dup {
+				return fmt.Errorf("duplicate coords %v", key)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 8 {
+		t.Fatalf("coords covered = %d, want 8", len(seen))
+	}
+}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+)
+
+// PingPongResult is one MPBench-style measurement.
+type PingPongResult struct {
+	MsgSize    int
+	Iters      int
+	Elapsed    time.Duration
+	Throughput float64 // bytes/second, one-way payload over total time
+}
+
+// PingPong runs the MPBench ping-pong test: two processes repeatedly
+// exchange a message of msgSize bytes, all with the same tag (§4.1.1).
+func PingPong(opts core.Options, msgSize, iters, warmup int) (PingPongResult, error) {
+	opts.Procs = 2
+	var res PingPongResult
+	_, err := core.Run(opts, func(pr *mpi.Process, comm *mpi.Comm) error {
+		msg := make([]byte, msgSize)
+		buf := make([]byte, msgSize)
+		peer := 1 - comm.Rank()
+		// Warmup rounds let RTO estimators and cwnd settle, as MPBench
+		// does.
+		for i := 0; i < warmup; i++ {
+			if err := pingOnce(comm, peer, msg, buf); err != nil {
+				return err
+			}
+		}
+		if err := comm.Barrier(); err != nil {
+			return err
+		}
+		t0 := pr.P.Now()
+		for i := 0; i < iters; i++ {
+			if err := pingOnce(comm, peer, msg, buf); err != nil {
+				return err
+			}
+		}
+		if comm.Rank() == 0 {
+			el := pr.P.Now() - t0
+			res = PingPongResult{
+				MsgSize:    msgSize,
+				Iters:      iters,
+				Elapsed:    el,
+				Throughput: float64(msgSize*iters) / el.Seconds(),
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	if res.Iters == 0 {
+		return res, fmt.Errorf("bench: ping-pong produced no result")
+	}
+	return res, nil
+}
+
+func pingOnce(comm *mpi.Comm, peer int, msg, buf []byte) error {
+	if comm.Rank() == 0 {
+		if err := comm.Send(peer, 0, msg); err != nil {
+			return err
+		}
+		_, err := comm.Recv(peer, 0, buf)
+		return err
+	}
+	if _, err := comm.Recv(peer, 0, buf); err != nil {
+		return err
+	}
+	return comm.Send(peer, 0, msg)
+}
+
+// Fig8Sizes is the message-size sweep of Figure 8.
+var Fig8Sizes = []int{
+	1, 16, 64, 256, 1024, 4096, 8192, 16384, 22528, 32768,
+	49152, 65535, 98302, 131069,
+}
+
+// Fig8 regenerates Figure 8: ping-pong throughput for each size under
+// no loss, SCTP normalized to TCP.
+func Fig8(seed int64, iters int) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 8: MPBench ping-pong, no loss (SCTP throughput normalized to TCP)",
+		Columns: []string{"TCP B/s", "SCTP B/s", "SCTP/TCP"},
+		Notes: []string{
+			"paper shape: TCP wins small messages, crossover ~22 KiB, SCTP wins large",
+		},
+	}
+	for _, sz := range Fig8Sizes {
+		it := iters
+		if sz >= 32768 && it > 60 {
+			it = 60
+		}
+		tcpRes, err := PingPong(core.Options{Transport: core.TCP, Seed: seed}, sz, it, 10)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 tcp size %d: %w", sz, err)
+		}
+		sctpRes, err := PingPong(core.Options{Transport: core.SCTP, Seed: seed}, sz, it, 10)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 sctp size %d: %w", sz, err)
+		}
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("%d bytes", sz),
+			Values: []float64{
+				tcpRes.Throughput,
+				sctpRes.Throughput,
+				sctpRes.Throughput / tcpRes.Throughput,
+			},
+		})
+	}
+	return t, nil
+}
+
+// Table1Seeds is how many independent runs Table1 averages: loss-event
+// placement (especially burst-tail losses that cost a full RTO)
+// dominates single-run variance, as the paper's own multi-run
+// methodology for the farm program acknowledges.
+const Table1Seeds = 4
+
+// Table1 regenerates Table 1: ping-pong throughput under 1% and 2%
+// loss for 30 KiB (short/eager) and 300 KiB (long/rendezvous) messages,
+// averaged over Table1Seeds seeds.
+func Table1(seed int64, iters int) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("Table 1: ping-pong under loss (bytes/second, mean of %d runs)",
+			Table1Seeds),
+		Columns: []string{"SCTP 1%", "TCP 1%", "SCTP 2%", "TCP 2%"},
+		Notes: []string{
+			"paper: 30K  -> SCTP 54,779  TCP 1,924 | SCTP 44,614  TCP 1,030",
+			"paper: 300K -> SCTP  5,870  TCP 1,818 | SCTP  2,825  TCP   885",
+		},
+	}
+	for _, sz := range []int{30 << 10, 300 << 10} {
+		var vals []float64
+		for _, loss := range []float64{0.01, 0.02} {
+			for _, tr := range []core.Transport{core.SCTP, core.TCP} {
+				sum := 0.0
+				for s := int64(0); s < Table1Seeds; s++ {
+					r, err := PingPong(core.Options{
+						Transport: tr, Seed: seed + s, LossRate: loss,
+					}, sz, iters, 2)
+					if err != nil {
+						return nil, fmt.Errorf("table1 %v loss %.0f%% size %d seed %d: %w",
+							tr, loss*100, sz, seed+s, err)
+					}
+					sum += r.Throughput
+				}
+				vals = append(vals, sum/Table1Seeds)
+			}
+		}
+		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%dK", sz>>10), Values: vals})
+	}
+	return t, nil
+}

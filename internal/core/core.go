@@ -1,0 +1,345 @@
+// Package core is the public facade of the reproduction: it builds the
+// simulated cluster (the paper's eight FreeBSD nodes behind a gigabit
+// switch with Dummynet loss), attaches the chosen transport and RPI
+// module to every node, and runs an MPI program function on each rank.
+//
+// Minimal use:
+//
+//	report, err := core.Run(core.Options{Procs: 8, Transport: core.SCTP},
+//	    func(pr *mpi.Process, comm *mpi.Comm) error {
+//	        if comm.Rank() == 0 { return comm.Send(1, 0, []byte("hi")) }
+//	        ...
+//	    })
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/mpi/rpi"
+	"repro/internal/mpi/sctprpi"
+	"repro/internal/mpi/tcprpi"
+	"repro/internal/netsim"
+	"repro/internal/sctp"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// Transport selects the RPI module under test.
+type Transport int
+
+// Transports.
+const (
+	TCP              Transport = iota // LAM-TCP analogue
+	SCTP                              // the paper's multistream SCTP module
+	SCTPSingleStream                  // SCTP reduced to one stream (Figure 12 ablation)
+)
+
+func (t Transport) String() string {
+	switch t {
+	case TCP:
+		return "LAM_TCP"
+	case SCTP:
+		return "LAM_SCTP"
+	case SCTPSingleStream:
+		return "LAM_SCTP_1stream"
+	}
+	return "?"
+}
+
+// PaperBufSize is the socket buffer size used in all the paper's
+// experiments (220 KiB for both transports).
+const PaperBufSize = 220 << 10
+
+// Options configures a run.
+type Options struct {
+	Procs     int       // world size (default 8, the paper's cluster)
+	Transport Transport // which RPI to use
+	Seed      int64     // simulation seed (default 1)
+
+	LossRate float64            // Dummynet-style Bernoulli loss on every link
+	Link     *netsim.LinkParams // topology override (default: 1 Gb/s LAN)
+
+	BufSize    int // socket snd/rcv buffer (default 220 KiB, the paper's setting)
+	EagerLimit int // short/long threshold (default 64 KiB)
+	Streams    int // SCTP stream pool (default 10)
+
+	// IfacesPerNode > 1 gives every node one interface per subnet, the
+	// paper's three-NIC multihomed setup. Heartbeats are enabled only
+	// when multihomed.
+	IfacesPerNode int
+
+	// Cost overrides the transport-specific CPU cost model; nil uses
+	// the calibrated defaults (see DefaultTCPCost / DefaultSCTPCost).
+	Cost *rpi.CostModel
+
+	// NoCost disables CPU cost modeling entirely (pure protocol
+	// dynamics; useful in unit tests).
+	NoCost bool
+
+	SCTPChecksum bool // verify CRC32c on receive (the paper turned it off)
+
+	// CMT enables SCTP Concurrent Multipath Transfer (requires
+	// IfacesPerNode ≥ 2): new data stripes across all active paths,
+	// the University of Delaware extension the paper's §5 describes as
+	// the future replacement for TEG-style middleware striping.
+	CMT bool
+
+	// SCTPOptionC enables the paper's §3.4.3 Option C in the SCTP RPI:
+	// control envelopes interleave with long-message bodies instead of
+	// queueing behind them (Option B, the default and what the paper
+	// shipped).
+	SCTPOptionC bool
+
+	// TCPConfig / SCTPConfig, when non-nil, replace the default stack
+	// configuration entirely (buffer sizes are still filled from
+	// BufSize when left zero). Used by the ablation benchmarks to turn
+	// individual protocol mechanisms on and off.
+	TCPConfig  *tcp.Config
+	SCTPConfig *sctp.Config
+
+	// Deadline aborts the simulation after this much virtual time
+	// (0 = none). Used defensively by long benchmark sweeps.
+	Deadline time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Procs == 0 {
+		o.Procs = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.BufSize == 0 {
+		o.BufSize = PaperBufSize
+	}
+	if o.EagerLimit == 0 {
+		o.EagerLimit = mpi.DefaultEagerLimit
+	}
+	if o.Streams == 0 {
+		o.Streams = 10
+	}
+	if o.IfacesPerNode == 0 {
+		o.IfacesPerNode = 1
+	}
+	return o
+}
+
+// DefaultTCPCost is the calibrated CPU cost model for the TCP module:
+// a mature kernel path with NIC checksum offload (low per-message
+// cost), but byte-stream framing and extra copies in the middleware
+// (higher per-byte cost) plus a select() whose cost grows with the
+// descriptor count (paper §3.3).
+func DefaultTCPCost() rpi.CostModel {
+	return rpi.CostModel{
+		SendPerMsg: 1 * time.Microsecond,
+		RecvPerMsg: 1 * time.Microsecond,
+		SendPerKB:  520 * time.Nanosecond,
+		RecvPerKB:  520 * time.Nanosecond,
+		PollBase:   1 * time.Microsecond,
+		PollPerFD:  200 * time.Nanosecond,
+	}
+}
+
+// DefaultSCTPCost is the calibrated model for the 2005-era SCTP stack:
+// higher per-message processing (immature stack, chunk bookkeeping —
+// the reason TCP wins the no-loss ping-pong below ~22 KiB in Figure 8)
+// but cheaper per byte (message framing avoids the middleware scan and
+// a copy) and a single descriptor to poll.
+func DefaultSCTPCost() rpi.CostModel {
+	return rpi.CostModel{
+		SendPerMsg: 8500 * time.Nanosecond,
+		RecvPerMsg: 8500 * time.Nanosecond,
+		SendPerKB:  180 * time.Nanosecond,
+		RecvPerKB:  180 * time.Nanosecond,
+		PollBase:   1 * time.Microsecond,
+		PollPerFD:  0,
+	}
+}
+
+// Report summarizes a completed run.
+type Report struct {
+	Elapsed   time.Duration // total virtual time, including setup/teardown
+	NetStats  netsim.Stats
+	RPIStats  []map[string]int64 // per rank
+	RankErrs  []error
+	SimErr    error // deadlock or run error
+	Transport Transport
+}
+
+// FirstError returns the first per-rank or simulation error.
+func (r *Report) FirstError() error {
+	if r.SimErr != nil {
+		return r.SimErr
+	}
+	for _, e := range r.RankErrs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// Program is the per-rank MPI program body.
+type Program func(pr *mpi.Process, comm *mpi.Comm) error
+
+// Cluster is a built simulated testbed with transports attached but no
+// program started yet. It exposes the kernel and network so callers can
+// inject faults (loss changes, interface failures) while a program
+// runs — the knobs the paper turns with Dummynet and pulled cables.
+type Cluster struct {
+	Opts    Options
+	Kernel  *sim.Kernel
+	Net     *netsim.Network
+	Nodes   []*netsim.Node
+	modules []rpi.RPI
+	report  *Report
+	started bool
+}
+
+// NewCluster builds the testbed for opts.
+func NewCluster(opts Options) (*Cluster, error) {
+	opts = opts.withDefaults()
+	k := sim.New(opts.Seed)
+	lp := netsim.DefaultLinkParams()
+	if opts.Link != nil {
+		lp = *opts.Link
+	}
+	lp.LossRate = opts.LossRate
+	net, nodes := netsim.Cluster(k, opts.Procs, opts.IfacesPerNode, lp)
+
+	barrier := rpi.NewBarrier(k, opts.Procs)
+	report := &Report{
+		RPIStats:  make([]map[string]int64, opts.Procs),
+		RankErrs:  make([]error, opts.Procs),
+		Transport: opts.Transport,
+	}
+
+	addrs := make([]netsim.Addr, opts.Procs)
+	addrLists := make([][]netsim.Addr, opts.Procs)
+	for i, nd := range nodes {
+		addrs[i] = nd.Addr()
+		addrLists[i] = nd.Addrs()
+	}
+
+	modules := make([]rpi.RPI, opts.Procs)
+	for i, nd := range nodes {
+		switch opts.Transport {
+		case TCP:
+			cfg := tcp.Config{SndBuf: opts.BufSize, RcvBuf: opts.BufSize, NoDelay: true}
+			if opts.TCPConfig != nil {
+				cfg = *opts.TCPConfig
+				if cfg.SndBuf == 0 {
+					cfg.SndBuf = opts.BufSize
+				}
+				if cfg.RcvBuf == 0 {
+					cfg.RcvBuf = opts.BufSize
+				}
+			}
+			cost := DefaultTCPCost()
+			if opts.Cost != nil {
+				cost = *opts.Cost
+			}
+			if opts.NoCost {
+				cost = rpi.CostModel{}
+			}
+			st := tcp.NewStack(nd, cfg)
+			modules[i] = tcprpi.New(st, i, addrs, barrier, tcprpi.Options{Cost: cost, TCP: cfg})
+		case SCTP, SCTPSingleStream:
+			cfg := sctp.Config{
+				SndBuf:         opts.BufSize,
+				RcvBuf:         opts.BufSize,
+				Streams:        opts.Streams,
+				HBDisable:      opts.IfacesPerNode < 2,
+				ChecksumVerify: opts.SCTPChecksum,
+				CMT:            opts.CMT && opts.IfacesPerNode >= 2,
+			}
+			if opts.SCTPConfig != nil {
+				cfg = *opts.SCTPConfig
+				if cfg.SndBuf == 0 {
+					cfg.SndBuf = opts.BufSize
+				}
+				if cfg.RcvBuf == 0 {
+					cfg.RcvBuf = opts.BufSize
+				}
+				if cfg.Streams == 0 {
+					cfg.Streams = opts.Streams
+				}
+			}
+			cost := DefaultSCTPCost()
+			if opts.Cost != nil {
+				cost = *opts.Cost
+			}
+			if opts.NoCost {
+				cost = rpi.CostModel{}
+			}
+			st := sctp.NewStack(nd, cfg)
+			modules[i] = sctprpi.New(st, i, addrLists, barrier, sctprpi.Options{
+				Cost:         cost,
+				SCTP:         cfg,
+				SingleStream: opts.Transport == SCTPSingleStream,
+				OptionC:      opts.SCTPOptionC,
+			})
+		default:
+			return nil, fmt.Errorf("core: unknown transport %d", opts.Transport)
+		}
+	}
+	return &Cluster{
+		Opts:    opts,
+		Kernel:  k,
+		Net:     net,
+		Nodes:   nodes,
+		modules: modules,
+		report:  report,
+	}, nil
+}
+
+// Start spawns fn on every rank. It may be called once.
+func (c *Cluster) Start(fn Program) {
+	if c.started {
+		panic("core: Cluster.Start called twice")
+	}
+	c.started = true
+	for i := 0; i < c.Opts.Procs; i++ {
+		rank := i
+		c.Kernel.Spawn(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
+			pr := mpi.NewProcess(p, rank, c.Opts.Procs, c.modules[rank], c.Opts.EagerLimit)
+			comm, err := pr.Init()
+			if err != nil {
+				c.report.RankErrs[rank] = err
+				return
+			}
+			if err := fn(pr, comm); err != nil {
+				c.report.RankErrs[rank] = err
+			}
+			if err := pr.Finalize(); err != nil && c.report.RankErrs[rank] == nil {
+				c.report.RankErrs[rank] = err
+			}
+			c.report.RPIStats[rank] = c.modules[rank].Counters()
+		})
+	}
+}
+
+// Wait runs the simulation to quiescence and returns the report.
+func (c *Cluster) Wait() (*Report, error) {
+	if c.Opts.Deadline > 0 {
+		c.report.SimErr = c.Kernel.RunFor(c.Opts.Deadline)
+	} else {
+		c.report.SimErr = c.Kernel.Run()
+	}
+	c.report.Elapsed = c.Kernel.Now()
+	c.report.NetStats = c.Net.Stats
+	return c.report, c.report.FirstError()
+}
+
+// Run executes fn on every rank of a freshly built cluster and returns
+// the report. The error return is the first failure (if any).
+func Run(opts Options, fn Program) (*Report, error) {
+	c, err := NewCluster(opts)
+	if err != nil {
+		return nil, err
+	}
+	c.Start(fn)
+	return c.Wait()
+}

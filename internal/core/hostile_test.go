@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/netsim"
+)
+
+// hostileLink is a WAN from hell: loss, duplication and jitter-driven
+// reordering all at once.
+func hostileLink() *netsim.LinkParams {
+	lp := netsim.DefaultLinkParams()
+	lp.LossRate = 0.02
+	lp.DupRate = 0.02
+	lp.Jitter = 300 * time.Microsecond
+	return &lp
+}
+
+// TestHostileNetworkIntegrity: both transports must deliver intact,
+// correctly matched MPI traffic through loss + duplication + reordering
+// (Dummynet can inject all three; the protocols' sequence machinery
+// must absorb them).
+func TestHostileNetworkIntegrity(t *testing.T) {
+	for _, tr := range []Transport{TCP, SCTP} {
+		tr := tr
+		t.Run(tr.String(), func(t *testing.T) {
+			_, err := Run(Options{Procs: 4, Transport: tr, Seed: 17, Link: hostileLink()},
+				func(pr *mpi.Process, comm *mpi.Comm) error {
+					me := comm.Rank()
+					n := comm.Size()
+					// Every pair exchanges checksummable payloads on
+					// several tags.
+					for round := 0; round < 3; round++ {
+						for peer := 0; peer < n; peer++ {
+							if peer == me {
+								continue
+							}
+							out := make([]byte, 20<<10)
+							for i := range out {
+								out[i] = byte(i*me + round + peer)
+							}
+							in := make([]byte, 20<<10)
+							if _, err := comm.SendRecv(peer, round, out, peer, round, in); err != nil {
+								return err
+							}
+							for i := range in {
+								if in[i] != byte(i*peer+round+me) {
+									return fmt.Errorf("round %d peer %d corrupt at %d", round, peer, i)
+								}
+							}
+						}
+					}
+					return comm.Barrier()
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestHostileCollectives: the full collective suite through the same
+// hostile network.
+func TestHostileCollectives(t *testing.T) {
+	_, err := Run(Options{Procs: 8, Transport: SCTP, Seed: 18, Link: hostileLink()},
+		func(pr *mpi.Process, comm *mpi.Comm) error {
+			me := comm.Rank()
+			n := comm.Size()
+			v := mpi.F64Bytes([]float64{float64(me + 1)})
+			if err := comm.Allreduce(v, mpi.OpSumF64); err != nil {
+				return err
+			}
+			if got := mpi.BytesF64(v)[0]; got != float64(n*(n+1)/2) {
+				return fmt.Errorf("allreduce = %v", got)
+			}
+			data := make([]byte, 10<<10)
+			if me == 3 {
+				for i := range data {
+					data[i] = byte(i)
+				}
+			}
+			if err := comm.Bcast(3, data); err != nil {
+				return err
+			}
+			for i := range data {
+				if data[i] != byte(i) {
+					return fmt.Errorf("bcast corrupt at %d", i)
+				}
+			}
+			return comm.Barrier()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDuplicationOnlyDoesNotConfuse: pure duplication (no loss) must be
+// absorbed silently by both transports' sequence logic.
+func TestDuplicationOnlyDoesNotConfuse(t *testing.T) {
+	lp := netsim.DefaultLinkParams()
+	lp.DupRate = 0.2
+	for _, tr := range []Transport{TCP, SCTP} {
+		rep, err := Run(Options{Procs: 2, Transport: tr, Seed: 19, Link: &lp},
+			func(pr *mpi.Process, comm *mpi.Comm) error {
+				if comm.Rank() == 0 {
+					return comm.Send(1, 0, make([]byte, 100<<10))
+				}
+				buf := make([]byte, 100<<10)
+				st, err := comm.Recv(0, 0, buf)
+				if err != nil {
+					return err
+				}
+				if st.Count != 100<<10 {
+					return fmt.Errorf("count %d", st.Count)
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("%v: %v", tr, err)
+		}
+		if rep.NetStats.PacketsDuped == 0 {
+			t.Fatalf("%v: duplication never triggered", tr)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// TestLongMessageRaceScenario reproduces the paper's Figure 6 situation:
+// two processes simultaneously exchange long messages on the same
+// stream (same tag), so each side's rendezvous ACK for the inbound
+// message competes with its own outbound body on that stream. Option B
+// serializes them; Option C interleaves the ACK. Both must deliver the
+// bodies intact.
+func TestLongMessageRaceScenario(t *testing.T) {
+	const n = 300 << 10
+	for _, optC := range []bool{false, true} {
+		optC := optC
+		name := "OptionB"
+		if optC {
+			name = "OptionC"
+		}
+		t.Run(name, func(t *testing.T) {
+			_, err := Run(Options{Procs: 2, Transport: SCTP, Seed: 6, SCTPOptionC: optC},
+				func(pr *mpi.Process, comm *mpi.Comm) error {
+					other := 1 - comm.Rank()
+					out := make([]byte, n)
+					for i := range out {
+						out[i] = byte(i + comm.Rank())
+					}
+					in := make([]byte, n)
+					sreq, err := comm.Isend(other, 0, out) // same tag both ways
+					if err != nil {
+						return err
+					}
+					rreq, err := comm.Irecv(other, 0, in)
+					if err != nil {
+						return err
+					}
+					if err := comm.WaitAll(sreq, rreq); err != nil {
+						return err
+					}
+					for i := range in {
+						if in[i] != byte(i+other) {
+							return fmt.Errorf("corrupt byte %d", i)
+						}
+					}
+					return nil
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestOptionCInterleavesControl checks that Option C actually exercises
+// its control fast path and that Option B actually queues.
+func TestOptionCInterleavesControl(t *testing.T) {
+	counters := func(optC bool) (ctrl, queued int64) {
+		rep, err := Run(Options{Procs: 2, Transport: SCTP, Seed: 6, SCTPOptionC: optC},
+			func(pr *mpi.Process, comm *mpi.Comm) error {
+				other := 1 - comm.Rank()
+				// Several crossing long transfers on one tag keep the
+				// stream busy while ACKs need to flow.
+				for i := 0; i < 4; i++ {
+					out := make([]byte, 200<<10)
+					in := make([]byte, 200<<10)
+					sreq, err := comm.Isend(other, 0, out)
+					if err != nil {
+						return err
+					}
+					rreq, err := comm.Irecv(other, 0, in)
+					if err != nil {
+						return err
+					}
+					if err := comm.WaitAll(sreq, rreq); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range rep.RPIStats {
+			ctrl += c["optionc_ctrl"]
+			queued += c["optionb_queued"]
+		}
+		return
+	}
+	ctrlC, _ := counters(true)
+	if ctrlC == 0 {
+		t.Error("Option C never used its control fast path")
+	}
+	ctrlB, _ := counters(false)
+	if ctrlB != 0 {
+		t.Errorf("Option B run used the Option C path %d times", ctrlB)
+	}
+}
+
+// TestOptionCFasterAckTurnaround: with crossing long messages under
+// loss-free conditions, Option C should never be slower than Option B
+// (ACKs do not wait behind bodies).
+func TestOptionCFasterAckTurnaround(t *testing.T) {
+	elapsed := func(optC bool) float64 {
+		rep, err := Run(Options{Procs: 2, Transport: SCTP, Seed: 6, SCTPOptionC: optC},
+			func(pr *mpi.Process, comm *mpi.Comm) error {
+				other := 1 - comm.Rank()
+				for i := 0; i < 6; i++ {
+					out := make([]byte, 200<<10)
+					in := make([]byte, 200<<10)
+					sreq, _ := comm.Isend(other, 0, out)
+					rreq, _ := comm.Irecv(other, 0, in)
+					if err := comm.WaitAll(sreq, rreq); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Elapsed.Seconds()
+	}
+	b := elapsed(false)
+	c := elapsed(true)
+	if c > b*1.05 {
+		t.Errorf("Option C (%.6fs) noticeably slower than Option B (%.6fs)", c, b)
+	}
+}

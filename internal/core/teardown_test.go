@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// TestTeardownPrompt is a regression test: MPI_Finalize plus socket
+// close must complete within milliseconds of virtual time, not ride a
+// T3 retransmission death spiral (a closed one-to-many socket must keep
+// servicing its associations until their SHUTDOWN handshakes finish).
+func TestTeardownPrompt(t *testing.T) {
+	for _, tr := range []Transport{TCP, SCTP} {
+		rep, err := Run(Options{Procs: 4, Transport: tr, Seed: 1},
+			func(pr *mpi.Process, comm *mpi.Comm) error {
+				if comm.Rank() == 0 {
+					for r := 1; r < comm.Size(); r++ {
+						if err := comm.Send(r, 0, []byte("x")); err != nil {
+							return err
+						}
+					}
+					return nil
+				}
+				buf := make([]byte, 8)
+				_, err := comm.Recv(0, 0, buf)
+				return err
+			})
+		if err != nil {
+			t.Fatalf("%v: %v", tr, err)
+		}
+		if rep.Elapsed > 500*time.Millisecond {
+			t.Errorf("%v: teardown took %v of virtual time", tr, rep.Elapsed)
+		}
+	}
+}

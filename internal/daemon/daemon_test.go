@@ -1,0 +1,165 @@
+package daemon
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sctp"
+	"repro/internal/sim"
+)
+
+// mesh builds n nodes each running a daemon.
+func mesh(t *testing.T, seed int64, n int, lp netsim.LinkParams) (*sim.Kernel, []*Daemon, []*netsim.Node) {
+	t.Helper()
+	k := sim.New(seed)
+	net, nodes := netsim.Cluster(k, n, 1, lp)
+	_ = net
+	daemons := make([]*Daemon, n)
+	for i, nd := range nodes {
+		st := sctp.NewStack(nd, sctp.Config{HBDisable: true})
+		d, err := Start(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		daemons[i] = d
+	}
+	return k, daemons, nodes
+}
+
+func TestPingAndStatus(t *testing.T) {
+	k, daemons, nodes := mesh(t, 1, 4, netsim.DefaultLinkParams())
+	const job = 77
+	daemons[1].RegisterLocal(job, 0, nil)
+	daemons[1].RegisterLocal(job, 1, nil)
+	daemons[2].RegisterLocal(job, 2, nil)
+	daemons[2].RegisterLocal(99, 5, nil) // a different job
+
+	k.Spawn("mpirun", func(p *sim.Proc) {
+		cli := daemons[0].NewClient()
+		for i := 1; i < 4; i++ {
+			if err := cli.Ping(p, nodes[i].Addr()); err != nil {
+				t.Errorf("ping node %d: %v", i, err)
+			}
+		}
+		want := []int{2, 1, 0}
+		for i := 1; i < 4; i++ {
+			n, err := cli.Status(p, nodes[i].Addr(), job)
+			if err != nil {
+				t.Errorf("status node %d: %v", i, err)
+				continue
+			}
+			if n != want[i-1] {
+				t.Errorf("node %d live procs = %d, want %d", i, n, want[i-1])
+			}
+		}
+		// Shut the daemons down so the simulation quiesces.
+		for _, d := range daemons {
+			d.Close()
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortJobKillsProcesses(t *testing.T) {
+	k, daemons, nodes := mesh(t, 2, 3, netsim.DefaultLinkParams())
+	const job = 5
+	killed := 0
+	daemons[1].RegisterLocal(job, 0, func() { killed++ })
+	daemons[1].RegisterLocal(job, 1, func() { killed++ })
+	daemons[1].RegisterLocal(8, 0, func() { t.Error("wrong job killed") })
+
+	k.Spawn("mpirun", func(p *sim.Proc) {
+		cli := daemons[0].NewClient()
+		if err := cli.AbortJob(p, nodes[1].Addr(), job); err != nil {
+			t.Error(err)
+		}
+		// Wait for the abort to land, then verify.
+		p.Sleep(50 * time.Millisecond)
+		n, err := cli.Status(p, nodes[1].Addr(), job)
+		if err != nil {
+			t.Error(err)
+		}
+		if n != 0 {
+			t.Errorf("%d procs still alive after abort", n)
+		}
+		for _, d := range daemons {
+			d.Close()
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if killed != 2 {
+		t.Fatalf("killed %d procs, want 2", killed)
+	}
+}
+
+func TestIOForwarding(t *testing.T) {
+	k, daemons, nodes := mesh(t, 3, 3, netsim.DefaultLinkParams())
+	const job = 9
+	k.Spawn("worker-node2", func(p *sim.Proc) {
+		cli := daemons[2].NewClient()
+		for i, line := range []string{"result: 42", "done"} {
+			if err := cli.ForwardIO(p, nodes[0].Addr(), job, line); err != nil {
+				t.Errorf("forward %d: %v", i, err)
+			}
+		}
+	})
+	k.Spawn("origin", func(p *sim.Proc) {
+		// Poll the origin daemon for the forwarded lines.
+		for i := 0; i < 100; i++ {
+			if len(daemons[0].IOLines(job)) == 2 {
+				break
+			}
+			p.Sleep(10 * time.Millisecond)
+		}
+		lines := daemons[0].IOLines(job)
+		if len(lines) != 2 || lines[0] != "result: 42" || lines[1] != "done" {
+			t.Errorf("forwarded lines = %q", lines)
+		}
+		for _, d := range daemons {
+			d.Close()
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaemonSurvivesLoss(t *testing.T) {
+	lp := netsim.DefaultLinkParams()
+	lp.LossRate = 0.05
+	k, daemons, nodes := mesh(t, 4, 2, lp)
+	k.Spawn("mpirun", func(p *sim.Proc) {
+		cli := daemons[0].NewClient()
+		for i := 0; i < 20; i++ {
+			if err := cli.Ping(p, nodes[1].Addr()); err != nil {
+				t.Errorf("ping %d failed: %v", i, err)
+				break
+			}
+		}
+		for _, d := range daemons {
+			d.Close()
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMsgRoundTrip(t *testing.T) {
+	in := &msg{Kind: mkIOWrite, Job: 7, Rank: -1, Count: 3, Seq: 99, Text: "hello lamd"}
+	out, err := decodeMsg(in.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out != *in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	if _, err := decodeMsg([]byte{1, 2}); err == nil {
+		t.Fatal("short message accepted")
+	}
+}

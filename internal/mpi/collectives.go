@@ -1,0 +1,356 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/mpi/rpi"
+)
+
+// Internal collective tags. Collectives run on the communicator's
+// collective context (ctx+1), so they can never match user traffic.
+const (
+	tagBarrier  = 1
+	tagBcast    = 2
+	tagReduce   = 3
+	tagGather   = 4
+	tagScatter  = 5
+	tagGatherA  = 6
+	tagAlltoall = 7
+)
+
+// Op folds src into acc (acc op= src). Implementations must be
+// element-wise over the encoded representation.
+type Op func(acc, src []byte)
+
+// csend/crecv are point-to-point on the collective context.
+func (c *Comm) csend(dest, tag int, data []byte) error {
+	w, err := c.worldOf(dest)
+	if err != nil {
+		return err
+	}
+	req := c.pr.isend(w, tag, c.ctx+1, data, false)
+	_, err = c.pr.Wait(req)
+	return err
+}
+
+func (c *Comm) cisend(dest, tag int, data []byte) (*Request, error) {
+	w, err := c.worldOf(dest)
+	if err != nil {
+		return nil, err
+	}
+	return c.pr.isend(w, tag, c.ctx+1, data, false), nil
+}
+
+func (c *Comm) crecv(src, tag int, buf []byte) (Status, error) {
+	w, err := c.worldOf(src)
+	if err != nil {
+		return Status{}, err
+	}
+	req := c.pr.irecv(w, tag, c.ctx+1, buf)
+	st, err := c.pr.Wait(req)
+	return c.fixStatus(st), err
+}
+
+// Barrier blocks until every process in the communicator has entered
+// it (dissemination algorithm, log2(n) rounds).
+func (c *Comm) Barrier() error {
+	n := c.Size()
+	if n == 1 {
+		return nil
+	}
+	me := c.Rank()
+	var tok [1]byte
+	for k := 1; k < n; k <<= 1 {
+		to := (me + k) % n
+		from := (me - k + n) % n
+		sreq, err := c.cisend(to, tagBarrier, tok[:])
+		if err != nil {
+			return err
+		}
+		if _, err := c.crecv(from, tagBarrier, tok[:]); err != nil {
+			return err
+		}
+		if _, err := c.pr.Wait(sreq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast broadcasts root's data to every process (binomial tree). Every
+// caller passes a data slice of the same length; non-root slices are
+// overwritten.
+func (c *Comm) Bcast(root int, data []byte) error {
+	n := c.Size()
+	if n == 1 {
+		return nil
+	}
+	rel := (c.Rank() - root + n) % n
+	// Receive from the parent: the node that differs in our lowest set
+	// bit.
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			src := ((rel ^ mask) + root) % n
+			if _, err := c.crecv(src, tagBcast, data); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	// Forward to children below the bit where we received.
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			dst := ((rel + mask) + root) % n
+			if err := c.csend(dst, tagBcast, data); err != nil {
+				return err
+			}
+		}
+		mask >>= 1
+	}
+	return nil
+}
+
+// Reduce folds everyone's data into root's acc using op (binomial
+// tree). data is each caller's contribution; on root, the result is
+// left in data. op must be associative and commutative.
+func (c *Comm) Reduce(root int, data []byte, op Op) error {
+	n := c.Size()
+	if n == 1 {
+		return nil
+	}
+	rel := (c.Rank() - root + n) % n
+	tmp := make([]byte, len(data))
+	for k := 1; k < n; k <<= 1 {
+		if rel&k != 0 {
+			// Send partial to the sibling and leave.
+			dst := ((rel ^ k) + root) % n
+			return c.csend(dst, tagReduce, data)
+		}
+		srcRel := rel | k
+		if srcRel < n {
+			src := (srcRel + root) % n
+			if _, err := c.crecv(src, tagReduce, tmp); err != nil {
+				return err
+			}
+			op(data, tmp)
+		}
+	}
+	return nil
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast, as LAM implements
+// it.
+func (c *Comm) Allreduce(data []byte, op Op) error {
+	if err := c.Reduce(0, data, op); err != nil {
+		return err
+	}
+	return c.Bcast(0, data)
+}
+
+// Gather collects equal-size contributions into recv on root
+// (recv length = Size()*len(send)); recv may be nil elsewhere.
+func (c *Comm) Gather(root int, send []byte, recv []byte) error {
+	if c.Rank() != root {
+		return c.csend(root, tagGather, send)
+	}
+	m := len(send)
+	copy(recv[root*m:], send)
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		if _, err := c.crecv(r, tagGather, recv[r*m:(r+1)*m]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scatter distributes equal-size slices of send (on root) to every
+// process's recv.
+func (c *Comm) Scatter(root int, send []byte, recv []byte) error {
+	m := len(recv)
+	if c.Rank() != root {
+		_, err := c.crecv(root, tagScatter, recv)
+		return err
+	}
+	var reqs []*Request
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			copy(recv, send[r*m:(r+1)*m])
+			continue
+		}
+		req, err := c.cisend(r, tagScatter, send[r*m:(r+1)*m])
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	return c.pr.WaitAll(reqs...)
+}
+
+// Allgather concatenates everyone's equal-size contribution at every
+// process (gather at 0 + broadcast).
+func (c *Comm) Allgather(send []byte, recv []byte) error {
+	if err := c.Gather(0, send, recv); err != nil {
+		return err
+	}
+	return c.Bcast(0, recv)
+}
+
+// Alltoall sends the r-th equal-size slice of send to rank r and
+// receives into the r-th slice of recv, using a phased pairwise
+// exchange.
+func (c *Comm) Alltoall(send []byte, recv []byte) error {
+	n := c.Size()
+	m := len(send) / n
+	me := c.Rank()
+	copy(recv[me*m:(me+1)*m], send[me*m:(me+1)*m])
+	for phase := 1; phase < n; phase++ {
+		dst := (me + phase) % n
+		src := (me - phase + n) % n
+		if _, err := c.SendRecvColl(dst, send[dst*m:(dst+1)*m], src, recv[src*m:(src+1)*m]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Alltoallv is Alltoall with per-rank counts: sendCounts[r] bytes go to
+// rank r from offset sendOffs[r]; symmetric for receive.
+func (c *Comm) Alltoallv(send []byte, sendCounts, sendOffs []int, recv []byte, recvCounts, recvOffs []int) error {
+	n := c.Size()
+	me := c.Rank()
+	copy(recv[recvOffs[me]:recvOffs[me]+recvCounts[me]],
+		send[sendOffs[me]:sendOffs[me]+sendCounts[me]])
+	for phase := 1; phase < n; phase++ {
+		dst := (me + phase) % n
+		src := (me - phase + n) % n
+		sslice := send[sendOffs[dst] : sendOffs[dst]+sendCounts[dst]]
+		rslice := recv[recvOffs[src] : recvOffs[src]+recvCounts[src]]
+		if _, err := c.SendRecvColl(dst, sslice, src, rslice); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SendRecvColl is SendRecv on the collective context.
+func (c *Comm) SendRecvColl(dest int, sendData []byte, src int, recvBuf []byte) (Status, error) {
+	wd, err := c.worldOf(dest)
+	if err != nil {
+		return Status{}, err
+	}
+	ws, err := c.worldOf(src)
+	if err != nil {
+		return Status{}, err
+	}
+	sreq := c.pr.isend(wd, tagAlltoall, c.ctx+1, sendData, false)
+	rreq := c.pr.irecv(ws, tagAlltoall, c.ctx+1, recvBuf)
+	if _, err := c.pr.Wait(sreq); err != nil {
+		return Status{}, err
+	}
+	st, err := c.pr.Wait(rreq)
+	return c.fixStatus(st), err
+}
+
+// AllgatherI64 is a convenience Allgather over int64 slices (used by
+// Split and by benchmarks).
+func (c *Comm) AllgatherI64(send []int64, recv []int64) error {
+	sb := make([]byte, 8*len(send))
+	for i, v := range send {
+		binary.LittleEndian.PutUint64(sb[8*i:], uint64(v))
+	}
+	rb := make([]byte, 8*len(recv))
+	if err := c.Allgather(sb, rb); err != nil {
+		return err
+	}
+	for i := range recv {
+		recv[i] = int64(binary.LittleEndian.Uint64(rb[8*i:]))
+	}
+	return nil
+}
+
+// --- built-in reduction operators and codecs -------------------------
+
+// OpSumF64 adds float64 vectors element-wise.
+func OpSumF64(acc, src []byte) {
+	for i := 0; i+8 <= len(acc); i += 8 {
+		a := math.Float64frombits(binary.LittleEndian.Uint64(acc[i:]))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+		binary.LittleEndian.PutUint64(acc[i:], math.Float64bits(a+b))
+	}
+}
+
+// OpMaxF64 takes the element-wise maximum of float64 vectors.
+func OpMaxF64(acc, src []byte) {
+	for i := 0; i+8 <= len(acc); i += 8 {
+		a := math.Float64frombits(binary.LittleEndian.Uint64(acc[i:]))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+		if b > a {
+			binary.LittleEndian.PutUint64(acc[i:], math.Float64bits(b))
+		}
+	}
+}
+
+// OpSumI64 adds int64 vectors element-wise.
+func OpSumI64(acc, src []byte) {
+	for i := 0; i+8 <= len(acc); i += 8 {
+		a := int64(binary.LittleEndian.Uint64(acc[i:]))
+		b := int64(binary.LittleEndian.Uint64(src[i:]))
+		binary.LittleEndian.PutUint64(acc[i:], uint64(a+b))
+	}
+}
+
+// OpMaxI64 takes the element-wise maximum of int64 vectors.
+func OpMaxI64(acc, src []byte) {
+	for i := 0; i+8 <= len(acc); i += 8 {
+		a := int64(binary.LittleEndian.Uint64(acc[i:]))
+		b := int64(binary.LittleEndian.Uint64(src[i:]))
+		if b > a {
+			binary.LittleEndian.PutUint64(acc[i:], uint64(b))
+		}
+	}
+}
+
+// F64Bytes encodes a float64 slice (little endian).
+func F64Bytes(v []float64) []byte {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+	}
+	return b
+}
+
+// BytesF64 decodes into a float64 slice of len(b)/8.
+func BytesF64(b []byte) []float64 {
+	v := make([]float64, len(b)/8)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return v
+}
+
+// I64Bytes encodes an int64 slice (little endian).
+func I64Bytes(v []int64) []byte {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(x))
+	}
+	return b
+}
+
+// BytesI64 decodes into an int64 slice of len(b)/8.
+func BytesI64(b []byte) []int64 {
+	v := make([]int64, len(b)/8)
+	for i := range v {
+		v[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return v
+}
+
+var _ = rpi.KindShort // keep the import pinned for doc references

@@ -1,0 +1,254 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// These tests exercise the collective algorithms over the loopback
+// fabric (no transport), so failures point at the algorithms.
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		n := n
+		t.Run(fmt.Sprintf("procs%d", n), func(t *testing.T) {
+			run(t, n, func(pr *Process, comm *Comm) error {
+				for root := 0; root < n; root++ {
+					data := make([]byte, 333)
+					if comm.Rank() == root {
+						for i := range data {
+							data[i] = byte(i + root)
+						}
+					}
+					if err := comm.Bcast(root, data); err != nil {
+						return err
+					}
+					for i := range data {
+						if data[i] != byte(i+root) {
+							return fmt.Errorf("root %d corrupt at %d", root, i)
+						}
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestReduceAllRoots(t *testing.T) {
+	const n = 7 // non-power-of-two exercises the binomial edge cases
+	run(t, n, func(pr *Process, comm *Comm) error {
+		for root := 0; root < n; root++ {
+			v := mpi64(float64(comm.Rank()) * 2)
+			if err := comm.Reduce(root, v, OpSumF64); err != nil {
+				return err
+			}
+			if comm.Rank() == root {
+				want := float64(n * (n - 1)) // 2 * sum(0..n-1)
+				if got := BytesF64(v)[0]; got != want {
+					return fmt.Errorf("root %d: reduce = %v want %v", root, got, want)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func mpi64(v float64) []byte { return F64Bytes([]float64{v}) }
+
+func TestAllreduceOps(t *testing.T) {
+	run(t, 6, func(pr *Process, comm *Comm) error {
+		me := int64(comm.Rank())
+		n := int64(comm.Size())
+
+		sum := I64Bytes([]int64{me, me * me})
+		if err := comm.Allreduce(sum, OpSumI64); err != nil {
+			return err
+		}
+		got := BytesI64(sum)
+		if got[0] != n*(n-1)/2 {
+			return fmt.Errorf("sum = %v", got)
+		}
+
+		max := I64Bytes([]int64{-me})
+		if err := comm.Allreduce(max, OpMaxI64); err != nil {
+			return err
+		}
+		if BytesI64(max)[0] != 0 {
+			return fmt.Errorf("max = %v", BytesI64(max))
+		}
+
+		fmax := F64Bytes([]float64{float64(me) / 2})
+		if err := comm.Allreduce(fmax, OpMaxF64); err != nil {
+			return err
+		}
+		if BytesF64(fmax)[0] != float64(n-1)/2 {
+			return fmt.Errorf("fmax = %v", BytesF64(fmax))
+		}
+		return nil
+	})
+}
+
+func TestGathervScatterv(t *testing.T) {
+	const n = 5
+	run(t, n, func(pr *Process, comm *Comm) error {
+		me := comm.Rank()
+		// Rank r contributes r+1 bytes.
+		counts := make([]int, n)
+		offs := make([]int, n)
+		total := 0
+		for r := 0; r < n; r++ {
+			counts[r] = r + 1
+			offs[r] = total
+			total += counts[r]
+		}
+		send := make([]byte, counts[me])
+		for i := range send {
+			send[i] = byte(me*16 + i)
+		}
+		var recv []byte
+		if me == 2 {
+			recv = make([]byte, total)
+		}
+		if err := comm.Gatherv(2, send, recv, counts, offs); err != nil {
+			return err
+		}
+		if me == 2 {
+			for r := 0; r < n; r++ {
+				for i := 0; i < counts[r]; i++ {
+					if recv[offs[r]+i] != byte(r*16+i) {
+						return fmt.Errorf("gatherv rank %d byte %d wrong", r, i)
+					}
+				}
+			}
+		}
+		// Scatter it back out and verify round trip.
+		back := make([]byte, counts[me])
+		if err := comm.Scatterv(2, recv, back, counts, offs); err != nil {
+			return err
+		}
+		if !bytes.Equal(back, send) {
+			return fmt.Errorf("scatterv round trip: %v != %v", back, send)
+		}
+		return nil
+	})
+}
+
+func TestAllgatherv(t *testing.T) {
+	const n = 4
+	run(t, n, func(pr *Process, comm *Comm) error {
+		me := comm.Rank()
+		counts := []int{3, 1, 4, 1}
+		offs := []int{0, 3, 4, 8}
+		send := make([]byte, counts[me])
+		for i := range send {
+			send[i] = byte(me + 100)
+		}
+		recv := make([]byte, 9)
+		if err := comm.Allgatherv(send, recv, counts, offs); err != nil {
+			return err
+		}
+		for r := 0; r < n; r++ {
+			for i := 0; i < counts[r]; i++ {
+				if recv[offs[r]+i] != byte(r+100) {
+					return fmt.Errorf("allgatherv rank %d wrong", r)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestReduceScatter(t *testing.T) {
+	const n = 4
+	run(t, n, func(pr *Process, comm *Comm) error {
+		me := comm.Rank()
+		// Each rank contributes the vector [me, me, me, me] (one int64
+		// per destination rank).
+		data := I64Bytes([]int64{int64(me), int64(me), int64(me), int64(me)})
+		block := make([]byte, 8)
+		if err := comm.ReduceScatter(data, block, OpSumI64); err != nil {
+			return err
+		}
+		want := int64(n * (n - 1) / 2)
+		if got := BytesI64(block)[0]; got != want {
+			return fmt.Errorf("rank %d reduce-scatter = %d want %d", me, got, want)
+		}
+		return nil
+	})
+}
+
+func TestScanAndExscan(t *testing.T) {
+	const n = 6
+	run(t, n, func(pr *Process, comm *Comm) error {
+		me := comm.Rank()
+		v := I64Bytes([]int64{int64(me + 1)})
+		if err := comm.Scan(v, OpSumI64); err != nil {
+			return err
+		}
+		want := int64((me + 1) * (me + 2) / 2) // 1+2+...+(me+1)
+		if got := BytesI64(v)[0]; got != want {
+			return fmt.Errorf("scan rank %d = %d want %d", me, got, want)
+		}
+
+		e := I64Bytes([]int64{int64(me + 1)})
+		if err := comm.Exscan(e, OpSumI64); err != nil {
+			return err
+		}
+		if me > 0 {
+			wantE := int64(me * (me + 1) / 2) // 1+...+me
+			if got := BytesI64(e)[0]; got != wantE {
+				return fmt.Errorf("exscan rank %d = %d want %d", me, got, wantE)
+			}
+		}
+		return nil
+	})
+}
+
+func TestAlltoallLoopback(t *testing.T) {
+	for _, n := range []int{2, 3, 8} {
+		n := n
+		t.Run(fmt.Sprintf("procs%d", n), func(t *testing.T) {
+			run(t, n, func(pr *Process, comm *Comm) error {
+				me := comm.Rank()
+				snd := make([]byte, n*2)
+				for r := 0; r < n; r++ {
+					snd[2*r] = byte(me)
+					snd[2*r+1] = byte(r)
+				}
+				rcv := make([]byte, n*2)
+				if err := comm.Alltoall(snd, rcv); err != nil {
+					return err
+				}
+				for r := 0; r < n; r++ {
+					if rcv[2*r] != byte(r) || rcv[2*r+1] != byte(me) {
+						return fmt.Errorf("alltoall slot %d = %v", r, rcv[2*r:2*r+2])
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	run(t, 5, func(pr *Process, comm *Comm) error {
+		// Stagger arrival; everyone must leave at (or after) the
+		// latest arrival.
+		me := comm.Rank()
+		pr.P.Sleep(sleepFor(me))
+		if err := comm.Barrier(); err != nil {
+			return err
+		}
+		if pr.P.Now() < sleepFor(4) {
+			return fmt.Errorf("rank %d left the barrier at %v, before the last arrival", me, pr.P.Now())
+		}
+		return nil
+	})
+}
+
+func sleepFor(rank int) time.Duration {
+	return time.Duration(rank+1) * 50 * time.Millisecond
+}

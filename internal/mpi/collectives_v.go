@@ -1,0 +1,131 @@
+package mpi
+
+// Variable-count collectives and scan/reduce-scatter, completing the
+// LAM collective set the middleware exposes. All are built on
+// point-to-point on the collective context, like the fixed-size ones.
+
+// Internal tags for the variable collectives.
+const (
+	tagGatherv  = 8
+	tagScatterv = 9
+	tagScan     = 10
+	tagRedScat  = 11
+)
+
+// Gatherv collects variable-size contributions: rank r's send (of
+// counts[r] bytes) lands at recv[offs[r]] on root. counts and offs must
+// be identical at every rank; recv may be nil on non-roots.
+func (c *Comm) Gatherv(root int, send []byte, recv []byte, counts, offs []int) error {
+	me := c.Rank()
+	if len(send) != counts[me] {
+		return ErrRank
+	}
+	if me != root {
+		return c.csend(root, tagGatherv, send)
+	}
+	copy(recv[offs[root]:offs[root]+counts[root]], send)
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		if _, err := c.crecv(r, tagGatherv, recv[offs[r]:offs[r]+counts[r]]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scatterv distributes variable-size slices: rank r receives counts[r]
+// bytes from send[offs[r]] on root.
+func (c *Comm) Scatterv(root int, send []byte, recv []byte, counts, offs []int) error {
+	me := c.Rank()
+	if me != root {
+		_, err := c.crecv(root, tagScatterv, recv[:counts[me]])
+		return err
+	}
+	var reqs []*Request
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			copy(recv[:counts[r]], send[offs[r]:offs[r]+counts[r]])
+			continue
+		}
+		req, err := c.cisend(r, tagScatterv, send[offs[r]:offs[r]+counts[r]])
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	return c.pr.WaitAll(reqs...)
+}
+
+// Allgatherv is Gatherv to rank 0 followed by a broadcast of the full
+// buffer.
+func (c *Comm) Allgatherv(send []byte, recv []byte, counts, offs []int) error {
+	if err := c.Gatherv(0, send, recv, counts, offs); err != nil {
+		return err
+	}
+	return c.Bcast(0, recv)
+}
+
+// ReduceScatter reduces data element-wise across all ranks, then
+// scatters equal blocks of the result: each rank ends with its own
+// block (len(data)/Size() bytes) in block. Implemented as Reduce to 0 +
+// Scatter, as LAM's basic algorithm does.
+func (c *Comm) ReduceScatter(data []byte, block []byte, op Op) error {
+	if err := c.Reduce(0, data, op); err != nil {
+		return err
+	}
+	var full []byte
+	if c.Rank() == 0 {
+		full = data
+	}
+	return c.Scatter(0, full, block)
+}
+
+// Scan computes the inclusive prefix reduction: rank r's data becomes
+// op-fold of ranks 0..r. Linear pipeline, as in LAM.
+func (c *Comm) Scan(data []byte, op Op) error {
+	me := c.Rank()
+	if me > 0 {
+		prev := make([]byte, len(data))
+		if _, err := c.crecv(me-1, tagScan, prev); err != nil {
+			return err
+		}
+		// data = prev op data (commutative ops make the order moot;
+		// for non-commutative ops fold the lower ranks in first).
+		op(prev, data)
+		copy(data, prev)
+	}
+	if me < c.Size()-1 {
+		return c.csend(me+1, tagScan, data)
+	}
+	return nil
+}
+
+// Exscan computes the exclusive prefix reduction: rank r receives the
+// fold of ranks 0..r-1; rank 0's buffer is left untouched.
+func (c *Comm) Exscan(data []byte, op Op) error {
+	me := c.Rank()
+	mine := append([]byte(nil), data...)
+	var incoming []byte
+	if me > 0 {
+		incoming = make([]byte, len(data))
+		if _, err := c.crecv(me-1, tagScan, incoming); err != nil {
+			return err
+		}
+	}
+	if me < c.Size()-1 {
+		out := mine
+		if me > 0 {
+			out = append([]byte(nil), incoming...)
+			op(out, mine)
+		}
+		if err := c.csend(me+1, tagScan, out); err != nil {
+			return err
+		}
+	}
+	if me > 0 {
+		copy(data, incoming)
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package rpi
+
+import "repro/internal/sim"
+
+// Barrier is a reusable n-party rendezvous used during RPI setup (the
+// out-of-band role LAM's daemons play during MPI_Init: every process
+// must have its listener up before anyone connects, and every
+// connection must exist before anyone sends MPI traffic).
+type Barrier struct {
+	n       int
+	arrived int
+	gen     int
+	cond    *sim.Cond
+}
+
+// NewBarrier returns a barrier for n parties.
+func NewBarrier(k *sim.Kernel, n int) *Barrier {
+	return &Barrier{n: n, cond: sim.NewCond(k)}
+}
+
+// Arrive blocks p until all n parties have arrived; the barrier then
+// resets for reuse.
+func (b *Barrier) Arrive(p *sim.Proc) {
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for b.gen == gen {
+		b.cond.Wait(p)
+	}
+}

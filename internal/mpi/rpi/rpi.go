@@ -1,0 +1,160 @@
+// Package rpi defines the contract between the MPI middleware and its
+// request-progression-interface (RPI) modules, mirroring LAM's RPI
+// layer: the middleware posts sends and progresses requests; the RPI
+// moves envelopes and bodies over a transport and delivers inbound
+// traffic back to the middleware.
+package rpi
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Kind enumerates middleware message kinds carried in envelope flags
+// (the LAM envelope "flags" field, §2.2.2 of the paper).
+type Kind uint8
+
+// Envelope kinds.
+const (
+	KindShort    Kind = iota // eager short message: body follows
+	KindSync                 // eager synchronous short: body follows, ACK expected
+	KindSyncAck              // completes a synchronous send
+	KindLongReq              // rendezvous request: no body, Length = full size
+	KindLongAck              // receiver ready: sender may transmit the body
+	KindLongBody             // rendezvous body: body follows
+	KindHello                // RPI-internal: connection setup barrier
+)
+
+// HasBody reports whether a message of this kind carries a body on the
+// wire. KindLongReq advertises its Length for matching, but the body
+// only travels later as KindLongBody.
+func (k Kind) HasBody() bool {
+	return k == KindShort || k == KindSync || k == KindLongBody
+}
+
+func (k Kind) String() string {
+	switch k {
+	case KindShort:
+		return "short"
+	case KindSync:
+		return "sync"
+	case KindSyncAck:
+		return "syncack"
+	case KindLongReq:
+		return "longreq"
+	case KindLongAck:
+		return "longack"
+	case KindLongBody:
+		return "longbody"
+	case KindHello:
+		return "hello"
+	}
+	return "?"
+}
+
+// Envelope precedes every message body (Figure 2 of the paper). Rank is
+// always a world rank; communicator rank translation happens in the
+// middleware.
+type Envelope struct {
+	Length  int    // body length in bytes
+	Tag     int32  // message tag
+	Context int32  // communicator context id
+	Rank    int32  // world rank of the sender
+	Kind    Kind   // message kind (LAM's flags field)
+	Seq     uint64 // sender-local sequence number; ACKs echo it
+}
+
+// EnvelopeSize is the fixed wire size of an encoded envelope.
+const EnvelopeSize = 32
+
+// Encode serializes the envelope.
+func (e *Envelope) Encode() []byte {
+	w := wire.NewWriter(EnvelopeSize)
+	w.U32(uint32(e.Length))
+	w.U32(uint32(e.Tag))
+	w.U32(uint32(e.Context))
+	w.U32(uint32(e.Rank))
+	w.U32(uint32(e.Kind))
+	w.U64(e.Seq)
+	w.Pad(EnvelopeSize)
+	return w.B
+}
+
+// DecodeEnvelope parses an envelope from b.
+func DecodeEnvelope(b []byte) (Envelope, error) {
+	r := wire.NewReader(b)
+	var e Envelope
+	e.Length = int(int32(r.U32()))
+	e.Tag = int32(r.U32())
+	e.Context = int32(r.U32())
+	e.Rank = int32(r.U32())
+	e.Kind = Kind(r.U32())
+	e.Seq = r.U64()
+	return e, r.Err()
+}
+
+// Delivery receives a complete inbound message (envelope plus body; the
+// body is nil for bodiless kinds). The callee must not retain body.
+type Delivery func(env Envelope, body []byte)
+
+// RPI is a request progression module. All methods are called from the
+// owning process's simulation context; implementations need no locking.
+type RPI interface {
+	// Init establishes transport connectivity with every other process
+	// and returns once the module is ready to carry messages (for the
+	// SCTP module this includes the paper's post-setup barrier).
+	Init(p *sim.Proc) error
+
+	// SetDelivery installs the middleware's inbound handler. Must be
+	// called before Init.
+	SetDelivery(d Delivery)
+
+	// Send queues one message to the destination world rank. onQueued,
+	// if non-nil, runs when the message has been fully handed to the
+	// transport (the completion point for buffered eager sends).
+	Send(dest int, env Envelope, body []byte, onQueued func())
+
+	// Advance progresses outstanding transport work, invoking the
+	// delivery callback for anything that arrived. With block set it
+	// parks the process until there is at least potential progress.
+	Advance(p *sim.Proc, block bool)
+
+	// Finalize flushes and tears down transport state.
+	Finalize(p *sim.Proc)
+
+	// Counters exposes per-module statistics for reports and tests.
+	Counters() map[string]int64
+}
+
+// CostModel charges virtual CPU time for middleware/transport API work.
+// This is how the reproduction expresses the stack-efficiency asymmetry
+// the paper measured on real hardware (TCP's kernel maturity and
+// checksum offload versus SCTP's per-message processing; the TCP
+// module's select() and byte-stream framing scan versus one-to-many
+// sctp_recvmsg).
+type CostModel struct {
+	SendPerMsg time.Duration // per message handed to the transport
+	RecvPerMsg time.Duration // per message delivered up
+	SendPerKB  time.Duration // per 1024 body bytes sent
+	RecvPerKB  time.Duration // per 1024 body bytes received
+	PollBase   time.Duration // per Advance poll pass (select/recvmsg syscall)
+	PollPerFD  time.Duration // additional per polled descriptor (select scan)
+}
+
+// SendCost returns the virtual CPU cost of sending n body bytes.
+func (c CostModel) SendCost(n int) time.Duration {
+	return c.SendPerMsg + c.SendPerKB*time.Duration(n)/1024
+}
+
+// RecvCost returns the virtual CPU cost of receiving n body bytes.
+func (c CostModel) RecvCost(n int) time.Duration {
+	return c.RecvPerMsg + c.RecvPerKB*time.Duration(n)/1024
+}
+
+// PollCost returns the virtual CPU cost of one poll over nfds
+// descriptors.
+func (c CostModel) PollCost(nfds int) time.Duration {
+	return c.PollBase + c.PollPerFD*time.Duration(nfds)
+}

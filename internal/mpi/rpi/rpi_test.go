@@ -1,0 +1,136 @@
+package rpi
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	in := Envelope{
+		Length:  300 << 10,
+		Tag:     -42,
+		Context: 7,
+		Rank:    3,
+		Kind:    KindLongReq,
+		Seq:     0xdeadbeefcafe,
+	}
+	b := in.Encode()
+	if len(b) != EnvelopeSize {
+		t.Fatalf("encoded size %d, want %d", len(b), EnvelopeSize)
+	}
+	out, err := DecodeEnvelope(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestEnvelopeQuickRoundTrip(t *testing.T) {
+	f := func(length int32, tag, ctx, rank int32, kind uint8, seq uint64) bool {
+		in := Envelope{
+			Length:  int(length),
+			Tag:     tag,
+			Context: ctx,
+			Rank:    rank,
+			Kind:    Kind(kind % 7),
+			Seq:     seq,
+		}
+		out, err := DecodeEnvelope(in.Encode())
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeShort(t *testing.T) {
+	if _, err := DecodeEnvelope([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short envelope accepted")
+	}
+}
+
+func TestKindHasBody(t *testing.T) {
+	withBody := map[Kind]bool{
+		KindShort: true, KindSync: true, KindLongBody: true,
+		KindSyncAck: false, KindLongReq: false, KindLongAck: false, KindHello: false,
+	}
+	for k, want := range withBody {
+		if k.HasBody() != want {
+			t.Errorf("%v.HasBody() = %v, want %v", k, k.HasBody(), want)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindShort; k <= KindHello; k++ {
+		if k.String() == "?" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(250).String() != "?" {
+		t.Error("unknown kind should stringify as ?")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	k := sim.New(1)
+	b := NewBarrier(k, 3)
+	var releases []time.Duration
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn("p", func(p *sim.Proc) {
+			p.Sleep(time.Duration(i+1) * time.Second)
+			b.Arrive(p)
+			releases = append(releases, p.Now())
+			// Reuse: second round.
+			p.Sleep(time.Duration(3-i) * time.Second)
+			b.Arrive(p)
+			releases = append(releases, p.Now())
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(releases) != 6 {
+		t.Fatalf("%d releases", len(releases))
+	}
+	for i := 0; i < 3; i++ {
+		if releases[i] != 3*time.Second {
+			t.Errorf("round 1 release %d at %v, want 3s", i, releases[i])
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if releases[i] != 6*time.Second {
+			t.Errorf("round 2 release %d at %v, want 6s", i, releases[i])
+		}
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	c := CostModel{
+		SendPerMsg: time.Microsecond,
+		SendPerKB:  time.Microsecond,
+		RecvPerMsg: 2 * time.Microsecond,
+		RecvPerKB:  500 * time.Nanosecond,
+		PollBase:   time.Microsecond,
+		PollPerFD:  100 * time.Nanosecond,
+	}
+	if got := c.SendCost(2048); got != 3*time.Microsecond {
+		t.Errorf("SendCost(2048) = %v", got)
+	}
+	if got := c.RecvCost(0); got != 2*time.Microsecond {
+		t.Errorf("RecvCost(0) = %v", got)
+	}
+	if got := c.PollCost(7); got != time.Microsecond+700*time.Nanosecond {
+		t.Errorf("PollCost(7) = %v", got)
+	}
+	var zero CostModel
+	if zero.SendCost(1<<20) != 0 || zero.PollCost(100) != 0 {
+		t.Error("zero cost model should charge nothing")
+	}
+}

@@ -1,0 +1,401 @@
+// Package netsim simulates an IP network: nodes with (possibly several)
+// interfaces, connected by point-to-point pipes with propagation delay,
+// serialization at a configured bandwidth, drop-tail queueing, and
+// Bernoulli packet loss. The loss model is the Dummynet configuration
+// the paper used on its FreeBSD cluster.
+//
+// The topology is a full mesh of unidirectional pipes created lazily per
+// (source interface, destination interface) pair; a LinkParams override
+// may be installed per pair, per subnet, or globally. Multihoming is
+// modeled by giving a node one interface per subnet.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Protocol numbers used by the stacks in this repository.
+const (
+	ProtoTCP  = 6
+	ProtoSCTP = 132
+)
+
+// IPHeaderSize is the overhead charged per packet on the wire.
+const IPHeaderSize = 20
+
+// Addr is an IPv4-style address.
+type Addr uint32
+
+// MakeAddr builds the address 10.subnet.0.host.
+func MakeAddr(subnet, host int) Addr {
+	return Addr(10<<24 | uint32(subnet&0xff)<<16 | uint32(host&0xff))
+}
+
+// Subnet returns the subnet component of an address built by MakeAddr.
+func (a Addr) Subnet() int { return int(a >> 16 & 0xff) }
+
+// String renders the address in dotted-quad form.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a>>24&0xff, a>>16&0xff, a>>8&0xff, a&0xff)
+}
+
+// Packet is an IP datagram in flight.
+type Packet struct {
+	Src, Dst Addr
+	Proto    uint8
+	Payload  []byte
+}
+
+// WireSize returns the on-the-wire size of the packet including the IP
+// header.
+func (p *Packet) WireSize() int { return len(p.Payload) + IPHeaderSize }
+
+// LinkParams describes one direction of a link.
+type LinkParams struct {
+	Delay      time.Duration // one-way propagation delay
+	Bandwidth  int64         // bits per second; 0 means infinite
+	LossRate   float64       // Bernoulli drop probability in [0,1)
+	DupRate    float64       // Bernoulli duplication probability (Dummynet supports this too)
+	Jitter     time.Duration // uniform extra delay in [0, Jitter); causes reordering
+	QueueBytes int           // drop-tail queue bound; 0 means unbounded
+	MTU        int           // maximum packet payload size; 0 means 1500
+}
+
+// DefaultLinkParams matches the paper's testbed: 1 Gb/s Ethernet through
+// a layer-two switch, LAN-scale latency, no loss.
+func DefaultLinkParams() LinkParams {
+	return LinkParams{
+		Delay:      50 * time.Microsecond,
+		Bandwidth:  1e9,
+		LossRate:   0,
+		QueueBytes: 256 << 10,
+		MTU:        1500,
+	}
+}
+
+func (lp LinkParams) mtu() int {
+	if lp.MTU <= 0 {
+		return 1500
+	}
+	return lp.MTU
+}
+
+// Stats counts network-wide events.
+type Stats struct {
+	PacketsSent    int64
+	PacketsLost    int64 // Bernoulli loss
+	PacketsDuped   int64 // Bernoulli duplication
+	PacketsQueued  int64 // dropped by drop-tail queue
+	PacketsDown    int64 // dropped because an interface was down
+	PacketsNoRoute int64
+	BytesSent      int64
+}
+
+// Network is the simulated internetwork.
+type Network struct {
+	K       *sim.Kernel
+	def     LinkParams
+	nodes   []*Node
+	routes  map[Addr]*Iface
+	pipes   map[pipeKey]*Pipe
+	perPair map[pipeKey]LinkParams
+	Stats   Stats
+	Trace   func(ev string, pkt *Packet)
+}
+
+type pipeKey struct{ src, dst Addr }
+
+// NewNetwork returns an empty network scheduled on k.
+func NewNetwork(k *sim.Kernel) *Network {
+	return &Network{
+		K:       k,
+		def:     DefaultLinkParams(),
+		routes:  make(map[Addr]*Iface),
+		pipes:   make(map[pipeKey]*Pipe),
+		perPair: make(map[pipeKey]LinkParams),
+	}
+}
+
+// SetDefaultLinkParams replaces the parameters used for pipes without a
+// per-pair override. Existing pipes created from the defaults are
+// updated in place.
+func (n *Network) SetDefaultLinkParams(lp LinkParams) {
+	n.def = lp
+	for key, p := range n.pipes {
+		if _, over := n.perPair[key]; !over {
+			p.params = lp
+		}
+	}
+}
+
+// DefaultLinkParamsValue returns the current defaults.
+func (n *Network) DefaultLinkParamsValue() LinkParams { return n.def }
+
+// SetLoss sets the Bernoulli loss rate on every pipe, existing and
+// future, mirroring a cluster-wide Dummynet plr setting.
+func (n *Network) SetLoss(rate float64) {
+	n.def.LossRate = rate
+	for key := range n.perPair {
+		lp := n.perPair[key]
+		lp.LossRate = rate
+		n.perPair[key] = lp
+	}
+	for _, p := range n.pipes {
+		p.params.LossRate = rate
+	}
+}
+
+// SetLinkParamsBetween installs a per-pair override for packets from src
+// to dst (one direction).
+func (n *Network) SetLinkParamsBetween(src, dst Addr, lp LinkParams) {
+	key := pipeKey{src, dst}
+	n.perPair[key] = lp
+	if p, ok := n.pipes[key]; ok {
+		p.params = lp
+	}
+}
+
+// NewNode adds a node named name.
+func (n *Network) NewNode(name string) *Node {
+	node := &Node{net: n, name: name, protos: make(map[uint8]Handler)}
+	n.nodes = append(n.nodes, node)
+	return node
+}
+
+// Nodes returns all nodes in creation order.
+func (n *Network) Nodes() []*Node { return n.nodes }
+
+// Lookup returns the interface owning addr, or nil.
+func (n *Network) Lookup(addr Addr) *Iface { return n.routes[addr] }
+
+// SetIfaceDown marks the interface with the given address down (or up).
+// Packets to or from a down interface are silently dropped, as with an
+// unplugged cable.
+func (n *Network) SetIfaceDown(addr Addr, down bool) {
+	if ifc := n.routes[addr]; ifc != nil {
+		ifc.down = down
+	}
+}
+
+// SetSubnetDown marks every interface on the subnet down (or up),
+// simulating the failure of one of the independent networks in the
+// paper's multihoming setup.
+func (n *Network) SetSubnetDown(subnet int, down bool) {
+	for addr, ifc := range n.routes {
+		if addr.Subnet() == subnet {
+			ifc.down = down
+		}
+	}
+}
+
+func (n *Network) pipe(src, dst Addr) *Pipe {
+	key := pipeKey{src, dst}
+	if p, ok := n.pipes[key]; ok {
+		return p
+	}
+	lp, ok := n.perPair[key]
+	if !ok {
+		lp = n.def
+	}
+	p := &Pipe{params: lp}
+	n.pipes[key] = p
+	return p
+}
+
+// send routes a packet from the source interface to its destination.
+func (n *Network) send(src *Iface, pkt *Packet) {
+	n.Stats.PacketsSent++
+	n.Stats.BytesSent += int64(pkt.WireSize())
+	if n.Trace != nil {
+		n.Trace("send", pkt)
+	}
+	dst := n.routes[pkt.Dst]
+	if dst == nil {
+		n.Stats.PacketsNoRoute++
+		return
+	}
+	if src.down || dst.down {
+		n.Stats.PacketsDown++
+		if n.Trace != nil {
+			n.Trace("drop-down", pkt)
+		}
+		return
+	}
+	p := n.pipe(pkt.Src, pkt.Dst)
+	now := n.K.Now()
+	txTime := time.Duration(0)
+	if p.params.Bandwidth > 0 {
+		txTime = time.Duration(int64(pkt.WireSize()) * 8 * int64(time.Second) / p.params.Bandwidth)
+	}
+	start := now
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	if p.params.QueueBytes > 0 && p.params.Bandwidth > 0 {
+		backlogBytes := int64(p.busyUntil-now) * p.params.Bandwidth / (8 * int64(time.Second))
+		if backlogBytes > int64(p.params.QueueBytes) {
+			n.Stats.PacketsQueued++
+			p.QueueDrops++
+			if n.Trace != nil {
+				n.Trace("drop-queue", pkt)
+			}
+			return
+		}
+	}
+	p.busyUntil = start + txTime
+	if p.params.LossRate > 0 && n.K.Rand().Float64() < p.params.LossRate {
+		n.Stats.PacketsLost++
+		p.LossDrops++
+		if n.Trace != nil {
+			n.Trace("drop-loss", pkt)
+		}
+		return
+	}
+	copies := 1
+	if p.params.DupRate > 0 && n.K.Rand().Float64() < p.params.DupRate {
+		copies = 2
+		n.Stats.PacketsDuped++
+	}
+	for i := 0; i < copies; i++ {
+		arrive := p.busyUntil - now + p.params.Delay
+		if p.params.Jitter > 0 {
+			arrive += time.Duration(n.K.Rand().Int63n(int64(p.params.Jitter)))
+		}
+		n.K.After(arrive, func() {
+			if dst.down {
+				n.Stats.PacketsDown++
+				return
+			}
+			if n.Trace != nil {
+				n.Trace("recv", pkt)
+			}
+			dst.node.deliver(pkt, dst)
+		})
+	}
+}
+
+// Pipe is one direction of a link between two interfaces.
+type Pipe struct {
+	params     LinkParams
+	busyUntil  time.Duration
+	LossDrops  int64
+	QueueDrops int64
+}
+
+// Handler receives packets demultiplexed to a protocol on a node.
+type Handler func(pkt *Packet, ifc *Iface)
+
+// Node is a host with one or more interfaces.
+type Node struct {
+	net    *Network
+	name   string
+	ifaces []*Iface
+	protos map[uint8]Handler
+}
+
+// Name returns the node name.
+func (nd *Node) Name() string { return nd.name }
+
+// Network returns the owning network.
+func (nd *Node) Network() *Network { return nd.net }
+
+// Kernel returns the simulation kernel.
+func (nd *Node) Kernel() *sim.Kernel { return nd.net.K }
+
+// AddInterface attaches an interface with the given address.
+func (nd *Node) AddInterface(addr Addr) *Iface {
+	if nd.net.routes[addr] != nil {
+		panic("netsim: duplicate address " + addr.String())
+	}
+	ifc := &Iface{node: nd, addr: addr}
+	nd.ifaces = append(nd.ifaces, ifc)
+	nd.net.routes[addr] = ifc
+	return ifc
+}
+
+// Interfaces returns the node's interfaces in creation order.
+func (nd *Node) Interfaces() []*Iface { return nd.ifaces }
+
+// Addrs returns the addresses of all the node's interfaces.
+func (nd *Node) Addrs() []Addr {
+	out := make([]Addr, len(nd.ifaces))
+	for i, ifc := range nd.ifaces {
+		out[i] = ifc.addr
+	}
+	return out
+}
+
+// Addr returns the node's primary (first) address.
+func (nd *Node) Addr() Addr { return nd.ifaces[0].addr }
+
+// Handle registers the handler for an IP protocol number.
+func (nd *Node) Handle(proto uint8, h Handler) { nd.protos[proto] = h }
+
+// Owns reports whether addr belongs to one of the node's interfaces.
+func (nd *Node) Owns(addr Addr) bool {
+	for _, ifc := range nd.ifaces {
+		if ifc.addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// MTU returns the payload MTU for packets sent from src to dst.
+func (nd *Node) MTU(src, dst Addr) int {
+	return nd.net.pipe(src, dst).params.mtu()
+}
+
+// Send transmits a packet whose Src must be one of the node's interface
+// addresses.
+func (nd *Node) Send(pkt *Packet) {
+	for _, ifc := range nd.ifaces {
+		if ifc.addr == pkt.Src {
+			nd.net.send(ifc, pkt)
+			return
+		}
+	}
+	panic(fmt.Sprintf("netsim: node %s sending from foreign address %s", nd.name, pkt.Src))
+}
+
+func (nd *Node) deliver(pkt *Packet, ifc *Iface) {
+	if h := nd.protos[pkt.Proto]; h != nil {
+		h(pkt, ifc)
+	}
+}
+
+// Iface is a network interface bound to one address.
+type Iface struct {
+	node *Node
+	addr Addr
+	down bool
+}
+
+// Addr returns the interface address.
+func (i *Iface) Addr() Addr { return i.addr }
+
+// Node returns the owning node.
+func (i *Iface) Node() *Node { return i.node }
+
+// Down reports whether the interface is administratively down.
+func (i *Iface) Down() bool { return i.down }
+
+// Cluster builds the paper's testbed: n nodes, each with ifacesPerNode
+// interfaces on distinct subnets (three in the paper), full-mesh
+// connectivity with the given default link parameters.
+func Cluster(k *sim.Kernel, n, ifacesPerNode int, lp LinkParams) (*Network, []*Node) {
+	net := NewNetwork(k)
+	net.SetDefaultLinkParams(lp)
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nd := net.NewNode(fmt.Sprintf("n%d", i))
+		for s := 0; s < ifacesPerNode; s++ {
+			nd.AddInterface(MakeAddr(s, i+1))
+		}
+		nodes[i] = nd
+	}
+	return net, nodes
+}

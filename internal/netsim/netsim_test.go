@@ -1,0 +1,204 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func twoNodes(seed int64, lp LinkParams) (*sim.Kernel, *Network, *Node, *Node) {
+	k := sim.New(seed)
+	net := NewNetwork(k)
+	net.SetDefaultLinkParams(lp)
+	a := net.NewNode("a")
+	a.AddInterface(MakeAddr(0, 1))
+	b := net.NewNode("b")
+	b.AddInterface(MakeAddr(0, 2))
+	return k, net, a, b
+}
+
+func TestAddrString(t *testing.T) {
+	a := MakeAddr(2, 7)
+	if a.String() != "10.2.0.7" {
+		t.Fatalf("addr = %s", a)
+	}
+	if a.Subnet() != 2 {
+		t.Fatalf("subnet = %d", a.Subnet())
+	}
+}
+
+func TestDeliveryLatency(t *testing.T) {
+	lp := LinkParams{Delay: time.Millisecond, Bandwidth: 8000} // 1000 bytes/s
+	k, _, a, b := twoNodes(1, lp)
+	var arrived time.Duration
+	b.Handle(99, func(pkt *Packet, ifc *Iface) { arrived = k.Now() })
+	payload := make([]byte, 80) // 100 bytes on wire = 100ms serialization
+	a.Send(&Packet{Src: a.Addr(), Dst: b.Addr(), Proto: 99, Payload: payload})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 100*time.Millisecond + time.Millisecond
+	if arrived != want {
+		t.Fatalf("arrived at %v, want %v", arrived, want)
+	}
+}
+
+func TestSerializationQueuing(t *testing.T) {
+	lp := LinkParams{Delay: 0, Bandwidth: 8000, QueueBytes: 1 << 20}
+	k, _, a, b := twoNodes(1, lp)
+	var times []time.Duration
+	b.Handle(99, func(pkt *Packet, ifc *Iface) { times = append(times, k.Now()) })
+	for i := 0; i < 3; i++ {
+		a.Send(&Packet{Src: a.Addr(), Dst: b.Addr(), Proto: 99, Payload: make([]byte, 80)})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 3 {
+		t.Fatalf("delivered %d", len(times))
+	}
+	// Back-to-back packets serialize at 100ms each.
+	for i, want := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond} {
+		if times[i] != want {
+			t.Fatalf("pkt %d at %v, want %v", i, times[i], want)
+		}
+	}
+}
+
+func TestBernoulliLoss(t *testing.T) {
+	lp := DefaultLinkParams()
+	lp.LossRate = 0.1
+	lp.Bandwidth = 0 // infinite, so the drop-tail queue never engages
+	k, net, a, b := twoNodes(7, lp)
+	got := 0
+	b.Handle(99, func(pkt *Packet, ifc *Iface) { got++ })
+	const n = 10000
+	for i := 0; i < n; i++ {
+		a.Send(&Packet{Src: a.Addr(), Dst: b.Addr(), Proto: 99, Payload: make([]byte, 100)})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	lost := n - got
+	if lost < 800 || lost > 1200 {
+		t.Fatalf("lost %d of %d at 10%% loss", lost, n)
+	}
+	if net.Stats.PacketsLost != int64(lost) {
+		t.Fatalf("stats.PacketsLost = %d, want %d", net.Stats.PacketsLost, lost)
+	}
+}
+
+func TestQueueDrop(t *testing.T) {
+	lp := LinkParams{Bandwidth: 8000, QueueBytes: 250} // ~2 packets of backlog
+	k, net, a, b := twoNodes(1, lp)
+	got := 0
+	b.Handle(99, func(pkt *Packet, ifc *Iface) { got++ })
+	for i := 0; i < 10; i++ {
+		a.Send(&Packet{Src: a.Addr(), Dst: b.Addr(), Proto: 99, Payload: make([]byte, 80)})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if net.Stats.PacketsQueued == 0 {
+		t.Fatal("no queue drops despite overload")
+	}
+	if got+int(net.Stats.PacketsQueued) != 10 {
+		t.Fatalf("got %d + dropped %d != 10", got, net.Stats.PacketsQueued)
+	}
+}
+
+func TestIfaceDown(t *testing.T) {
+	k, net, a, b := twoNodes(1, DefaultLinkParams())
+	got := 0
+	b.Handle(99, func(pkt *Packet, ifc *Iface) { got++ })
+	net.SetIfaceDown(b.Addr(), true)
+	a.Send(&Packet{Src: a.Addr(), Dst: b.Addr(), Proto: 99, Payload: []byte{1}})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatal("packet delivered to down interface")
+	}
+	net.SetIfaceDown(b.Addr(), false)
+	a.Send(&Packet{Src: a.Addr(), Dst: b.Addr(), Proto: 99, Payload: []byte{1}})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatal("packet not delivered after interface up")
+	}
+}
+
+func TestSubnetDownMultihomed(t *testing.T) {
+	k := sim.New(1)
+	net, nodes := Cluster(k, 2, 3, DefaultLinkParams())
+	a, b := nodes[0], nodes[1]
+	if len(b.Addrs()) != 3 {
+		t.Fatalf("expected 3 interfaces, got %d", len(b.Addrs()))
+	}
+	got := map[int]int{}
+	b.Handle(99, func(pkt *Packet, ifc *Iface) { got[ifc.Addr().Subnet()]++ })
+	net.SetSubnetDown(0, true)
+	for s := 0; s < 3; s++ {
+		a.Send(&Packet{Src: a.Addrs()[s], Dst: b.Addrs()[s], Proto: 99, Payload: []byte{1}})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("deliveries per subnet: %v", got)
+	}
+}
+
+func TestPerPairOverride(t *testing.T) {
+	k, net, a, b := twoNodes(1, DefaultLinkParams())
+	net.SetLinkParamsBetween(a.Addr(), b.Addr(), LinkParams{Delay: time.Second, Bandwidth: 1e9})
+	var fwd, rev time.Duration
+	b.Handle(99, func(pkt *Packet, ifc *Iface) { fwd = k.Now() })
+	a.Handle(99, func(pkt *Packet, ifc *Iface) { rev = k.Now() })
+	a.Send(&Packet{Src: a.Addr(), Dst: b.Addr(), Proto: 99, Payload: []byte{1}})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	start := k.Now()
+	b.Send(&Packet{Src: b.Addr(), Dst: a.Addr(), Proto: 99, Payload: []byte{1}})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fwd < time.Second {
+		t.Fatalf("forward delay %v, want >= 1s", fwd)
+	}
+	if rev-start > 100*time.Millisecond {
+		t.Fatalf("reverse should use default params, took %v", rev-start)
+	}
+}
+
+func TestSetLossAppliesEverywhere(t *testing.T) {
+	k, net, a, b := twoNodes(3, DefaultLinkParams())
+	got := 0
+	b.Handle(99, func(pkt *Packet, ifc *Iface) { got++ })
+	// Create the pipe first, then set loss; existing pipes must update.
+	a.Send(&Packet{Src: a.Addr(), Dst: b.Addr(), Proto: 99, Payload: []byte{1}})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	net.SetLoss(1.0)
+	a.Send(&Packet{Src: a.Addr(), Dst: b.Addr(), Proto: 99, Payload: []byte{1}})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("got %d deliveries, want 1 (second packet lost)", got)
+	}
+}
+
+func TestMTU(t *testing.T) {
+	lp := DefaultLinkParams()
+	lp.MTU = 9000
+	k, _, a, b := twoNodes(1, lp)
+	_ = k
+	if a.MTU(a.Addr(), b.Addr()) != 9000 {
+		t.Fatalf("MTU = %d", a.MTU(a.Addr(), b.Addr()))
+	}
+}

@@ -1,0 +1,92 @@
+package sctp
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// TestInitCollision: both endpoints call Connect toward each other at
+// the same instant. Per RFC 4960 §5.2.1 the two handshakes must
+// converge on one association per side, and traffic must flow both
+// ways afterwards.
+func TestInitCollision(t *testing.T) {
+	for _, seed := range []int64{51, 52, 53} {
+		k, sa, sb, _ := pair(seed, lan(), Config{HBDisable: true})
+		ska, _ := sa.SocketConfig(6000, Config{HBDisable: true})
+		ska.Listen()
+		skb, _ := sb.SocketConfig(6000, Config{HBDisable: true})
+		skb.Listen()
+
+		got := make(map[string]bool)
+		runSide := func(name string, sk *Socket, peer netsim.Addr) {
+			k.Spawn(name, func(p *sim.Proc) {
+				id, err := sk.Connect(p, []netsim.Addr{peer}, 6000, 4)
+				if err != nil {
+					t.Errorf("%s connect: %v", name, err)
+					return
+				}
+				if err := sk.SendMsg(p, id, 1, 0, []byte(name)); err != nil {
+					t.Errorf("%s send: %v", name, err)
+					return
+				}
+				for {
+					m, err := sk.RecvMsg(p)
+					if err != nil {
+						return
+					}
+					if m.Notification == NotifyNone {
+						got[string(m.Data)] = true
+						return
+					}
+				}
+			})
+		}
+		runSide("A", ska, netsim.MakeAddr(0, 2))
+		runSide("B", skb, netsim.MakeAddr(0, 1))
+		if err := k.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !got["A"] || !got["B"] {
+			t.Fatalf("seed %d: traffic incomplete after collision: %v", seed, got)
+		}
+		// Exactly one association per socket.
+		if n := len(ska.Assocs()); n != 1 {
+			t.Errorf("seed %d: socket A has %d associations, want 1", seed, n)
+		}
+		if n := len(skb.Assocs()); n != 1 {
+			t.Errorf("seed %d: socket B has %d associations, want 1", seed, n)
+		}
+	}
+}
+
+// TestInitCollisionUnderLoss: the collision legs themselves may be
+// lost; the retry machinery must still converge.
+func TestInitCollisionUnderLoss(t *testing.T) {
+	lp := lan()
+	lp.LossRate = 0.1
+	k, sa, sb, _ := pair(54, lp, Config{HBDisable: true})
+	ska, _ := sa.SocketConfig(6000, Config{HBDisable: true})
+	ska.Listen()
+	skb, _ := sb.SocketConfig(6000, Config{HBDisable: true})
+	skb.Listen()
+	done := 0
+	connect := func(name string, sk *Socket, peer netsim.Addr) {
+		k.Spawn(name, func(p *sim.Proc) {
+			if _, err := sk.Connect(p, []netsim.Addr{peer}, 6000, 2); err != nil {
+				t.Errorf("%s: %v", name, err)
+				return
+			}
+			done++
+		})
+	}
+	connect("A", ska, netsim.MakeAddr(0, 2))
+	connect("B", skb, netsim.MakeAddr(0, 1))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 2 {
+		t.Fatalf("%d sides connected", done)
+	}
+}

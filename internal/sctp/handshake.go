@@ -1,0 +1,315 @@
+package sctp
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/seqnum"
+	"repro/internal/sim"
+)
+
+// Connect establishes an association with a peer reachable at raddrs
+// (all its interface addresses; the first is the initial primary),
+// blocking until the four-way handshake completes. streams of 0 uses
+// the socket default. Simultaneous INIT collision between two sockets
+// converges on a single association per RFC 4960 §5.2.1.
+func (sk *Socket) Connect(p *sim.Proc, raddrs []netsim.Addr, rport uint16, streams int) (AssocID, error) {
+	if len(raddrs) == 0 {
+		return 0, ErrInitFailed
+	}
+	if streams <= 0 {
+		streams = sk.cfg.Streams
+	}
+	if a := sk.assocs[addrPort{raddrs[0], rport}]; a != nil {
+		return a.id, nil // already associated
+	}
+	a := sk.newAssoc(rport, raddrs)
+	a.state = aCookieWait
+	a.myTag = sk.nonZeroTag()
+	a.nextTSN = seqnum.V(sk.kernel().Rand().Uint32())
+	a.cumTSN = 0 // set from peer's initial TSN later
+	a.buildPaths()
+	a.reqStreams = streams
+	a.sendInit()
+
+	for a.state != aEstablished && a.state != aDone {
+		a.connCond.Wait(p)
+	}
+	if a.state == aDone {
+		if a.err != nil {
+			return 0, a.err
+		}
+		return 0, ErrInitFailed
+	}
+	return a.id, nil
+}
+
+func (sk *Socket) nonZeroTag() uint32 {
+	for {
+		if t := sk.kernel().Rand().Uint32(); t != 0 {
+			return t
+		}
+	}
+}
+
+// sendInit transmits (or retransmits) the INIT chunk. INIT carries
+// verification tag 0 per RFC 4960.
+func (a *Assoc) sendInit() {
+	pt := a.paths[a.primary]
+	init := &chunk{
+		Type:        ctInit,
+		InitiateTag: a.myTag,
+		ARwnd:       uint32(a.cfg.RcvBuf),
+		OutStreams:  uint16(a.reqStreams),
+		InStreams:   uint16(a.reqStreams),
+		InitialTSN:  a.nextTSN,
+		Addrs:       a.localAddrs,
+	}
+	p := &packet{
+		SrcPort:         a.sock.port,
+		DstPort:         a.peerPort,
+		VerificationTag: 0,
+		Chunks:          []*chunk{init},
+	}
+	a.stats.PacketsSent++
+	a.sock.stack.node.Send(&netsim.Packet{
+		Src: pt.src, Dst: pt.addr, Proto: netsim.ProtoSCTP, Payload: encodePacket(p),
+	})
+	a.armInitTimer(func() {
+		if a.state == aCookieWait {
+			a.sendInit()
+		}
+	})
+}
+
+func (a *Assoc) armInitTimer(resend func()) {
+	a.initTimer.Stop()
+	a.initTimer = a.kernel().After(a.paths[a.primary].rto, func() {
+		if a.state != aCookieWait && a.state != aCookieEchoed {
+			return
+		}
+		a.initTries++
+		if a.initTries > a.cfg.InitRetries {
+			a.fail(ErrTimeout, false)
+			return
+		}
+		// Back off the init RTO.
+		pt := a.paths[a.primary]
+		pt.rto *= 2
+		if pt.rto > a.cfg.RTOMax {
+			pt.rto = a.cfg.RTOMax
+		}
+		resend()
+	})
+}
+
+// handleInit answers an INIT on a listening socket with INIT-ACK. No
+// state is allocated: everything lives in the signed cookie, which is
+// how SCTP resists SYN-flood-style attacks (paper §3.5.2).
+func (sk *Socket) handleInit(src, dst netsim.Addr, pkt *packet, c *chunk) {
+	if !sk.listening {
+		return
+	}
+	localTag := sk.nonZeroTag()
+	localTSN := seqnum.V(sk.kernel().Rand().Uint32())
+	streams := int(c.OutStreams)
+	if streams > sk.cfg.Streams {
+		streams = sk.cfg.Streams
+	}
+	if streams <= 0 {
+		streams = 1
+	}
+	peerAddrs := c.Addrs
+	if len(peerAddrs) == 0 {
+		peerAddrs = []netsim.Addr{src}
+	}
+	cookie := &stateCookie{
+		PeerPort:   pkt.SrcPort,
+		PeerTag:    c.InitiateTag,
+		LocalTag:   localTag,
+		PeerTSN:    c.InitialTSN,
+		LocalTSN:   localTSN,
+		OutStreams: uint16(streams),
+		InStreams:  uint16(streams),
+		PeerAddrs:  peerAddrs,
+		LocalAddrs: sk.stack.node.Addrs(),
+		IssuedAt:   sk.kernel().Now(),
+	}
+	initAck := &chunk{
+		Type:        ctInitAck,
+		InitiateTag: localTag,
+		ARwnd:       uint32(sk.cfg.RcvBuf),
+		OutStreams:  uint16(streams),
+		InStreams:   uint16(streams),
+		InitialTSN:  localTSN,
+		Addrs:       sk.stack.node.Addrs(),
+		Cookie:      cookie.encode(sk.stack.secret),
+	}
+	// INIT-ACK carries the initiator's tag.
+	sk.sendControl(dst, src, pkt.SrcPort, c.InitiateTag, initAck)
+}
+
+// handleInitAck (client side) advances CookieWait → CookieEchoed.
+func (a *Assoc) handleInitAck(src netsim.Addr, c *chunk) {
+	if a.state != aCookieWait {
+		return
+	}
+	a.peerTag = c.InitiateTag
+	a.cumTSN = c.InitialTSN.Add(^uint32(0)) // peerTSN - 1
+	a.peerRwnd = int(c.ARwnd)
+	streams := int(c.OutStreams)
+	if streams > a.reqStreams {
+		streams = a.reqStreams
+	}
+	a.initStreams(streams, streams)
+	// Adopt the peer's full address list for multihoming.
+	if len(c.Addrs) > 0 {
+		a.adoptPeerAddrs(c.Addrs)
+	}
+	a.cookie = c.Cookie
+	a.state = aCookieEchoed
+	a.initTries = 0
+	a.sendCookieEcho()
+}
+
+// adoptPeerAddrs re-keys the association under the peer's complete
+// address list and rebuilds paths.
+func (a *Assoc) adoptPeerAddrs(addrs []netsim.Addr) {
+	sk := a.sock
+	for _, pa := range a.peerAddrs {
+		key := addrPort{pa, a.peerPort}
+		if sk.assocs[key] == a {
+			delete(sk.assocs, key)
+		}
+	}
+	a.peerAddrs = addrs
+	for _, pa := range addrs {
+		sk.assocs[addrPort{pa, a.peerPort}] = a
+	}
+	oldRTO := a.paths[a.primary].rto
+	a.buildPaths()
+	a.paths[a.primary].rto = oldRTO
+}
+
+// sendCookieEcho transmits (or retransmits) the COOKIE-ECHO chunk.
+func (a *Assoc) sendCookieEcho() {
+	pt := a.paths[a.primary]
+	a.sendChunks(pt.src, pt.addr, []*chunk{{Type: ctCookieEcho, Cookie: a.cookie}})
+	a.armInitTimer(func() {
+		if a.state == aCookieEchoed {
+			a.sendCookieEcho()
+		}
+	})
+}
+
+// handleCookieAck (client side) completes the handshake.
+func (a *Assoc) handleCookieAck() {
+	if a.state != aCookieEchoed {
+		return
+	}
+	a.initTimer.Stop()
+	a.establish()
+}
+
+// handleInitCollision implements RFC 4960 §5.2.1: an INIT arriving for
+// an association still in COOKIE-WAIT/COOKIE-ECHOED means both
+// endpoints initiated simultaneously. Respond with an INIT-ACK that
+// reuses our existing initiate tag and TSN so both handshakes converge
+// on one consistent association.
+func (a *Assoc) handleInitCollision(src, dst netsim.Addr, c *chunk) {
+	if a.state != aCookieWait && a.state != aCookieEchoed {
+		return // duplicate INIT after establishment: ignore (no restart support)
+	}
+	streams := int(c.OutStreams)
+	if streams > a.reqStreams {
+		streams = a.reqStreams
+	}
+	if streams <= 0 {
+		streams = 1
+	}
+	peerAddrs := c.Addrs
+	if len(peerAddrs) == 0 {
+		peerAddrs = []netsim.Addr{src}
+	}
+	sk := a.sock
+	cookie := &stateCookie{
+		PeerPort:   a.peerPort,
+		PeerTag:    c.InitiateTag,
+		LocalTag:   a.myTag, // reuse, per the collision rule
+		PeerTSN:    c.InitialTSN,
+		LocalTSN:   a.nextTSN,
+		OutStreams: uint16(streams),
+		InStreams:  uint16(streams),
+		PeerAddrs:  peerAddrs,
+		LocalAddrs: a.localAddrs,
+		IssuedAt:   sk.kernel().Now(),
+	}
+	initAck := &chunk{
+		Type:        ctInitAck,
+		InitiateTag: a.myTag,
+		ARwnd:       uint32(a.cfg.RcvBuf),
+		OutStreams:  uint16(streams),
+		InStreams:   uint16(streams),
+		InitialTSN:  a.nextTSN,
+		Addrs:       a.localAddrs,
+		Cookie:      cookie.encode(sk.stack.secret),
+	}
+	sk.sendControl(dst, src, a.peerPort, c.InitiateTag, initAck)
+}
+
+// handleCookieEchoOnAssoc processes a COOKIE-ECHO that arrives while
+// the association already exists: either our COOKIE-ACK was lost
+// (established case) or this is the closing leg of an INIT collision.
+func (a *Assoc) handleCookieEchoOnAssoc(src, dst netsim.Addr, c *chunk) {
+	if a.state == aEstablished {
+		// Our COOKIE-ACK was lost; resend it.
+		a.sendChunks(dst, src, []*chunk{{Type: ctCookieAck}})
+		return
+	}
+	if a.state != aCookieWait && a.state != aCookieEchoed {
+		return
+	}
+	ck, err := decodeCookie(c.Cookie, a.sock.stack.secret)
+	if err != nil || ck.LocalTag != a.myTag {
+		return
+	}
+	a.peerTag = ck.PeerTag
+	a.cumTSN = ck.PeerTSN.Add(^uint32(0))
+	if a.numOut == 0 {
+		a.initStreams(int(ck.OutStreams), int(ck.InStreams))
+	}
+	a.initTimer.Stop()
+	a.establish()
+	pt := a.paths[a.primary]
+	a.sendChunks(pt.src, pt.addr, []*chunk{{Type: ctCookieAck}})
+}
+
+// handleCookieEcho (server side) validates the cookie and instantiates
+// the association — the first moment the server commits any resources.
+func (sk *Socket) handleCookieEcho(src, dst netsim.Addr, pkt *packet, c *chunk) {
+	if !sk.listening {
+		return
+	}
+	ck, err := decodeCookie(c.Cookie, sk.stack.secret)
+	if err != nil {
+		return
+	}
+	if sk.kernel().Now()-ck.IssuedAt > sk.cfg.CookieLifetime {
+		// Stale cookie: a real stack sends an ERROR; dropping forces
+		// the peer to restart the handshake, which is equivalent here.
+		return
+	}
+	if ck.PeerPort != pkt.SrcPort {
+		return
+	}
+	a := sk.newAssoc(ck.PeerPort, ck.PeerAddrs)
+	a.myTag = ck.LocalTag
+	a.peerTag = ck.PeerTag
+	a.nextTSN = ck.LocalTSN
+	a.cumTSN = ck.PeerTSN.Add(^uint32(0))
+	a.buildPaths()
+	a.initStreams(int(ck.OutStreams), int(ck.InStreams))
+	a.establish()
+	// COOKIE-ACK, with which data could be bundled (the paper notes the
+	// third and fourth handshake legs may carry user data).
+	pt := a.paths[a.primary]
+	a.sendChunks(pt.src, pt.addr, []*chunk{{Type: ctCookieAck}})
+}

@@ -1,0 +1,138 @@
+package sctp
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// This file implements the one-to-one socket style of paper §2.1: "a
+// single SCTP association ... developed to allow porting of existing
+// TCP applications to SCTP with little effort." A Conn wraps a
+// dedicated one-to-many socket holding exactly one association.
+
+// Conn is a one-to-one style SCTP endpoint: one socket, one
+// association, TCP-like usage but message-oriented and multistreamed.
+type Conn struct {
+	sock  *Socket
+	assoc AssocID
+	peer  netsim.Addr
+}
+
+// Dial establishes a one-to-one association with the peer reachable at
+// raddrs (all its addresses, for multihoming), blocking until the
+// handshake completes.
+func (s *Stack) Dial(p *sim.Proc, raddrs []netsim.Addr, rport uint16, streams int) (*Conn, error) {
+	sk, err := s.Socket(0)
+	if err != nil {
+		return nil, err
+	}
+	id, err := sk.Connect(p, raddrs, rport, streams)
+	if err != nil {
+		sk.Close()
+		return nil, err
+	}
+	return &Conn{sock: sk, assoc: id, peer: raddrs[0]}, nil
+}
+
+// OneToOneListener accepts inbound associations, handing each out as
+// its own Conn (on the shared listening socket, which is how lksctp's
+// one-to-one accept() behaves underneath).
+type OneToOneListener struct {
+	sock *Socket
+}
+
+// ListenOneToOne starts accepting one-to-one style associations on
+// port.
+func (s *Stack) ListenOneToOne(port uint16) (*OneToOneListener, error) {
+	sk, err := s.Socket(port)
+	if err != nil {
+		return nil, err
+	}
+	sk.Listen()
+	return &OneToOneListener{sock: sk}, nil
+}
+
+// Accept blocks until an inbound association is established and
+// returns it as a Conn. Messages for other associations continue to
+// queue on the shared socket; each Conn filters its own (adequate for
+// the porting-aid role this style plays).
+func (l *OneToOneListener) Accept(p *sim.Proc) (*Conn, error) {
+	for {
+		// Take only the COMM_UP event, leaving queued data untouched
+		// (and in order) for the Conns that own it.
+		for i, m := range l.sock.rq {
+			if m.Notification == NotifyCommUp {
+				l.sock.rq = append(l.sock.rq[:i], l.sock.rq[i+1:]...)
+				return &Conn{sock: l.sock, assoc: m.Assoc, peer: m.Peer}, nil
+			}
+		}
+		if l.sock.closed {
+			return nil, ErrClosed
+		}
+		l.sock.rcvCond.Wait(p)
+	}
+}
+
+// Close stops the listener (and every association on it).
+func (l *OneToOneListener) Close() { l.sock.Close() }
+
+// SendMsg sends a message on the association.
+func (c *Conn) SendMsg(p *sim.Proc, stream uint16, data []byte) error {
+	return c.sock.SendMsg(p, c.assoc, stream, 0, data)
+}
+
+// RecvMsg receives the next message for this association, leaving
+// messages belonging to other associations on the shared socket queue.
+func (c *Conn) RecvMsg(p *sim.Proc) (*Message, error) {
+	for {
+		// Scan the socket queue for this association's next message.
+		found := -1
+		for i, m := range c.sock.rq {
+			if m.Assoc == c.assoc {
+				found = i
+				break
+			}
+		}
+		if found >= 0 {
+			m := c.sock.rq[found]
+			c.sock.rq = append(c.sock.rq[:found], c.sock.rq[found+1:]...)
+			switch m.Notification {
+			case NotifyNone:
+				if a := c.sock.byID[m.Assoc]; a != nil {
+					a.creditRwnd(len(m.Data))
+				}
+				return m, nil
+			case NotifyCommLost:
+				return nil, ErrAborted
+			case NotifyShutdownComplete:
+				return nil, ErrClosed
+			default:
+				continue // other notifications are uninteresting here
+			}
+		}
+		if c.sock.closed {
+			return nil, ErrClosed
+		}
+		c.sock.rcvCond.Wait(p)
+	}
+}
+
+// Peer returns the peer's primary address.
+func (c *Conn) Peer() netsim.Addr { return c.peer }
+
+// Assoc returns the underlying association id.
+func (c *Conn) Assoc() AssocID { return c.assoc }
+
+// NumStreams returns the negotiated outbound stream count.
+func (c *Conn) NumStreams() int {
+	if a := c.sock.byID[c.assoc]; a != nil {
+		return a.NumOutStreams()
+	}
+	return 0
+}
+
+// Close gracefully shuts the association down; if this Conn owns a
+// dedicated socket (Dial side), the socket goes with it.
+func (c *Conn) Close() {
+	c.sock.CloseAssoc(c.assoc)
+}

@@ -1,0 +1,137 @@
+package sctp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func TestOneToOneEcho(t *testing.T) {
+	k, sa, sb, _ := pair(41, lan(), Config{HBDisable: true})
+	l, err := sb.ListenOneToOne(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Spawn("server", func(p *sim.Proc) {
+		c, err := l.Accept(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			m, err := c.RecvMsg(p)
+			if err != nil {
+				return // peer closed
+			}
+			if err := c.SendMsg(p, m.Stream, m.Data); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	k.Spawn("client", func(p *sim.Proc) {
+		c, err := sa.Dial(p, []netsim.Addr{netsim.MakeAddr(0, 2)}, 5000, 4)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if c.NumStreams() != 4 {
+			t.Errorf("streams = %d", c.NumStreams())
+		}
+		for i := 0; i < 5; i++ {
+			msg := []byte{byte(i), byte(i * 2)}
+			if err := c.SendMsg(p, uint16(i%4), msg); err != nil {
+				t.Error(err)
+				return
+			}
+			m, err := c.RecvMsg(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(m.Data, msg) || m.Stream != uint16(i%4) {
+				t.Errorf("echo %d mismatch: %v stream %d", i, m.Data, m.Stream)
+				return
+			}
+		}
+		c.Close()
+		l.Close()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOneToOneManyClients(t *testing.T) {
+	// Several one-to-one clients against one listener: each accepted
+	// Conn must see only its own messages.
+	k := sim.New(42)
+	net := netsim.NewNetwork(k)
+	net.SetDefaultLinkParams(lan())
+	const clients = 3
+	server := net.NewNode("srv")
+	server.AddInterface(netsim.MakeAddr(0, 1))
+	ss := NewStack(server, Config{HBDisable: true})
+	l, err := ss.ListenOneToOne(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < clients; i++ {
+		nd := net.NewNode("cli")
+		nd.AddInterface(netsim.MakeAddr(0, 10+i))
+		cs := NewStack(nd, Config{HBDisable: true})
+		id := byte(i)
+		k.Spawn("client", func(p *sim.Proc) {
+			c, err := cs.Dial(p, []netsim.Addr{netsim.MakeAddr(0, 1)}, 5000, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for j := 0; j < 10; j++ {
+				if err := c.SendMsg(p, 0, []byte{id, byte(j)}); err != nil {
+					t.Error(err)
+					return
+				}
+				m, err := c.RecvMsg(p)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if m.Data[0] != id || m.Data[1] != byte(j) {
+					t.Errorf("client %d got foreign reply %v", id, m.Data)
+					return
+				}
+			}
+			c.Close()
+		})
+	}
+	for i := 0; i < clients; i++ {
+		k.Spawn("handler", func(p *sim.Proc) {
+			c, err := l.Accept(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				m, err := c.RecvMsg(p)
+				if err != nil {
+					return
+				}
+				if err := c.SendMsg(p, 0, m.Data); err != nil {
+					return
+				}
+			}
+		})
+	}
+	k.Spawn("closer", func(p *sim.Proc) {
+		// Close the listener after everything quiesces so handler
+		// processes can exit.
+		p.Sleep(2e9)
+		l.Close()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,350 @@
+package sctp
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// AssocID identifies an association on a one-to-many socket, as in the
+// sctp_recvmsg/sctp_sendmsg API.
+type AssocID int64
+
+// NotificationType distinguishes in-band notifications from user data,
+// mirroring SCTP_ASSOC_CHANGE events.
+type NotificationType int
+
+// Notification kinds delivered in-band on the socket receive queue.
+const (
+	NotifyNone NotificationType = iota // a data message
+	NotifyCommUp
+	NotifyCommLost
+	NotifyShutdownComplete
+)
+
+// Message is what RecvMsg returns: either user data (Notification ==
+// NotifyNone) or an association event.
+type Message struct {
+	Assoc        AssocID
+	Peer         netsim.Addr
+	Stream       uint16
+	SSN          uint16
+	PPID         uint32
+	Data         []byte
+	Notification NotificationType
+	Err          error
+}
+
+type addrPort struct {
+	addr netsim.Addr
+	port uint16
+}
+
+// Socket is a one-to-many SCTP socket: one descriptor that communicates
+// with any number of associations, as used by the paper's SCTP RPI.
+type Socket struct {
+	stack     *Stack
+	port      uint16
+	cfg       Config
+	listening bool
+	closed    bool
+
+	assocs map[addrPort]*Assoc // by every peer (address, port)
+	byID   map[AssocID]*Assoc
+
+	rq      []*Message
+	rcvCond *sim.Cond
+	notify  func()
+
+	// Stats aggregates across all associations on the socket.
+	Stats SocketStats
+}
+
+// SocketStats counts socket-level events.
+type SocketStats struct {
+	MsgsSent     int64
+	MsgsRcvd     int64
+	BytesSent    int64
+	BytesRcvd    int64
+	AssocsOpened int64
+	AssocsClosed int64
+}
+
+// Socket creates a one-to-many socket bound to port (0 selects an
+// ephemeral port) with the stack's default configuration.
+func (s *Stack) Socket(port uint16) (*Socket, error) {
+	return s.SocketConfig(port, s.cfg)
+}
+
+// SocketConfig creates a one-to-many socket with explicit config.
+func (s *Stack) SocketConfig(port uint16, cfg Config) (*Socket, error) {
+	if port == 0 {
+		port = s.ephemeralPort()
+	}
+	if _, ok := s.socks[port]; ok {
+		return nil, ErrPortInUse
+	}
+	sk := &Socket{
+		stack:   s,
+		port:    port,
+		cfg:     cfg.withDefaults(),
+		assocs:  make(map[addrPort]*Assoc),
+		byID:    make(map[AssocID]*Assoc),
+		rcvCond: sim.NewCond(s.kernel()),
+	}
+	s.socks[port] = sk
+	return sk, nil
+}
+
+// Port returns the socket's bound port.
+func (sk *Socket) Port() uint16 { return sk.port }
+
+// Config returns the socket configuration.
+func (sk *Socket) Config() Config { return sk.cfg }
+
+// Listen enables acceptance of inbound associations.
+func (sk *Socket) Listen() { sk.listening = true }
+
+// SetNotify registers fn to be invoked (in kernel context) whenever the
+// socket becomes readable/writable or an association changes state.
+func (sk *Socket) SetNotify(fn func()) { sk.notify = fn }
+
+func (sk *Socket) fireNotify() {
+	if sk.notify != nil {
+		sk.notify()
+	}
+}
+
+func (sk *Socket) kernel() *sim.Kernel { return sk.stack.kernel() }
+
+// Assoc returns the association with the given ID, or nil.
+func (sk *Socket) Assoc(id AssocID) *Assoc { return sk.byID[id] }
+
+// Assocs returns the current association IDs in creation order.
+func (sk *Socket) Assocs() []AssocID {
+	out := make([]AssocID, 0, len(sk.byID))
+	for id := range sk.byID {
+		out = append(out, id)
+	}
+	// Deterministic order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// handlePacket demultiplexes an inbound packet to its association, or
+// to handshake processing. A closed socket keeps servicing its
+// remaining associations so their shutdown handshakes can complete.
+func (sk *Socket) handlePacket(src, dst netsim.Addr, pkt *packet) {
+	a := sk.assocs[addrPort{src, pkt.SrcPort}]
+	if a != nil {
+		// Verification tag check (paper §3.5.2: protects against stale
+		// and spoofed packets). INIT carries tag 0 and is handled even
+		// on an existing association (peer restart → treated as dup).
+		valid := pkt.VerificationTag == a.myTag
+		for _, c := range pkt.Chunks {
+			if c.Type == ctInit || c.Type == ctCookieEcho {
+				valid = true // handshake chunks carry their own proof
+			}
+			// ABORT and SHUTDOWN-COMPLETE may carry the peer's tag with
+			// the T-bit in real SCTP; we accept our tag only.
+		}
+		if !valid {
+			a.stats.BadTagDrops++
+			return
+		}
+		a.handlePacket(src, dst, pkt)
+		return
+	}
+	// No association: only handshake chunks are meaningful.
+	for _, c := range pkt.Chunks {
+		switch c.Type {
+		case ctInit:
+			sk.handleInit(src, dst, pkt, c)
+		case ctInitAck:
+			// Stale INIT-ACK for an association we gave up on: ignore.
+		case ctCookieEcho:
+			sk.handleCookieEcho(src, dst, pkt, c)
+		case ctShutdownAck:
+			// Peer retransmitting SHUTDOWN-ACK after we removed state:
+			// answer with SHUTDOWN-COMPLETE so it can finish.
+			sk.sendControl(dst, src, pkt.SrcPort, pkt.VerificationTag,
+				&chunk{Type: ctShutdownComplete})
+		}
+	}
+}
+
+// sendControl emits a single-chunk packet outside any association.
+func (sk *Socket) sendControl(src, dst netsim.Addr, dstPort uint16, tag uint32, c *chunk) {
+	p := &packet{SrcPort: sk.port, DstPort: dstPort, VerificationTag: tag, Chunks: []*chunk{c}}
+	sk.stack.node.Send(&netsim.Packet{
+		Src: src, Dst: dst, Proto: netsim.ProtoSCTP, Payload: encodePacket(p),
+	})
+}
+
+// enqueue places a message or notification on the socket receive queue.
+func (sk *Socket) enqueue(m *Message) {
+	sk.rq = append(sk.rq, m)
+	if m.Notification == NotifyNone {
+		sk.Stats.MsgsRcvd++
+		sk.Stats.BytesRcvd += int64(len(m.Data))
+	}
+	sk.rcvCond.Broadcast()
+	sk.fireNotify()
+}
+
+// RecvMsg blocks until a message or notification arrives, mirroring
+// sctp_recvmsg on a one-to-many socket: there is no way to receive from
+// a chosen association; messages arrive in network order and carry
+// their association and stream identifiers.
+func (sk *Socket) RecvMsg(p *sim.Proc) (*Message, error) {
+	for {
+		m, err := sk.TryRecvMsg()
+		if err != ErrWouldBlock {
+			return m, err
+		}
+		sk.rcvCond.Wait(p)
+	}
+}
+
+// TryRecvMsg is the nonblocking variant of RecvMsg.
+func (sk *Socket) TryRecvMsg() (*Message, error) {
+	if len(sk.rq) == 0 {
+		if sk.closed {
+			return nil, ErrClosed
+		}
+		return nil, ErrWouldBlock
+	}
+	m := sk.rq[0]
+	sk.rq = sk.rq[1:]
+	if m.Notification == NotifyNone {
+		// Reading frees receive-buffer space: credit the association's
+		// advertised window and let it update the peer.
+		if a := sk.byID[m.Assoc]; a != nil {
+			a.creditRwnd(len(m.Data))
+		}
+	}
+	return m, nil
+}
+
+// Readable reports whether TryRecvMsg would return something.
+func (sk *Socket) Readable() bool { return len(sk.rq) > 0 || sk.closed }
+
+// SendMsg blocks until the message is accepted into the association
+// send buffer.
+func (sk *Socket) SendMsg(p *sim.Proc, id AssocID, stream uint16, ppid uint32, data []byte) error {
+	for {
+		err := sk.TrySendMsg(id, stream, ppid, data)
+		if err != ErrWouldBlock {
+			return err
+		}
+		a := sk.byID[id]
+		if a == nil {
+			return ErrNoAssoc
+		}
+		a.sndCond.Wait(p)
+	}
+}
+
+// TrySendMsg queues a whole message or fails: ErrMsgSize if the message
+// exceeds the send buffer (the limitation in paper §3.6 that forces the
+// middleware to chunk long messages), ErrWouldBlock if there is no
+// space right now.
+func (sk *Socket) TrySendMsg(id AssocID, stream uint16, ppid uint32, data []byte) error {
+	a := sk.byID[id]
+	if a == nil {
+		return ErrNoAssoc
+	}
+	return a.trySend(stream, ppid, data)
+}
+
+// SendMsgTo sends on the association identified by a peer address,
+// implicitly like sendto().
+func (sk *Socket) SendMsgTo(p *sim.Proc, peer netsim.Addr, peerPort uint16, stream uint16, ppid uint32, data []byte) error {
+	a := sk.assocs[addrPort{peer, peerPort}]
+	if a == nil {
+		return ErrNoAssoc
+	}
+	return sk.SendMsg(p, a.id, stream, ppid, data)
+}
+
+// AssocByPeer returns the association ID for a peer address, if any.
+func (sk *Socket) AssocByPeer(peer netsim.Addr, peerPort uint16) (AssocID, bool) {
+	if a := sk.assocs[addrPort{peer, peerPort}]; a != nil {
+		return a.id, true
+	}
+	return 0, false
+}
+
+// SetPrimary selects the primary destination address of an association.
+func (sk *Socket) SetPrimary(id AssocID, addr netsim.Addr) error {
+	a := sk.byID[id]
+	if a == nil {
+		return ErrNoAssoc
+	}
+	for i, pt := range a.paths {
+		if pt.addr == addr {
+			a.primary = i
+			return nil
+		}
+	}
+	return ErrNoAssoc
+}
+
+// CloseAssoc starts a graceful shutdown of one association.
+func (sk *Socket) CloseAssoc(id AssocID) error {
+	a := sk.byID[id]
+	if a == nil {
+		return ErrNoAssoc
+	}
+	a.gracefulClose()
+	return nil
+}
+
+// Abort tears an association down immediately with an ABORT chunk.
+func (sk *Socket) Abort(id AssocID, reason string) error {
+	a := sk.byID[id]
+	if a == nil {
+		return ErrNoAssoc
+	}
+	a.abort(reason, true)
+	return nil
+}
+
+// Close starts a graceful shutdown of every association and marks the
+// socket closed for the application. Like a real close() on a
+// one-to-many socket, the endpoint itself stays alive in the stack
+// until the SHUTDOWN handshakes complete, then the port is released.
+func (sk *Socket) Close() {
+	if sk.closed {
+		return
+	}
+	sk.closed = true
+	sk.listening = false
+	for _, id := range sk.Assocs() { // deterministic order
+		sk.byID[id].gracefulClose()
+	}
+	sk.maybeRelease()
+	sk.rcvCond.Broadcast()
+	sk.fireNotify()
+}
+
+func (sk *Socket) maybeRelease() {
+	if sk.closed && len(sk.byID) == 0 {
+		delete(sk.stack.socks, sk.port)
+	}
+}
+
+func (sk *Socket) removeAssoc(a *Assoc) {
+	for _, ap := range a.peerAddrs {
+		key := addrPort{ap, a.peerPort}
+		if sk.assocs[key] == a {
+			delete(sk.assocs, key)
+		}
+	}
+	delete(sk.byID, a.id)
+	sk.Stats.AssocsClosed++
+	sk.maybeRelease()
+}

@@ -1,0 +1,78 @@
+package sctp
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Stack is the per-node SCTP instance.
+type Stack struct {
+	node     *netsim.Node
+	cfg      Config
+	socks    map[uint16]*Socket
+	secret   []byte
+	nextPort uint16
+	nextID   AssocID
+}
+
+// NewStack attaches an SCTP stack with default socket config cfg to
+// node.
+func NewStack(node *netsim.Node, cfg Config) *Stack {
+	s := &Stack{
+		node:     node,
+		cfg:      cfg.withDefaults(),
+		socks:    make(map[uint16]*Socket),
+		nextPort: 32768,
+	}
+	// Per-stack cookie secret, drawn from the deterministic kernel RNG.
+	s.secret = make([]byte, 32)
+	for i := range s.secret {
+		s.secret[i] = byte(node.Kernel().Rand().Intn(256))
+	}
+	node.Handle(netsim.ProtoSCTP, s.handlePacket)
+	return s
+}
+
+// Node returns the node this stack is attached to.
+func (s *Stack) Node() *netsim.Node { return s.node }
+
+func (s *Stack) kernel() *sim.Kernel { return s.node.Kernel() }
+
+func (s *Stack) ephemeralPort() uint16 {
+	p := s.nextPort
+	s.nextPort++
+	if s.nextPort == 0 {
+		s.nextPort = 32768
+	}
+	return p
+}
+
+func (s *Stack) handlePacket(ipPkt *netsim.Packet, ifc *netsim.Iface) {
+	pkt, err := decodePacket(ipPkt.Payload, s.cfg.ChecksumVerify)
+	if err != nil {
+		return
+	}
+	sk, ok := s.socks[pkt.DstPort]
+	if !ok {
+		// No socket on this port. A real stack would send an ABORT with
+		// the peer's verification tag; we silently drop, which the
+		// sender's timers handle identically.
+		return
+	}
+	deliver := func() { sk.handlePacket(ipPkt.Src, ipPkt.Dst, pkt) }
+	if d := sk.cfg.PerChunkDelay; d > 0 {
+		nData := 0
+		for _, c := range pkt.Chunks {
+			if c.Type == ctData {
+				nData++
+			}
+		}
+		if nData > 0 {
+			s.kernel().After(time.Duration(nData)*d, deliver)
+			return
+		}
+	}
+	deliver()
+}

@@ -1,0 +1,116 @@
+package seqnum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOrder(t *testing.T) {
+	cases := []struct {
+		a, b    V
+		aLessB  bool
+		aGreatB bool
+	}{
+		{0, 1, true, false},
+		{1, 0, false, true},
+		{5, 5, false, false},
+		{math.MaxUint32, 0, true, false}, // wraparound
+		{0, math.MaxUint32, false, true},
+		{math.MaxUint32 - 10, 10, true, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.aLessB {
+			t.Errorf("%d.Less(%d) = %v", c.a, c.b, got)
+		}
+		if got := c.a.Greater(c.b); got != c.aGreatB {
+			t.Errorf("%d.Greater(%d) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	var s V = math.MaxUint32 - 1
+	s2 := s.Add(5)
+	if s2 != 3 {
+		t.Fatalf("wrap add: got %d want 3", s2)
+	}
+	if d := s2.Sub(s); d != 5 {
+		t.Fatalf("wrap sub: got %d want 5", d)
+	}
+}
+
+func TestInWindow(t *testing.T) {
+	var first V = math.MaxUint32 - 2
+	if !first.InWindow(first, 10) {
+		t.Error("first not in its own window")
+	}
+	if !V(2).InWindow(first, 10) {
+		t.Error("wrapped value not in window")
+	}
+	if V(8).InWindow(first, 10) {
+		t.Error("value past window reported inside")
+	}
+	if V(math.MaxUint32-3).InWindow(first, 10) {
+		t.Error("value before window reported inside")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Max(V(math.MaxUint32), V(3)) != 3 {
+		t.Error("Max across wrap")
+	}
+	if Min(V(math.MaxUint32), V(3)) != math.MaxUint32 {
+		t.Error("Min across wrap")
+	}
+}
+
+// Property: for offsets within half the space, order is consistent with
+// integer order of the offsets.
+func TestQuickConsistentWithOffsets(t *testing.T) {
+	f := func(base uint32, d1, d2 uint16) bool {
+		a := V(base).Add(uint32(d1))
+		b := V(base).Add(uint32(d2))
+		return a.Less(b) == (d1 < d2) && a.GreaterEq(b) == (d1 >= d2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add then Sub round-trips.
+func TestQuickAddSubRoundTrip(t *testing.T) {
+	f := func(base, n uint32) bool {
+		return V(base).Add(n).Sub(V(base)) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: exactly one of Less, Greater, equal holds.
+func TestQuickTrichotomy(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := V(a), V(b)
+		if a == b {
+			return !x.Less(y) && !x.Greater(y) && x.LessEq(y) && x.GreaterEq(y)
+		}
+		// Ambiguous at exactly half the space; skip that measure-zero case.
+		if uint32(a-b) == 1<<31 {
+			return true
+		}
+		return x.Less(y) != x.Greater(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestS16(t *testing.T) {
+	if !S16(math.MaxUint16).Less(0) {
+		t.Error("S16 wraparound Less")
+	}
+	if !S16(0).Greater(math.MaxUint16) {
+		t.Error("S16 wraparound Greater")
+	}
+}

@@ -1,0 +1,240 @@
+// Package sim provides a deterministic discrete-event simulation kernel
+// with virtual time and cooperatively scheduled processes.
+//
+// The kernel is single-threaded in the scheduling sense: although each
+// process runs on its own goroutine, exactly one process (or one event
+// callback) executes at any instant, and control is handed back to the
+// kernel whenever a process blocks. All state reachable from events and
+// processes can therefore be mutated without locks, and a run is exactly
+// reproducible from its seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kernel is a discrete-event scheduler with virtual time.
+type Kernel struct {
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	run     []*Proc
+	procs   map[*Proc]struct{}
+	yield   chan struct{}
+	rng     *rand.Rand
+	running bool
+	stopped bool
+	nprocs  int
+}
+
+// New returns a kernel whose random source is seeded with seed.
+// The same seed always produces the same run.
+func New(seed int64) *Kernel {
+	return &Kernel{
+		procs: make(map[*Proc]struct{}),
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Timer is a cancellable scheduled callback.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It is safe to call on an already-fired or
+// already-stopped timer. It reports whether the call prevented the
+// callback from running.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.fired
+}
+
+// After schedules fn to run at Now()+d in kernel context.
+// A negative d is treated as zero.
+func (k *Kernel) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	ev := &event{when: k.now + d, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, ev)
+	return &Timer{ev: ev}
+}
+
+// Spawn creates a process named name running fn and marks it runnable.
+// The process starts the next time the scheduler picks it.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		id:     k.nprocs,
+		resume: make(chan struct{}),
+		state:  stateReady,
+	}
+	k.nprocs++
+	k.procs[p] = struct{}{}
+	go func() {
+		<-p.resume
+		fn(p)
+		p.state = stateDone
+		delete(k.procs, p)
+		k.yield <- struct{}{}
+	}()
+	k.run = append(k.run, p)
+	return p
+}
+
+// DeadlockError is returned by Run when live processes remain but no
+// process is runnable and no event is pending.
+type DeadlockError struct {
+	Time    time.Duration
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: blocked processes: %s",
+		e.Time, strings.Join(e.Blocked, ", "))
+}
+
+// Run executes events and processes until the simulation quiesces: no
+// runnable process and no pending event. If live processes remain at
+// quiescence it returns a *DeadlockError naming them.
+func (k *Kernel) Run() error {
+	if k.running {
+		panic("sim: Run called re-entrantly")
+	}
+	k.running = true
+	k.stopped = false
+	defer func() { k.running = false }()
+	for {
+		for len(k.run) > 0 && !k.stopped {
+			p := k.run[0]
+			k.run = k.run[1:]
+			p.state = stateRunning
+			p.resume <- struct{}{}
+			<-k.yield
+		}
+		if k.stopped {
+			return nil
+		}
+		ev := k.nextEvent()
+		if ev == nil {
+			if len(k.procs) > 0 {
+				return &DeadlockError{Time: k.now, Blocked: k.blockedNames()}
+			}
+			return nil
+		}
+		k.now = ev.when
+		ev.fired = true
+		ev.fn()
+	}
+}
+
+// RunFor runs the simulation for d of virtual time (or until quiescence,
+// whichever comes first). Unlike Run it does not treat blocked processes
+// as a deadlock; it simply returns.
+func (k *Kernel) RunFor(d time.Duration) error {
+	deadline := k.now + d
+	k.After(d, func() { k.stopped = true })
+	err := k.Run()
+	if err != nil {
+		return err
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return nil
+}
+
+// Stop halts Run after the currently executing process or event yields.
+// It may only be called from kernel context (an event or a process).
+func (k *Kernel) Stop() { k.stopped = true }
+
+// LiveProcs returns the number of processes that have not finished.
+func (k *Kernel) LiveProcs() int { return len(k.procs) }
+
+func (k *Kernel) nextEvent() *event {
+	for k.events.Len() > 0 {
+		ev := heap.Pop(&k.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
+func (k *Kernel) blockedNames() []string {
+	names := make([]string, 0, len(k.procs))
+	for p := range k.procs {
+		names = append(names, p.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ready marks p runnable. It must be called from kernel context.
+func (k *Kernel) ready(p *Proc) {
+	if p.state != stateParked {
+		return
+	}
+	p.state = stateReady
+	k.run = append(k.run, p)
+}
+
+type event struct {
+	when      time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+	index     int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,179 @@
+package sim
+
+import "time"
+
+type procState int
+
+const (
+	stateReady procState = iota
+	stateRunning
+	stateParked
+	stateDone
+)
+
+// Proc is a cooperatively scheduled simulation process. All of its
+// methods must be called from the process's own goroutine.
+type Proc struct {
+	k      *Kernel
+	name   string
+	id     int
+	resume chan struct{}
+	state  procState
+
+	// waitGen guards against stale timer wakeups: each park increments
+	// it, and a wakeup crafted for an earlier generation is ignored.
+	waitGen  uint64
+	timedOut bool
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns a dense per-kernel process index.
+func (p *Proc) ID() int { return p.id }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.k.now }
+
+// park blocks the process until another actor calls k.ready(p).
+func (p *Proc) park() {
+	p.state = stateParked
+	p.waitGen++
+	p.k.yield <- struct{}{}
+	<-p.resume
+}
+
+// Yield gives up the processor; the process stays runnable and will be
+// rescheduled after currently pending work.
+func (p *Proc) Yield() {
+	k := p.k
+	p.state = stateReady
+	k.run = append(k.run, p)
+	k.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep blocks the process for d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d <= 0 {
+		p.Yield()
+		return
+	}
+	gen := p.waitGen + 1
+	p.k.After(d, func() {
+		if p.waitGen == gen && p.state == stateParked {
+			p.k.ready(p)
+		}
+	})
+	p.park()
+}
+
+// Cond is a condition variable for simulation processes. The zero value
+// is not usable; create one with NewCond.
+type Cond struct {
+	k       *Kernel
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable bound to k.
+func NewCond(k *Kernel) *Cond { return &Cond{k: k} }
+
+// Wait blocks p until Signal or Broadcast wakes it. There is no
+// associated mutex: the simulation is cooperatively scheduled, so the
+// caller's predicate cannot change between checking it and parking.
+// As with sync.Cond, callers should re-check their predicate on wakeup.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// WaitTimeout blocks p until a wakeup or until d elapses. It reports
+// whether the process was woken by Signal/Broadcast (true) rather than
+// by the timeout (false).
+func (c *Cond) WaitTimeout(p *Proc, d time.Duration) bool {
+	if d <= 0 {
+		return false
+	}
+	gen := p.waitGen + 1
+	p.timedOut = false
+	t := c.k.After(d, func() {
+		if p.waitGen == gen && p.state == stateParked {
+			c.remove(p)
+			p.timedOut = true
+			c.k.ready(p)
+		}
+	})
+	c.waiters = append(c.waiters, p)
+	p.park()
+	t.Stop()
+	return !p.timedOut
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.k.ready(p)
+}
+
+// Broadcast wakes every waiting process.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		c.k.ready(p)
+	}
+}
+
+// Waiters returns the number of processes currently blocked on c.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+func (c *Cond) remove(p *Proc) {
+	for i, w := range c.waiters {
+		if w == p {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// WaitGroup counts outstanding work items; Wait blocks processes until
+// the count reaches zero. It is the virtual-time analogue of
+// sync.WaitGroup.
+type WaitGroup struct {
+	n    int
+	cond *Cond
+}
+
+// NewWaitGroup returns a WaitGroup bound to k.
+func NewWaitGroup(k *Kernel) *WaitGroup {
+	return &WaitGroup{cond: NewCond(k)}
+}
+
+// Add adds delta to the counter. When the counter reaches zero all
+// waiters are released.
+func (w *WaitGroup) Add(delta int) {
+	w.n += delta
+	if w.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.n == 0 {
+		w.cond.Broadcast()
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks p until the counter is zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	for w.n > 0 {
+		w.cond.Wait(p)
+	}
+}

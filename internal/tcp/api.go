@@ -1,0 +1,139 @@
+package tcp
+
+import (
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Read blocks until at least one byte is available, the peer half-closes
+// (io.EOF after the stream drains), or the connection errors.
+func (c *Conn) Read(p *sim.Proc, b []byte) (int, error) {
+	for {
+		n, err := c.TryRead(b)
+		if err != ErrWouldBlock {
+			return n, err
+		}
+		c.readCond.Wait(p)
+	}
+}
+
+// TryRead is the nonblocking variant of Read; it returns ErrWouldBlock
+// when no data is available yet.
+func (c *Conn) TryRead(b []byte) (int, error) {
+	if c.rb.readable() > 0 {
+		n := c.rb.read(b)
+		c.maybeSendWindowUpdate()
+		return n, nil
+	}
+	if c.err != nil {
+		return 0, c.err
+	}
+	if c.remoteFin {
+		return 0, io.EOF
+	}
+	if c.state == stateDone {
+		return 0, ErrClosed
+	}
+	return 0, ErrWouldBlock
+}
+
+// Write blocks until all of b has been queued on the connection.
+func (c *Conn) Write(p *sim.Proc, b []byte) (int, error) {
+	total := 0
+	for len(b) > 0 {
+		n, err := c.TryWrite(b)
+		total += n
+		if err != nil && err != ErrWouldBlock {
+			return total, err
+		}
+		b = b[n:]
+		if len(b) > 0 {
+			c.writeCond.Wait(p)
+		}
+	}
+	return total, nil
+}
+
+// TryWrite queues as much of b as fits in the send buffer and starts
+// transmission. It returns ErrWouldBlock if nothing could be queued.
+func (c *Conn) TryWrite(b []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	if c.state == stateDone || c.finQueued {
+		return 0, ErrClosed
+	}
+	if c.state != stateEstablished {
+		return 0, ErrWouldBlock
+	}
+	n := c.sb.write(b)
+	if n > 0 {
+		c.output()
+		return n, nil
+	}
+	return 0, ErrWouldBlock
+}
+
+// Readable reports whether a TryRead would return data or a terminal
+// condition.
+func (c *Conn) Readable() bool {
+	return c.rb.readable() > 0 || c.remoteFin || c.err != nil || c.state == stateDone
+}
+
+// ReadableBytes returns the number of buffered in-order bytes.
+func (c *Conn) ReadableBytes() int { return c.rb.readable() }
+
+// Writable reports whether the send buffer has room.
+func (c *Conn) Writable() bool {
+	return c.state == stateEstablished && !c.finQueued && c.sb.space() > 0
+}
+
+// WritableBytes returns the free space in the send buffer.
+func (c *Conn) WritableBytes() int {
+	if c.state != stateEstablished || c.finQueued {
+		return 0
+	}
+	return c.sb.space()
+}
+
+// Close gracefully closes the sending direction (like shutdown(SHUT_WR))
+// and lets reading continue until the peer closes. It is idempotent.
+func (c *Conn) Close() {
+	if c.finQueued || c.state == stateDone {
+		return
+	}
+	switch c.state {
+	case stateSynSent, stateSynRcvd:
+		c.abort()
+		return
+	}
+	c.finQueued = true
+	c.output()
+	c.writeCond.Broadcast()
+}
+
+// abort sends a RST and tears the connection down immediately.
+func (c *Conn) abort() {
+	if c.state == stateDone {
+		return
+	}
+	c.sendSegment(&segment{
+		Flags: flagRST | flagACK,
+		Seq:   c.sndNxt,
+		Ack:   c.rcvNxt,
+	})
+	c.fail(ErrClosed)
+}
+
+// Err returns the terminal error, if any.
+func (c *Conn) Err() error { return c.err }
+
+// RTO returns the current retransmission timeout estimate (for tests).
+func (c *Conn) RTO() interface{ String() string } { return c.rto }
+
+// Cwnd returns the current congestion window in bytes (for tests).
+func (c *Conn) Cwnd() int { return c.cwnd }
+
+// MSS returns the negotiated maximum segment size.
+func (c *Conn) MSS() int { return c.mss }

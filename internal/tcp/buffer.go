@@ -1,0 +1,216 @@
+package tcp
+
+import "repro/internal/seqnum"
+
+// sendBuffer holds unacknowledged and not-yet-sent outbound bytes. The
+// byte at offset 0 always corresponds to snd.una.
+type sendBuffer struct {
+	data  []byte
+	limit int
+}
+
+func (b *sendBuffer) len() int   { return len(b.data) }
+func (b *sendBuffer) space() int { return b.limit - len(b.data) }
+
+// write appends up to space() bytes from p, returning how many were
+// taken.
+func (b *sendBuffer) write(p []byte) int {
+	n := b.space()
+	if n > len(p) {
+		n = len(p)
+	}
+	b.data = append(b.data, p[:n]...)
+	return n
+}
+
+// slice returns up to n bytes starting at byte offset off (relative to
+// snd.una). The returned slice must not be retained across acks.
+func (b *sendBuffer) slice(off, n int) []byte {
+	if off >= len(b.data) {
+		return nil
+	}
+	end := off + n
+	if end > len(b.data) {
+		end = len(b.data)
+	}
+	return b.data[off:end]
+}
+
+// ack discards n bytes from the front (they were cumulatively acked).
+func (b *sendBuffer) ack(n int) {
+	if n > len(b.data) {
+		n = len(b.data)
+	}
+	b.data = b.data[n:]
+	// Reclaim storage occasionally so long-lived connections do not pin
+	// the high-water-mark backing array.
+	if cap(b.data) > 4*b.limit && len(b.data) < b.limit {
+		b.data = append([]byte(nil), b.data...)
+	}
+}
+
+// recvBuffer holds in-order bytes awaiting the application plus the
+// out-of-order reassembly queue. Out-of-order bytes count against the
+// advertised window: this is precisely the transport-level head-of-line
+// pressure the paper describes for TCP (Figure 5).
+type recvBuffer struct {
+	inorder []byte
+	ooo     []oooSeg // sorted by Seq, non-overlapping
+	oooLen  int
+	limit   int
+}
+
+type oooSeg struct {
+	Seq  seqnum.V
+	Data []byte
+}
+
+func (b *recvBuffer) readable() int { return len(b.inorder) }
+
+// window returns the receive window to advertise. As in BSD, the
+// reassembly (out-of-order) queue is not charged against the advertised
+// window — only undelivered in-order bytes are. This keeps duplicate
+// ACKs carrying an unchanged window during a loss episode, which is
+// what lets the sender count them. The paper's head-of-line pressure
+// (Figure 5) still holds: Msg-B's bytes sit in the buffer and are
+// capped by insertOOO, and once the hole fills they land in the
+// in-order queue and shrink the window until the application reads.
+func (b *recvBuffer) window() int {
+	w := b.limit - len(b.inorder)
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// read moves up to len(p) in-order bytes to p.
+func (b *recvBuffer) read(p []byte) int {
+	n := copy(p, b.inorder)
+	b.inorder = b.inorder[n:]
+	if cap(b.inorder) > 4*b.limit && len(b.inorder) < b.limit {
+		b.inorder = append([]byte(nil), b.inorder...)
+	}
+	return n
+}
+
+// deliver appends in-order data for the application.
+func (b *recvBuffer) deliver(data []byte) {
+	b.inorder = append(b.inorder, data...)
+}
+
+// insertOOO stores an out-of-order segment [seq, seq+len(data)),
+// trimming any overlap with already-stored segments. It returns the
+// number of new bytes stored. The reassembly queue is bounded by the
+// buffer limit; segments beyond it are dropped (the peer retransmits).
+func (b *recvBuffer) insertOOO(seq seqnum.V, data []byte) int {
+	if len(data) == 0 || b.oooLen >= b.limit {
+		return 0
+	}
+	stored := 0
+	// Walk the sorted queue, trimming the incoming range against each
+	// existing segment and inserting the non-overlapping pieces.
+	for i := 0; i <= len(b.ooo); i++ {
+		if len(data) == 0 {
+			break
+		}
+		if i == len(b.ooo) {
+			cp := append([]byte(nil), data...)
+			b.ooo = append(b.ooo, oooSeg{seq, cp})
+			stored += len(cp)
+			break
+		}
+		cur := b.ooo[i]
+		curEnd := cur.Seq.Add(uint32(len(cur.Data)))
+		segEnd := seq.Add(uint32(len(data)))
+		if segEnd.LessEq(cur.Seq) {
+			// Entirely before cur: insert here.
+			cp := append([]byte(nil), data...)
+			b.ooo = append(b.ooo[:i], append([]oooSeg{{seq, cp}}, b.ooo[i:]...)...)
+			stored += len(cp)
+			data = nil
+			break
+		}
+		if seq.GreaterEq(curEnd) {
+			continue // entirely after cur
+		}
+		// Overlap. Keep the part before cur (if any), then continue
+		// with the part after cur.
+		if seq.Less(cur.Seq) {
+			n := cur.Seq.Sub(seq)
+			cp := append([]byte(nil), data[:n]...)
+			b.ooo = append(b.ooo[:i], append([]oooSeg{{seq, cp}}, b.ooo[i:]...)...)
+			stored += int(n)
+			i++ // skip the piece we just inserted
+		}
+		if segEnd.Greater(curEnd) {
+			drop := curEnd.Sub(seq)
+			data = data[drop:]
+			seq = curEnd
+		} else {
+			data = nil
+			break
+		}
+	}
+	b.oooLen += stored
+	return stored
+}
+
+// extract pops consecutive out-of-order segments starting at nxt,
+// delivering them in-order, and returns the new nxt.
+func (b *recvBuffer) extract(nxt seqnum.V) seqnum.V {
+	for len(b.ooo) > 0 {
+		s := b.ooo[0]
+		end := s.Seq.Add(uint32(len(s.Data)))
+		if s.Seq.Greater(nxt) {
+			break
+		}
+		// s.Seq <= nxt; deliver the part at or beyond nxt.
+		if end.Greater(nxt) {
+			skip := nxt.Sub(s.Seq)
+			b.deliver(s.Data[skip:])
+			nxt = end
+		}
+		b.oooLen -= len(s.Data)
+		b.ooo = b.ooo[1:]
+	}
+	return nxt
+}
+
+// sackBlocks builds up to max SACK blocks describing the out-of-order
+// queue, most-recently-relevant first per RFC 2018. firstHint, when
+// nonzero length, is placed first (the block containing the most
+// recently received segment).
+func (b *recvBuffer) sackBlocks(max int, recentSeq seqnum.V, recentLen int) []sackBlock {
+	if len(b.ooo) == 0 {
+		return nil
+	}
+	// Coalesce adjacent stored segments into blocks.
+	var blocks []sackBlock
+	cur := sackBlock{b.ooo[0].Seq, b.ooo[0].Seq.Add(uint32(len(b.ooo[0].Data)))}
+	for _, s := range b.ooo[1:] {
+		if s.Seq == cur.End {
+			cur.End = cur.End.Add(uint32(len(s.Data)))
+			continue
+		}
+		blocks = append(blocks, cur)
+		cur = sackBlock{s.Seq, s.Seq.Add(uint32(len(s.Data)))}
+	}
+	blocks = append(blocks, cur)
+	// Move the block containing the most recent arrival to the front.
+	if recentLen > 0 {
+		for i, blk := range blocks {
+			if recentSeq.GreaterEq(blk.Start) && recentSeq.Less(blk.End) {
+				if i != 0 {
+					blk := blocks[i]
+					copy(blocks[1:i+1], blocks[0:i])
+					blocks[0] = blk
+				}
+				break
+			}
+		}
+	}
+	if len(blocks) > max {
+		blocks = blocks[:max]
+	}
+	return blocks
+}

@@ -1,0 +1,32 @@
+package tcp
+
+import "fmt"
+
+// debugFail, when set, observes terminal connection failures.
+var debugFail func(c *Conn, err error)
+
+// debugRTO, when set, observes retransmission timeouts.
+var debugRTO func(c *Conn)
+
+// SetDebugHooks installs observers for connection failures and RTO
+// expiries (pass nils to remove). Intended for tests and diagnosis.
+func SetDebugHooks(onFail func(info string), onRTO func(info string)) {
+	if onFail == nil {
+		debugFail = nil
+	} else {
+		debugFail = func(c *Conn, err error) {
+			onFail(fmt.Sprintf("t=%v %v:%d->%v:%d err=%v una=%d nxt=%d peerWnd=%d retries=%d sb=%d rb=%d",
+				c.kernel().Now(), c.laddr, c.lport, c.raddr, c.rport, err,
+				c.sndUna, c.sndNxt, c.peerWnd, c.retries, c.sb.len(), c.rb.readable()))
+		}
+	}
+	if onRTO == nil {
+		debugRTO = nil
+	} else {
+		debugRTO = func(c *Conn) {
+			onRTO(fmt.Sprintf("t=%v %v:%d->%v:%d RTO retries=%d out=%d peerWnd=%d rto=%v",
+				c.kernel().Now(), c.laddr, c.lport, c.raddr, c.rport,
+				c.retries, c.outstanding(), c.peerWnd, c.rto<<c.rtxShift))
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// TestNoAckBeyondMaxUnderLoss is the regression guard for a
+// retransmission-overrun bug: retransmitHole once transmitted bytes
+// past snd.nxt (unsent buffer data), desynchronizing the endpoints so
+// that every subsequent ACK exceeded snd.max and was ignored until the
+// connection died. Heavy bidirectional traffic under loss with SACK
+// recovery must never produce an ACK above snd.max.
+func TestNoAckBeyondMaxUnderLoss(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		lp := lan()
+		lp.LossRate = 0.03
+		k, sa, sb, _ := pair(seed, lp, Config{NoDelay: true, SndBuf: 220 << 10, RcvBuf: 220 << 10})
+		l, _ := sb.Listen(5000)
+		var c1, c2 *Conn
+		echo := func(p *sim.Proc, c *Conn, rounds, size int, initiator bool) {
+			buf := make([]byte, size)
+			for i := 0; i < rounds; i++ {
+				if initiator {
+					if _, err := c.Write(p, buf); err != nil {
+						return
+					}
+				}
+				got := 0
+				for got < size {
+					n, err := c.Read(p, buf[got:])
+					if err != nil {
+						return
+					}
+					got += n
+				}
+				if !initiator {
+					if _, err := c.Write(p, buf); err != nil {
+						return
+					}
+				}
+			}
+			c.Close()
+		}
+		k.Spawn("server", func(p *sim.Proc) {
+			c, err := l.Accept(p)
+			if err != nil {
+				return
+			}
+			c2 = c
+			echo(p, c, 30, 30<<10, false)
+		})
+		k.Spawn("client", func(p *sim.Proc) {
+			c, err := sa.Connect(p, netsim.MakeAddr(0, 2), 5000)
+			if err != nil {
+				return
+			}
+			c1 = c
+			echo(p, c, 30, 30<<10, true)
+		})
+		if err := k.RunFor(10 * time.Minute); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i, c := range []*Conn{c1, c2} {
+			if c == nil {
+				t.Fatalf("seed %d: conn %d never established", seed, i)
+			}
+			if c.Stats.AcksBeyondMax != 0 {
+				t.Errorf("seed %d: conn %d saw %d ACKs beyond snd.max", seed, i, c.Stats.AcksBeyondMax)
+			}
+			if c.Err() == ErrTimeout {
+				t.Errorf("seed %d: conn %d died of timeout under mild loss", seed, i)
+			}
+		}
+	}
+}
+
+// TestZeroWindowProbeAccounting: a probe byte accepted by the peer must
+// stay within the sender's sequence accounting (the probe advances
+// snd.nxt like BSD's forced output).
+func TestZeroWindowProbeAccounting(t *testing.T) {
+	k, sa, sb, _ := pair(11, lan(), Config{NoDelay: true, SndBuf: 8 << 10, RcvBuf: 8 << 10})
+	l, _ := sb.Listen(5000)
+	var cli *Conn
+	const total = 64 << 10
+	received := 0
+	k.Spawn("server", func(p *sim.Proc) {
+		c, _ := l.Accept(p)
+		buf := make([]byte, 1024)
+		for received < total {
+			// Alternate long stalls (forcing zero-window probes) with
+			// bursts of reading.
+			p.Sleep(3 * time.Second)
+			for i := 0; i < 16 && received < total; i++ {
+				n, err := c.Read(p, buf)
+				received += n
+				if err != nil {
+					return
+				}
+			}
+		}
+	})
+	k.Spawn("client", func(p *sim.Proc) {
+		c, err := sa.Connect(p, netsim.MakeAddr(0, 2), 5000)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cli = c
+		if _, err := c.Write(p, make([]byte, total)); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := k.RunFor(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if received != total {
+		t.Fatalf("received %d of %d", received, total)
+	}
+	if cli.Stats.AcksBeyondMax != 0 {
+		t.Errorf("%d ACKs beyond snd.max after zero-window probing", cli.Stats.AcksBeyondMax)
+	}
+	if cli.Err() == ErrTimeout {
+		t.Error("connection died during zero-window episodes")
+	}
+}

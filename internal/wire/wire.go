@@ -1,0 +1,141 @@
+// Package wire provides small helpers for serializing protocol headers
+// (big-endian, network byte order) plus the CRC32c checksum used by
+// SCTP packets.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// ErrShort is returned by a Reader when the buffer does not contain the
+// requested quantity.
+var ErrShort = errors.New("wire: short buffer")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CRC32c returns the CRC32c (Castagnoli) checksum of b, as used by SCTP.
+func CRC32c(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// Writer appends big-endian fields to a byte slice.
+type Writer struct {
+	B []byte
+}
+
+// NewWriter returns a Writer with capacity hint n.
+func NewWriter(n int) *Writer { return &Writer{B: make([]byte, 0, n)} }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.B = append(w.B, v) }
+
+// U16 appends a big-endian uint16.
+func (w *Writer) U16(v uint16) { w.B = binary.BigEndian.AppendUint16(w.B, v) }
+
+// U32 appends a big-endian uint32.
+func (w *Writer) U32(v uint32) { w.B = binary.BigEndian.AppendUint32(w.B, v) }
+
+// U64 appends a big-endian uint64.
+func (w *Writer) U64(v uint64) { w.B = binary.BigEndian.AppendUint64(w.B, v) }
+
+// Bytes appends raw bytes.
+func (w *Writer) Bytes(b []byte) { w.B = append(w.B, b...) }
+
+// Pad appends zero bytes until len(w.B) is a multiple of align.
+func (w *Writer) Pad(align int) {
+	for len(w.B)%align != 0 {
+		w.B = append(w.B, 0)
+	}
+}
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.B) }
+
+// Reader consumes big-endian fields from a byte slice.
+type Reader struct {
+	B   []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over b.
+func NewReader(b []byte) *Reader { return &Reader{B: b} }
+
+// Err returns the first error encountered (ErrShort) or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.B) - r.off }
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	if r.err != nil || r.off+1 > len(r.B) {
+		r.fail()
+		return 0
+	}
+	v := r.B[r.off]
+	r.off++
+	return v
+}
+
+// U16 reads a big-endian uint16.
+func (r *Reader) U16() uint16 {
+	if r.err != nil || r.off+2 > len(r.B) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.B[r.off:])
+	r.off += 2
+	return v
+}
+
+// U32 reads a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	if r.err != nil || r.off+4 > len(r.B) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.B[r.off:])
+	r.off += 4
+	return v
+}
+
+// U64 reads a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	if r.err != nil || r.off+8 > len(r.B) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.B[r.off:])
+	r.off += 8
+	return v
+}
+
+// Bytes reads n raw bytes. The returned slice aliases the input.
+func (r *Reader) Bytes(n int) []byte {
+	if n < 0 || r.err != nil || r.off+n > len(r.B) {
+		r.fail()
+		return nil
+	}
+	v := r.B[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// Skip discards n bytes.
+func (r *Reader) Skip(n int) {
+	if n < 0 || r.err != nil || r.off+n > len(r.B) {
+		r.fail()
+		return
+	}
+	r.off += n
+}
+
+// Rest returns all unread bytes without consuming them.
+func (r *Reader) Rest() []byte { return r.B[r.off:] }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = ErrShort
+	}
+}

@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter(32)
+	w.U8(0xab)
+	w.U16(0x1234)
+	w.U32(0xdeadbeef)
+	w.U64(0x0102030405060708)
+	w.Bytes([]byte("hello"))
+	w.Pad(4)
+
+	r := NewReader(w.B)
+	if v := r.U8(); v != 0xab {
+		t.Errorf("U8 = %#x", v)
+	}
+	if v := r.U16(); v != 0x1234 {
+		t.Errorf("U16 = %#x", v)
+	}
+	if v := r.U32(); v != 0xdeadbeef {
+		t.Errorf("U32 = %#x", v)
+	}
+	if v := r.U64(); v != 0x0102030405060708 {
+		t.Errorf("U64 = %#x", v)
+	}
+	if v := r.Bytes(5); !bytes.Equal(v, []byte("hello")) {
+		t.Errorf("Bytes = %q", v)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if w.Len()%4 != 0 {
+		t.Errorf("Pad left length %d", w.Len())
+	}
+}
+
+func TestShortReads(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	r.U32()
+	if r.Err() != ErrShort {
+		t.Fatalf("err = %v, want ErrShort", r.Err())
+	}
+	// Subsequent reads keep failing without panicking.
+	r.U8()
+	r.Bytes(10)
+	r.Skip(1)
+	if r.Err() != ErrShort {
+		t.Fatal("error cleared")
+	}
+}
+
+func TestReaderNegativeCounts(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	if b := r.Bytes(-1); b != nil || r.Err() == nil {
+		t.Fatal("negative Bytes accepted")
+	}
+}
+
+func TestQuickU32RoundTrip(t *testing.T) {
+	f := func(vals []uint32) bool {
+		w := NewWriter(4 * len(vals))
+		for _, v := range vals {
+			w.U32(v)
+		}
+		r := NewReader(w.B)
+		for _, v := range vals {
+			if r.U32() != v {
+				return false
+			}
+		}
+		return r.Err() == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC32c(t *testing.T) {
+	// Known value: CRC32c("123456789") = 0xE3069283.
+	if got := CRC32c([]byte("123456789")); got != 0xE3069283 {
+		t.Fatalf("CRC32c = %#x, want 0xE3069283", got)
+	}
+	if CRC32c(nil) != 0 {
+		t.Fatal("CRC32c(nil) != 0")
+	}
+}
