@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check fmt vet build test bench paper
+
+# Tier-1 gate: formatting, vet, build, full test suite.
+check:
+	./scripts/check.sh
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+paper:
+	$(GO) run ./cmd/paper -exp all -quick

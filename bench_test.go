@@ -366,6 +366,46 @@ func BenchmarkAblationOptionC(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationOneToOne: the paper §2.1 socket-style ablation —
+// the one-to-many socket (one descriptor, no select) versus one-to-one
+// associations (one descriptor per peer, select scan back). A
+// barrier-heavy small-message loop maximizes Advance polls, so the
+// per-descriptor cost shows up directly as world size grows.
+func BenchmarkAblationOneToOne(b *testing.B) {
+	for _, tr := range []core.Transport{core.SCTP, core.SCTPOneToOne} {
+		tr := tr
+		for _, procs := range []int{4, 8, 16} {
+			procs := procs
+			b.Run(tr.String()+"/procs"+itoa(procs), func(b *testing.B) {
+				var secs float64
+				for i := 0; i < b.N; i++ {
+					rep, err := core.Run(core.Options{
+						Procs: procs, Transport: tr, Seed: 3,
+					}, func(pr *mpi.Process, comm *mpi.Comm) error {
+						buf := make([]byte, 256)
+						next := (comm.Rank() + 1) % comm.Size()
+						prev := (comm.Rank() - 1 + comm.Size()) % comm.Size()
+						for j := 0; j < 40; j++ {
+							if _, err := comm.SendRecv(next, 0, buf, prev, 0, buf); err != nil {
+								return err
+							}
+							if err := comm.Barrier(); err != nil {
+								return err
+							}
+						}
+						return nil
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					secs = rep.Elapsed.Seconds()
+				}
+				b.ReportMetric(secs, "vsec/run")
+			})
+		}
+	}
+}
+
 // BenchmarkAblationDelayedSack: immediate versus delayed SACKs.
 func BenchmarkAblationDelayedSack(b *testing.B) {
 	for _, every := range []int{1, 2} {

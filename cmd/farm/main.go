@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	transport := flag.String("transport", "sctp", "tcp|sctp|sctp1 (single stream)")
+	transport := flag.String("transport", "sctp", "tcp|sctp|sctp1 (single stream)|sctp1to1 (one socket per peer)")
 	procs := flag.Int("procs", 8, "processes (1 manager + N-1 workers)")
 	tasks := flag.Int("tasks", 10000, "total tasks")
 	size := flag.Int("size", 30<<10, "task size in bytes (paper: 30K short, 300K long)")
@@ -24,16 +24,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
-	var tr core.Transport
-	switch *transport {
-	case "tcp":
-		tr = core.TCP
-	case "sctp":
-		tr = core.SCTP
-	case "sctp1":
-		tr = core.SCTPSingleStream
-	default:
-		fmt.Fprintf(os.Stderr, "unknown transport %q\n", *transport)
+	tr, err := core.ParseTransport(*transport)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 

@@ -13,21 +13,16 @@ import (
 )
 
 func main() {
-	transport := flag.String("transport", "sctp", "tcp|sctp")
+	transport := flag.String("transport", "sctp", "tcp|sctp|sctp1|sctp1to1")
 	kernel := flag.String("kernel", "all", "LU|SP|EP|CG|BT|MG|IS|all")
 	class := flag.String("class", "B", "S|W|A|B")
 	loss := flag.Float64("loss", 0, "Bernoulli loss rate")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
-	var tr core.Transport
-	switch *transport {
-	case "tcp":
-		tr = core.TCP
-	case "sctp":
-		tr = core.SCTP
-	default:
-		fmt.Fprintf(os.Stderr, "unknown transport %q\n", *transport)
+	tr, err := core.ParseTransport(*transport)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	c := nas.Class(strings.ToUpper(*class)[0])

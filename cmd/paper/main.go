@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/bench/nas"
+	"repro/internal/core"
 )
 
 func main() {
@@ -30,7 +31,19 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller iteration/task counts")
 	class := flag.String("class", "B", "NAS class for fig9: S|W|A|B")
 	tasks := flag.Int("tasks", 0, "farm task count override (paper: 10000)")
+	rpis := flag.String("rpi", "tcp,sctp",
+		"comma-separated RPI backends for fig8 (tcp|sctp|sctp1|sctp1to1)")
 	flag.Parse()
+
+	var transports []core.Transport
+	for _, name := range strings.Split(*rpis, ",") {
+		tr, err := core.ParseTransport(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		transports = append(transports, tr)
+	}
 
 	iters := 100
 	farmTasks := 10000
@@ -55,7 +68,7 @@ func main() {
 	}
 
 	run("fig8", func() error {
-		t, err := bench.Fig8(*seed, iters)
+		t, err := bench.Fig8Transports(*seed, iters, transports)
 		if err != nil {
 			return err
 		}

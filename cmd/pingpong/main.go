@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	transport := flag.String("transport", "sctp", "tcp|sctp|sctp1 (single stream)")
+	transport := flag.String("transport", "sctp", "tcp|sctp|sctp1 (single stream)|sctp1to1 (one socket per peer)")
 	size := flag.Int("size", 30<<10, "message size in bytes")
 	iters := flag.Int("iters", 100, "measured iterations")
 	warmup := flag.Int("warmup", 10, "warmup iterations")
@@ -22,7 +22,7 @@ func main() {
 	buf := flag.Int("buf", core.PaperBufSize, "socket buffer bytes")
 	flag.Parse()
 
-	tr, err := parseTransport(*transport)
+	tr, err := core.ParseTransport(*transport)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -39,16 +39,4 @@ func main() {
 	}
 	fmt.Printf("%s size=%d loss=%.2f%%: %.0f bytes/s (%d iters in %v virtual)\n",
 		tr, r.MsgSize, *loss*100, r.Throughput, r.Iters, r.Elapsed)
-}
-
-func parseTransport(s string) (core.Transport, error) {
-	switch s {
-	case "tcp":
-		return core.TCP, nil
-	case "sctp":
-		return core.SCTP, nil
-	case "sctp1":
-		return core.SCTPSingleStream, nil
-	}
-	return 0, fmt.Errorf("unknown transport %q (want tcp, sctp or sctp1)", s)
 }

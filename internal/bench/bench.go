@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"repro/internal/core"
 )
 
 // Row is one line of an experiment table.
@@ -64,3 +66,18 @@ func formatValue(v float64) string {
 
 // Seconds converts a virtual duration to float seconds.
 func Seconds(d time.Duration) float64 { return d.Seconds() }
+
+// FormatRPIStats renders a report's per-rank RPI counters, one line per
+// rank with "k=v" pairs in sorted key order, so the same run always
+// prints the same text and two backends' stats line up for comparison.
+func FormatRPIStats(rep *core.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "--- %s RPI counters ---\n", rep.Transport)
+	for rank, c := range rep.RPIStats {
+		if c == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "rank %d: %s\n", rank, c.Format())
+	}
+	return b.String()
+}

@@ -84,34 +84,48 @@ var Fig8Sizes = []int{
 // Fig8 regenerates Figure 8: ping-pong throughput for each size under
 // no loss, SCTP normalized to TCP.
 func Fig8(seed int64, iters int) (*Table, error) {
+	return Fig8Transports(seed, iters, nil)
+}
+
+// Fig8Transports is Fig8 over an arbitrary transport list (the -rpi
+// flag of cmd/paper): one throughput column per transport plus each
+// later transport's throughput normalized to the first. nil selects
+// the paper's pair (TCP, SCTP).
+func Fig8Transports(seed int64, iters int, transports []core.Transport) (*Table, error) {
+	if len(transports) == 0 {
+		transports = []core.Transport{core.TCP, core.SCTP}
+	}
+	base := transports[0]
 	t := &Table{
-		Title:   "Figure 8: MPBench ping-pong, no loss (SCTP throughput normalized to TCP)",
-		Columns: []string{"TCP B/s", "SCTP B/s", "SCTP/TCP"},
+		Title: "Figure 8: MPBench ping-pong, no loss (throughput normalized to " +
+			base.String() + ")",
 		Notes: []string{
 			"paper shape: TCP wins small messages, crossover ~22 KiB, SCTP wins large",
 		},
+	}
+	for _, tr := range transports {
+		t.Columns = append(t.Columns, tr.String()+" B/s")
+	}
+	for _, tr := range transports[1:] {
+		t.Columns = append(t.Columns, fmt.Sprintf("%s/%s", tr, base))
 	}
 	for _, sz := range Fig8Sizes {
 		it := iters
 		if sz >= 32768 && it > 60 {
 			it = 60
 		}
-		tcpRes, err := PingPong(core.Options{Transport: core.TCP, Seed: seed}, sz, it, 10)
-		if err != nil {
-			return nil, fmt.Errorf("fig8 tcp size %d: %w", sz, err)
+		vals := make([]float64, 0, 2*len(transports)-1)
+		for _, tr := range transports {
+			r, err := PingPong(core.Options{Transport: tr, Seed: seed}, sz, it, 10)
+			if err != nil {
+				return nil, fmt.Errorf("fig8 %v size %d: %w", tr, sz, err)
+			}
+			vals = append(vals, r.Throughput)
 		}
-		sctpRes, err := PingPong(core.Options{Transport: core.SCTP, Seed: seed}, sz, it, 10)
-		if err != nil {
-			return nil, fmt.Errorf("fig8 sctp size %d: %w", sz, err)
+		for _, v := range vals[1:len(transports)] {
+			vals = append(vals, v/vals[0])
 		}
-		t.Rows = append(t.Rows, Row{
-			Label: fmt.Sprintf("%d bytes", sz),
-			Values: []float64{
-				tcpRes.Throughput,
-				sctpRes.Throughput,
-				sctpRes.Throughput / tcpRes.Throughput,
-			},
-		})
+		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%d bytes", sz), Values: vals})
 	}
 	return t, nil
 }

@@ -14,10 +14,12 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/mpi"
 	"repro/internal/mpi/rpi"
+	"repro/internal/mpi/sctp1to1rpi"
 	"repro/internal/mpi/sctprpi"
 	"repro/internal/mpi/tcprpi"
 	"repro/internal/netsim"
@@ -34,6 +36,7 @@ const (
 	TCP              Transport = iota // LAM-TCP analogue
 	SCTP                              // the paper's multistream SCTP module
 	SCTPSingleStream                  // SCTP reduced to one stream (Figure 12 ablation)
+	SCTPOneToOne                      // one-to-one socket style: one association per peer (§2.1 ablation)
 )
 
 func (t Transport) String() string {
@@ -44,8 +47,37 @@ func (t Transport) String() string {
 		return "LAM_SCTP"
 	case SCTPSingleStream:
 		return "LAM_SCTP_1stream"
+	case SCTPOneToOne:
+		return "LAM_SCTP_1to1"
 	}
 	return "?"
+}
+
+// transportNames maps the command-line names to transports; the RPI
+// registry below maps each transport to its module builder.
+var transportNames = map[string]Transport{
+	"tcp":      TCP,
+	"sctp":     SCTP,
+	"sctp1":    SCTPSingleStream,
+	"sctp1to1": SCTPOneToOne,
+}
+
+// ParseTransport resolves a command-line transport name.
+func ParseTransport(name string) (Transport, error) {
+	if t, ok := transportNames[name]; ok {
+		return t, nil
+	}
+	return 0, fmt.Errorf("core: unknown transport %q (have %v)", name, TransportNames())
+}
+
+// TransportNames returns the selectable transport names, sorted.
+func TransportNames() []string {
+	names := make([]string, 0, len(transportNames))
+	for n := range transportNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // PaperBufSize is the socket buffer size used in all the paper's
@@ -158,11 +190,126 @@ func DefaultSCTPCost() rpi.CostModel {
 	}
 }
 
+// DefaultSCTP1to1Cost is the model for the one-to-one socket style:
+// the same 2005-era SCTP stack costs as DefaultSCTPCost, but with the
+// TCP module's select() descriptor scan back, because each peer owns a
+// descriptor again (paper §2.1 / §3.3).
+func DefaultSCTP1to1Cost() rpi.CostModel {
+	return rpi.CostModel{
+		SendPerMsg: 8500 * time.Nanosecond,
+		RecvPerMsg: 8500 * time.Nanosecond,
+		SendPerKB:  180 * time.Nanosecond,
+		RecvPerKB:  180 * time.Nanosecond,
+		PollBase:   1 * time.Microsecond,
+		PollPerFD:  200 * time.Nanosecond,
+	}
+}
+
+// meshEnv bundles the per-cluster context every module builder needs.
+type meshEnv struct {
+	addrs     []netsim.Addr
+	addrLists [][]netsim.Addr
+	barrier   *rpi.Barrier
+}
+
+// moduleBuilder constructs one rank's RPI module on its node.
+type moduleBuilder func(opts Options, nd *netsim.Node, rank int, env *meshEnv) rpi.RPI
+
+// builders is the RPI registry: adding a transport means adding a name
+// in transportNames and a builder here.
+var builders = map[Transport]moduleBuilder{
+	TCP:              buildTCP,
+	SCTP:             buildSCTP,
+	SCTPSingleStream: buildSCTP,
+	SCTPOneToOne:     buildSCTP1to1,
+}
+
+// cost resolves the effective cost model given the transport default.
+func (o Options) cost(def rpi.CostModel) rpi.CostModel {
+	if o.NoCost {
+		return rpi.CostModel{}
+	}
+	if o.Cost != nil {
+		return *o.Cost
+	}
+	return def
+}
+
+// tcpConfig resolves the effective TCP stack configuration.
+func (o Options) tcpConfig() tcp.Config {
+	cfg := tcp.Config{SndBuf: o.BufSize, RcvBuf: o.BufSize, NoDelay: true}
+	if o.TCPConfig != nil {
+		cfg = *o.TCPConfig
+		if cfg.SndBuf == 0 {
+			cfg.SndBuf = o.BufSize
+		}
+		if cfg.RcvBuf == 0 {
+			cfg.RcvBuf = o.BufSize
+		}
+	}
+	return cfg
+}
+
+// sctpConfig resolves the effective SCTP stack configuration.
+func (o Options) sctpConfig() sctp.Config {
+	cfg := sctp.Config{
+		SndBuf:         o.BufSize,
+		RcvBuf:         o.BufSize,
+		Streams:        o.Streams,
+		HBDisable:      o.IfacesPerNode < 2,
+		ChecksumVerify: o.SCTPChecksum,
+		CMT:            o.CMT && o.IfacesPerNode >= 2,
+	}
+	if o.SCTPConfig != nil {
+		cfg = *o.SCTPConfig
+		if cfg.SndBuf == 0 {
+			cfg.SndBuf = o.BufSize
+		}
+		if cfg.RcvBuf == 0 {
+			cfg.RcvBuf = o.BufSize
+		}
+		if cfg.Streams == 0 {
+			cfg.Streams = o.Streams
+		}
+	}
+	return cfg
+}
+
+func buildTCP(opts Options, nd *netsim.Node, rank int, env *meshEnv) rpi.RPI {
+	cfg := opts.tcpConfig()
+	st := tcp.NewStack(nd, cfg)
+	return tcprpi.New(st, rank, env.addrs, env.barrier, tcprpi.Options{
+		Cost: opts.cost(DefaultTCPCost()),
+		TCP:  cfg,
+	})
+}
+
+func buildSCTP(opts Options, nd *netsim.Node, rank int, env *meshEnv) rpi.RPI {
+	cfg := opts.sctpConfig()
+	st := sctp.NewStack(nd, cfg)
+	return sctprpi.New(st, rank, env.addrLists, env.barrier, sctprpi.Options{
+		Cost:         opts.cost(DefaultSCTPCost()),
+		SCTP:         cfg,
+		SingleStream: opts.Transport == SCTPSingleStream,
+		OptionC:      opts.SCTPOptionC,
+	})
+}
+
+func buildSCTP1to1(opts Options, nd *netsim.Node, rank int, env *meshEnv) rpi.RPI {
+	cfg := opts.sctpConfig()
+	st := sctp.NewStack(nd, cfg)
+	return sctp1to1rpi.New(st, rank, env.addrLists, env.barrier, sctp1to1rpi.Options{
+		Cost:    opts.cost(DefaultSCTP1to1Cost()),
+		SCTP:    cfg,
+		OptionC: opts.SCTPOptionC,
+	})
+}
+
 // Report summarizes a completed run.
 type Report struct {
 	Elapsed   time.Duration // total virtual time, including setup/teardown
 	NetStats  netsim.Stats
-	RPIStats  []map[string]int64 // per rank
+	RPIStats  []rpi.Counters // per rank; deterministic iteration via Keys()
 	RankErrs  []error
 	SimErr    error // deadlock or run error
 	Transport Transport
@@ -211,7 +358,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 
 	barrier := rpi.NewBarrier(k, opts.Procs)
 	report := &Report{
-		RPIStats:  make([]map[string]int64, opts.Procs),
+		RPIStats:  make([]rpi.Counters, opts.Procs),
 		RankErrs:  make([]error, opts.Procs),
 		Transport: opts.Transport,
 	}
@@ -223,67 +370,13 @@ func NewCluster(opts Options) (*Cluster, error) {
 		addrLists[i] = nd.Addrs()
 	}
 
+	build, ok := builders[opts.Transport]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown transport %d", opts.Transport)
+	}
 	modules := make([]rpi.RPI, opts.Procs)
 	for i, nd := range nodes {
-		switch opts.Transport {
-		case TCP:
-			cfg := tcp.Config{SndBuf: opts.BufSize, RcvBuf: opts.BufSize, NoDelay: true}
-			if opts.TCPConfig != nil {
-				cfg = *opts.TCPConfig
-				if cfg.SndBuf == 0 {
-					cfg.SndBuf = opts.BufSize
-				}
-				if cfg.RcvBuf == 0 {
-					cfg.RcvBuf = opts.BufSize
-				}
-			}
-			cost := DefaultTCPCost()
-			if opts.Cost != nil {
-				cost = *opts.Cost
-			}
-			if opts.NoCost {
-				cost = rpi.CostModel{}
-			}
-			st := tcp.NewStack(nd, cfg)
-			modules[i] = tcprpi.New(st, i, addrs, barrier, tcprpi.Options{Cost: cost, TCP: cfg})
-		case SCTP, SCTPSingleStream:
-			cfg := sctp.Config{
-				SndBuf:         opts.BufSize,
-				RcvBuf:         opts.BufSize,
-				Streams:        opts.Streams,
-				HBDisable:      opts.IfacesPerNode < 2,
-				ChecksumVerify: opts.SCTPChecksum,
-				CMT:            opts.CMT && opts.IfacesPerNode >= 2,
-			}
-			if opts.SCTPConfig != nil {
-				cfg = *opts.SCTPConfig
-				if cfg.SndBuf == 0 {
-					cfg.SndBuf = opts.BufSize
-				}
-				if cfg.RcvBuf == 0 {
-					cfg.RcvBuf = opts.BufSize
-				}
-				if cfg.Streams == 0 {
-					cfg.Streams = opts.Streams
-				}
-			}
-			cost := DefaultSCTPCost()
-			if opts.Cost != nil {
-				cost = *opts.Cost
-			}
-			if opts.NoCost {
-				cost = rpi.CostModel{}
-			}
-			st := sctp.NewStack(nd, cfg)
-			modules[i] = sctprpi.New(st, i, addrLists, barrier, sctprpi.Options{
-				Cost:         cost,
-				SCTP:         cfg,
-				SingleStream: opts.Transport == SCTPSingleStream,
-				OptionC:      opts.SCTPOptionC,
-			})
-		default:
-			return nil, fmt.Errorf("core: unknown transport %d", opts.Transport)
-		}
+		modules[i] = build(opts, nd, i, &meshEnv{addrs: addrs, addrLists: addrLists, barrier: barrier})
 	}
 	return &Cluster{
 		Opts:    opts,

@@ -9,7 +9,7 @@ import (
 	"repro/internal/mpi"
 )
 
-var allTransports = []Transport{TCP, SCTP, SCTPSingleStream}
+var allTransports = []Transport{TCP, SCTP, SCTPSingleStream, SCTPOneToOne}
 
 func TestPingPongBothTransports(t *testing.T) {
 	for _, tr := range allTransports {

@@ -40,7 +40,7 @@ func newLoopFabric(k *sim.Kernel, n int, delay time.Duration) *loopFabric {
 func (l *loopRPI) Init(p *sim.Proc) error     { return nil }
 func (l *loopRPI) SetDelivery(d rpi.Delivery) { l.deliver = d }
 func (l *loopRPI) Finalize(p *sim.Proc)       {}
-func (l *loopRPI) Counters() map[string]int64 { return map[string]int64{"sent": l.sent} }
+func (l *loopRPI) Counters() rpi.Counters     { return rpi.Counters{"sent": l.sent} }
 
 func (l *loopRPI) Send(dest int, env rpi.Envelope, body []byte, onQueued func()) {
 	l.sent++

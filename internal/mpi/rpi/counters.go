@@ -1,0 +1,42 @@
+package rpi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters is the statistics type shared by every RPI module: a
+// string-keyed counter map whose iteration helpers are deterministic
+// (sorted keys), so reports and tests can compare output across runs
+// and backends without hand-rolled ordering.
+type Counters map[string]int64
+
+// NewCounters returns an empty counter set.
+func NewCounters() Counters { return make(Counters) }
+
+// Add increments key by delta.
+func (c Counters) Add(key string, delta int64) { c[key] += delta }
+
+// Keys returns the counter names in sorted order.
+func (c Counters) Keys() []string {
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Format renders the counters as "k=v" pairs in key order, one
+// deterministic line.
+func (c Counters) Format() string {
+	var b strings.Builder
+	for i, k := range c.Keys() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, c[k])
+	}
+	return b.String()
+}

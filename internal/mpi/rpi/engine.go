@@ -1,0 +1,119 @@
+package rpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Engine is the progression machinery shared by every RPI module, so a
+// module reduces to a transport binding (the paper's §3 thesis). It
+// owns the typed counters, the delivery callback, CostModel charging,
+// the transport-notify wake-up plumbing, and the canonical Advance
+// poll loop. Modules embed it and bind it to a transport by supplying
+// a pump function that moves bytes or messages.
+type Engine struct {
+	Rank int
+	Size int
+	Cost CostModel
+
+	deliver Delivery
+	ctrs    Counters
+	self    *sim.Proc
+	cond    *sim.Cond
+	dirty   bool
+}
+
+// SetupEngine initializes the engine at module construction time.
+func (e *Engine) SetupEngine(rank, size int, cost CostModel) {
+	e.Rank, e.Size, e.Cost = rank, size, cost
+	e.ctrs = NewCounters()
+}
+
+// BindProc attaches the engine to its owning simulation process. Must
+// be called at the top of the module's Init.
+func (e *Engine) BindProc(p *sim.Proc) {
+	e.self = p
+	e.cond = sim.NewCond(p.Kernel())
+}
+
+// SetDelivery implements RPI.
+func (e *Engine) SetDelivery(d Delivery) { e.deliver = d }
+
+// Counters implements RPI.
+func (e *Engine) Counters() Counters { return e.ctrs }
+
+// Notify is the transport event hook: pass it to the endpoint's
+// SetNotify. It records that socket state changed and wakes a blocked
+// Advance.
+func (e *Engine) Notify() {
+	e.dirty = true
+	e.cond.Broadcast()
+}
+
+// CountSend records one outbound message of n body bytes and charges
+// the send-side CPU cost.
+func (e *Engine) CountSend(n int) {
+	e.ctrs.Add("msgs_sent", 1)
+	e.ctrs.Add("bytes_sent", int64(n))
+	if d := e.Cost.SendCost(n); d > 0 && e.self != nil {
+		e.self.Sleep(d)
+	}
+}
+
+// Complete records one complete inbound message, charges the
+// receive-side CPU cost, and hands it to the middleware.
+func (e *Engine) Complete(p *sim.Proc, env Envelope, body []byte) {
+	e.ctrs.Add("msgs_rcvd", 1)
+	e.ctrs.Add("bytes_rcvd", int64(len(body)))
+	if d := e.Cost.RecvCost(len(body)); d > 0 {
+		p.Sleep(d)
+	}
+	e.deliver(env, body)
+}
+
+// Loop is the canonical Advance scaffold: charge one poll pass over
+// nfds descriptors (the select()/sctp_recvmsg syscall cost the paper
+// discusses), run pump to move transport work, and — when blocking
+// with no progress — park the process until a transport notify fires.
+func (e *Engine) Loop(p *sim.Proc, block bool, nfds int, pump func() bool) {
+	for {
+		e.dirty = false
+		if d := e.Cost.PollCost(nfds); d > 0 {
+			p.Sleep(d)
+		}
+		progress := pump()
+		if progress || !block {
+			return
+		}
+		if e.dirty {
+			continue // socket state changed while we were scanning
+		}
+		e.cond.Wait(p)
+		// Loop around for another pass.
+	}
+}
+
+// MeshInit runs the connection bring-up shared by all modules: a
+// rendezvous so every listener exists before anyone connects, a dial
+// to every higher rank announcing ourselves with a hello envelope
+// (lower ranks initiate, avoiding handshake collision), the module's
+// accept step for the remaining peers, and a final rendezvous so no
+// MPI traffic precedes full connectivity — the paper's §3.4.3 MPI_Init
+// fix.
+func MeshInit(p *sim.Proc, b *Barrier, rank, size int,
+	dial func(peer int, hello Envelope) error,
+	accept func() error) error {
+	b.Arrive(p)
+	hello := Envelope{Kind: KindHello, Rank: int32(rank)}
+	for j := rank + 1; j < size; j++ {
+		if err := dial(j, hello); err != nil {
+			return fmt.Errorf("rpi: rank %d dial %d: %w", rank, j, err)
+		}
+	}
+	if err := accept(); err != nil {
+		return err
+	}
+	b.Arrive(p)
+	return nil
+}

@@ -1,0 +1,314 @@
+package rpi
+
+import (
+	"errors"
+
+	"repro/internal/transport"
+)
+
+// This file is the message-oriented half of the shared engine: the
+// Option B/C outbound writer lock and the per-stream inbound chunk
+// reassembler that SCTP-style transports (one-to-many and one-to-one
+// alike) need, where the transport preserves message boundaries and the
+// middleware chunks long messages itself (paper §3.6).
+
+// Payload protocol identifiers distinguishing middleware frame types on
+// the wire (the SCTP PPID field, which the paper notes is free for
+// application use).
+const (
+	PPIDEnvelope = 1
+	PPIDBody     = 2
+)
+
+// StreamFor is the shared TRC→stream mapping: messages with the same
+// (context, tag) always share a stream; different TRCs spread across
+// the pool (paper §3.2.3).
+func StreamFor(streams int, context, tag int32) uint16 {
+	if streams <= 1 {
+		return 0
+	}
+	h := uint32(context)*2654435761 + uint32(tag)*40503
+	return uint16(h % uint32(streams))
+}
+
+// DeriveBodyChunk picks the middleware chunk size for messages larger
+// than the transport send buffer: explicit if positive, otherwise a
+// quarter of the send buffer clamped to [4 KiB, 64 KiB].
+func DeriveBodyChunk(explicit, sndBuf int) int {
+	if explicit > 0 {
+		return explicit
+	}
+	c := sndBuf / 4
+	if c > 64<<10 {
+		c = 64 << 10
+	}
+	if c < 4<<10 {
+		c = 4 << 10
+	}
+	return c
+}
+
+// MsgKey identifies one outbound (peer rank, stream) writer lock.
+type MsgKey struct {
+	Rank   int
+	Stream uint16
+}
+
+// RecvKey identifies one inbound reassembly slot. ID is
+// transport-specific: the association id for a one-to-many socket, the
+// peer rank for one-to-one connections.
+type RecvKey struct {
+	ID     int64
+	Stream uint16
+}
+
+type msgOut struct {
+	env      []byte
+	body     []byte
+	off      int
+	envSent  bool
+	onQueued func()
+}
+
+// MsgSender queues outbound middleware messages for a message-oriented
+// transport with at most one in-progress message per (peer, stream) —
+// the paper's Option B fix for the long message race (§3.4.2): no
+// message may start on a stream while another is partially written to
+// it. Under Option C, bodiless control messages jump this queue via a
+// separate control queue and are distinguished on the wire by PPID.
+type MsgSender struct {
+	BodyChunk int
+	OptionC   bool
+
+	trySend func(key MsgKey, ppid uint32, data []byte) error
+	ctrs    Counters
+
+	inProg map[MsgKey]*msgOut
+	queued map[MsgKey][]*msgOut
+	ctrlQ  map[MsgKey][][]byte
+	active []MsgKey // keys with work, in arrival order (deterministic)
+}
+
+// NewMsgSender builds a sender that pushes transport messages through
+// trySend, which must fail with a transport.ErrWouldBlock-matching
+// error when the endpoint has no buffer space.
+func NewMsgSender(bodyChunk int, optionC bool, ctrs Counters,
+	trySend func(key MsgKey, ppid uint32, data []byte) error) *MsgSender {
+	return &MsgSender{
+		BodyChunk: bodyChunk,
+		OptionC:   optionC,
+		trySend:   trySend,
+		ctrs:      ctrs,
+		inProg:    make(map[MsgKey]*msgOut),
+		queued:    make(map[MsgKey][]*msgOut),
+		ctrlQ:     make(map[MsgKey][][]byte),
+	}
+}
+
+// Send queues one middleware message on its (peer, stream) writer and
+// flushes as far as the transport allows. Under Option C, bodiless
+// control envelopes (ACKs) bypass the writer lock.
+func (s *MsgSender) Send(key MsgKey, env Envelope, body []byte, onQueued func()) {
+	if s.OptionC && len(body) == 0 && !env.Kind.HasBody() {
+		s.ctrs.Add("optionc_ctrl", 1)
+		s.ctrlQ[key] = append(s.ctrlQ[key], env.Encode())
+		s.ensureActive(key)
+		s.FlushKey(key)
+		if onQueued != nil {
+			onQueued()
+		}
+		return
+	}
+	msg := &msgOut{env: env.Encode(), body: body, onQueued: onQueued}
+	if s.inProg[key] != nil {
+		// Option B: the stream is busy; wait behind it.
+		s.ctrs.Add("optionb_queued", 1)
+		s.queued[key] = append(s.queued[key], msg)
+		return
+	}
+	s.inProg[key] = msg
+	s.ensureActive(key)
+	s.FlushKey(key)
+}
+
+func (s *MsgSender) ensureActive(key MsgKey) {
+	for _, k := range s.active {
+		if k == key {
+			return
+		}
+	}
+	s.active = append(s.active, key)
+}
+
+func (s *MsgSender) removeActive(key MsgKey) {
+	for i, k := range s.active {
+		if k == key {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			return
+		}
+	}
+}
+
+// FlushKey pushes pending work on one (peer, stream) as far as the
+// transport allows: Option C control messages first, then the
+// in-progress message, then the next queued one. It returns the number
+// of transport messages accepted.
+func (s *MsgSender) FlushKey(key MsgKey) int {
+	sent := 0
+	for {
+		// Control messages jump the line (Option C); interleaving them
+		// between body chunks is safe because frame types are
+		// distinguished by PPID.
+		for len(s.ctrlQ[key]) > 0 {
+			envBytes := s.ctrlQ[key][0]
+			err := s.trySend(key, PPIDEnvelope, envBytes)
+			if errors.Is(err, transport.ErrWouldBlock) {
+				return sent
+			}
+			if err != nil {
+				s.ctrs.Add("send_errors", 1)
+			}
+			s.ctrlQ[key] = s.ctrlQ[key][1:]
+			sent++
+		}
+		msg := s.inProg[key]
+		if msg == nil {
+			if q := s.queued[key]; len(q) > 0 {
+				msg = q[0]
+				s.queued[key] = q[1:]
+				s.inProg[key] = msg
+			} else {
+				s.removeActive(key)
+				return sent
+			}
+		}
+		if !msg.envSent {
+			err := s.trySend(key, PPIDEnvelope, msg.env)
+			if errors.Is(err, transport.ErrWouldBlock) {
+				return sent
+			}
+			if err != nil {
+				s.ctrs.Add("send_errors", 1)
+				s.finishMsg(key, msg)
+				continue
+			}
+			msg.envSent = true
+			sent++
+		}
+		for msg.off < len(msg.body) {
+			end := msg.off + s.BodyChunk
+			if end > len(msg.body) {
+				end = len(msg.body)
+			}
+			err := s.trySend(key, PPIDBody, msg.body[msg.off:end])
+			if errors.Is(err, transport.ErrWouldBlock) {
+				return sent
+			}
+			if err != nil {
+				s.ctrs.Add("send_errors", 1)
+				break
+			}
+			msg.off = end
+			sent++
+		}
+		s.finishMsg(key, msg)
+	}
+}
+
+func (s *MsgSender) finishMsg(key MsgKey, msg *msgOut) {
+	s.inProg[key] = nil
+	if msg.onQueued != nil {
+		msg.onQueued()
+	}
+}
+
+// FlushActive flushes every (peer, stream) with pending work, in
+// arrival order, and reports whether any transport message was
+// accepted.
+func (s *MsgSender) FlushActive() bool {
+	progress := false
+	for i := 0; i < len(s.active); i++ {
+		key := s.active[i]
+		before := len(s.active)
+		if s.FlushKey(key) > 0 {
+			progress = true
+		}
+		if len(s.active) < before {
+			i-- // key retired
+		}
+	}
+	return progress
+}
+
+// FeedResult classifies what one transport message produced.
+type FeedResult int
+
+// Feed outcomes.
+const (
+	FeedNone    FeedResult = iota // chunk absorbed or envelope stored; nothing complete
+	FeedMessage                   // a complete middleware message (env, body)
+	FeedHello                     // a hello envelope (env)
+	FeedError                     // a framing error (counted)
+)
+
+type recvState struct {
+	env     Envelope
+	haveEnv bool
+	body    []byte
+}
+
+// Reassembler rebuilds middleware messages from per-stream chunk
+// trains: an envelope frame announces the message, body frames follow
+// on the same (peer, stream). This is the "maintaining state per
+// stream" design of paper §3.2.4, with PPID disambiguating envelope
+// from body so Option C interleaving is safe.
+type Reassembler struct {
+	ctrs   Counters
+	rstate map[RecvKey]*recvState
+}
+
+// NewReassembler builds a reassembler charging frame errors to ctrs.
+func NewReassembler(ctrs Counters) *Reassembler {
+	return &Reassembler{ctrs: ctrs, rstate: make(map[RecvKey]*recvState)}
+}
+
+// Feed processes one transport message on (peer, stream) key and
+// reports what it produced.
+func (r *Reassembler) Feed(key RecvKey, ppid uint32, data []byte) (FeedResult, Envelope, []byte) {
+	rs := r.rstate[key]
+	if rs != nil && rs.haveEnv && ppid != PPIDEnvelope {
+		// Continuation chunk of a long middleware message on this
+		// stream. Under Option B the chunks are contiguous; under
+		// Option C a control envelope may be interleaved, but it
+		// carries PPIDEnvelope and is routed below instead — the
+		// disambiguation that fixes the paper's §3.4 race.
+		rs.body = append(rs.body, data...)
+		if len(rs.body) >= rs.env.Length {
+			env, body := rs.env, rs.body
+			delete(r.rstate, key)
+			return FeedMessage, env, body
+		}
+		return FeedNone, Envelope{}, nil
+	}
+	// An envelope: either fresh traffic on this stream or an Option C
+	// control message interleaved with a body.
+	env, err := DecodeEnvelope(data)
+	if err != nil {
+		r.ctrs.Add("frame_errors", 1)
+		return FeedError, Envelope{}, nil
+	}
+	if env.Kind == KindHello {
+		return FeedHello, env, nil
+	}
+	if !env.Kind.HasBody() || env.Length == 0 {
+		return FeedMessage, env, nil
+	}
+	if rs != nil && rs.haveEnv {
+		// A data envelope arriving inside another message's body train
+		// violates the writer lock (Option B) / PPID protocol.
+		r.ctrs.Add("frame_errors", 1)
+		return FeedError, Envelope{}, nil
+	}
+	r.rstate[key] = &recvState{env: env, haveEnv: true, body: make([]byte, 0, env.Length)}
+	return FeedNone, Envelope{}, nil
+}

@@ -125,7 +125,8 @@ type RPI interface {
 	Finalize(p *sim.Proc)
 
 	// Counters exposes per-module statistics for reports and tests.
-	Counters() map[string]int64
+	// Iteration helpers on the returned Counters are deterministic.
+	Counters() Counters
 }
 
 // CostModel charges virtual CPU time for middleware/transport API work.

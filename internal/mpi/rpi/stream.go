@@ -1,0 +1,155 @@
+package rpi
+
+import (
+	"errors"
+
+	"repro/internal/transport"
+)
+
+// This file is the byte-stream half of the shared engine: the outbound
+// queue with partial-write resumption and the envelope-framing read
+// state machine that byte-oriented transports (the TCP module) need
+// and message-oriented ones do not.
+
+// outMsg is one queued outbound message: encoded envelope plus body,
+// with partial-write state.
+type outMsg struct {
+	env      []byte
+	body     []byte
+	off      int // bytes written across env+body
+	onQueued func()
+}
+
+func (m *outMsg) total() int { return len(m.env) + len(m.body) }
+
+// OutQueue is a per-connection outbound queue for byte-stream
+// transports: one message at a time with partial-write resumption,
+// exactly as LAM's nonblocking TCP writer works.
+type OutQueue struct {
+	wq  []*outMsg
+	cur *outMsg
+}
+
+// Push appends one message to the queue.
+func (q *OutQueue) Push(env Envelope, body []byte, onQueued func()) {
+	q.wq = append(q.wq, &outMsg{env: env.Encode(), body: body, onQueued: onQueued})
+}
+
+// Pending reports whether the queue holds unfinished work.
+func (q *OutQueue) Pending() bool { return q.cur != nil || len(q.wq) > 0 }
+
+// Flush writes queued messages until the transport would block,
+// returning the number of bytes moved into it. A terminal write error
+// drops the in-progress message after invoking onError — MPI treats
+// communication failure as fatal (paper §3.5).
+func (q *OutQueue) Flush(tryWrite func([]byte) (int, error), onError func(error)) int {
+	wrote := 0
+	for {
+		if q.cur == nil {
+			if len(q.wq) == 0 {
+				return wrote
+			}
+			q.cur = q.wq[0]
+			q.wq = q.wq[1:]
+		}
+		msg := q.cur
+		for msg.off < msg.total() {
+			var chunk []byte
+			if msg.off < len(msg.env) {
+				chunk = msg.env[msg.off:]
+			} else {
+				chunk = msg.body[msg.off-len(msg.env):]
+			}
+			n, err := tryWrite(chunk)
+			msg.off += n
+			wrote += n
+			if errors.Is(err, transport.ErrWouldBlock) {
+				return wrote
+			}
+			if err != nil {
+				onError(err)
+				msg.off = msg.total()
+			}
+		}
+		q.cur = nil
+		if msg.onQueued != nil {
+			msg.onQueued()
+		}
+	}
+}
+
+// StreamFramer is the per-connection inbound state machine for
+// byte-stream transports: EnvelopeSize envelope bytes, then Length
+// body bytes, repeated.
+type StreamFramer struct {
+	envBuf  [EnvelopeSize]byte
+	envGot  int
+	env     Envelope
+	haveEnv bool
+	body    []byte
+}
+
+// Drain pulls every available byte through the framing state machine,
+// invoking onMsg for each complete message and onFrameError for an
+// undecodable envelope (which also abandons the read pass). It reports
+// whether anything arrived.
+func (f *StreamFramer) Drain(tryRead func([]byte) (int, error),
+	onMsg func(Envelope, []byte), onFrameError func()) bool {
+	progress := false
+	for {
+		if !f.haveEnv {
+			n, err := tryRead(f.envBuf[f.envGot:])
+			if n > 0 {
+				progress = true
+			}
+			if n == 0 {
+				// Would block, EOF (peer finalized), or reset.
+				return progress
+			}
+			_ = err
+			f.envGot += n
+			if f.envGot < EnvelopeSize {
+				continue
+			}
+			env, derr := DecodeEnvelope(f.envBuf[:])
+			if derr != nil {
+				onFrameError()
+				return progress
+			}
+			f.env = env
+			f.envGot = 0
+			f.haveEnv = true
+			f.body = nil
+			if env.Kind.HasBody() && env.Length > 0 {
+				f.body = make([]byte, 0, env.Length)
+			}
+		}
+		// Body bytes, if any.
+		bodyLen := 0
+		if f.env.Kind.HasBody() {
+			bodyLen = f.env.Length
+		}
+		for len(f.body) < bodyLen {
+			need := bodyLen - len(f.body)
+			buf := make([]byte, min(need, 64<<10))
+			n, err := tryRead(buf)
+			if n > 0 {
+				f.body = append(f.body, buf[:n]...)
+				progress = true
+			}
+			if errors.Is(err, transport.ErrWouldBlock) || n == 0 {
+				if len(f.body) < bodyLen {
+					return progress
+				}
+			} else if err != nil {
+				return progress
+			}
+		}
+		// Complete message.
+		env, body := f.env, f.body
+		f.haveEnv = false
+		f.body = nil
+		onMsg(env, body)
+		progress = true
+	}
+}

@@ -1,0 +1,219 @@
+// Package sctp1to1rpi is the ablation backend implied by paper §2.1's
+// one-to-one socket style: SCTP message orientation and multistreaming,
+// but one socket per peer like TCP. The process keeps N-1 one-to-one
+// associations (a full mesh built at MPI_Init) and polls them
+// select()-style, so the descriptor-scan cost that the one-to-many
+// module eliminates comes back — while per-peer multistreaming and
+// message boundaries are retained. Comparing this module against
+// sctprpi isolates how much of the paper's result comes from the
+// one-to-many socket itself rather than from SCTP's other features.
+//
+// The progression machinery (counters, cost charging, the Advance
+// loop, the Option B/C writer lock, chunk reassembly) lives in the
+// shared rpi.Engine/rpi.MsgSender/rpi.Reassembler; this file is only
+// the one-to-one socket binding.
+package sctp1to1rpi
+
+import (
+	"fmt"
+
+	"repro/internal/mpi/rpi"
+	"repro/internal/netsim"
+	"repro/internal/sctp"
+	"repro/internal/sim"
+)
+
+// DefaultPort is the mesh listener port.
+const DefaultPort = 7003
+
+// Options configures the module.
+type Options struct {
+	Port         uint16
+	Cost         rpi.CostModel
+	SCTP         sctp.Config
+	SingleStream bool // ignore TRC, use stream 0
+	// BodyChunk is the middleware chunk size for messages larger than
+	// the transport send buffer. 0 derives it from the send buffer.
+	BodyChunk int
+	// OptionC interleaves bodiless control envelopes between body
+	// chunks, distinguished by PPID (see sctprpi.Options).
+	OptionC bool
+}
+
+// Module is one process's one-to-one SCTP RPI instance.
+type Module struct {
+	rpi.Engine
+	stack   *sctp.Stack
+	opts    Options
+	addrs   [][]netsim.Addr // rank → all interface addresses (multihoming)
+	barrier *rpi.Barrier
+
+	listener *sctp.OneToOneListener
+	peers    []*sctp.Conn // rank → dedicated association
+	streams  int
+	sender   *rpi.MsgSender
+	recv     *rpi.Reassembler
+}
+
+// New builds the module for one rank. addrs maps each world rank to
+// its full interface list (index 0 = primary); barrier must be shared
+// by all ranks.
+func New(stack *sctp.Stack, rank int, addrs [][]netsim.Addr, barrier *rpi.Barrier, opts Options) *Module {
+	if opts.Port == 0 {
+		opts.Port = DefaultPort
+	}
+	cfg := opts.SCTP
+	if cfg.Streams == 0 {
+		cfg.Streams = 10 // the paper's default stream pool
+	}
+	if opts.SingleStream {
+		cfg.Streams = 1
+	}
+	opts.SCTP = cfg
+	m := &Module{
+		stack:   stack,
+		opts:    opts,
+		addrs:   addrs,
+		barrier: barrier,
+		peers:   make([]*sctp.Conn, len(addrs)),
+		streams: cfg.Streams,
+	}
+	m.SetupEngine(rank, len(addrs), opts.Cost)
+	return m
+}
+
+// StreamFor exposes the TRC→stream mapping (for tests): same hash as
+// the one-to-many module, applied per-peer association.
+func (m *Module) StreamFor(context, tag int32) uint16 {
+	if m.opts.SingleStream {
+		return 0
+	}
+	return rpi.StreamFor(m.streams, context, tag)
+}
+
+// Init implements rpi.RPI: listener up, full mesh of one-to-one
+// associations established (lower ranks dial higher ranks), hello
+// exchange identifies accepted associations.
+func (m *Module) Init(p *sim.Proc) error {
+	m.BindProc(p)
+	l, err := m.stack.ListenOneToOneConfig(m.opts.Port, m.opts.SCTP)
+	if err != nil {
+		return err
+	}
+	m.listener = l
+	l.SetNotify(m.Notify)
+	m.sender = rpi.NewMsgSender(
+		rpi.DeriveBodyChunk(m.opts.BodyChunk, l.Config().SndBuf),
+		m.opts.OptionC, m.Counters(), m.trySend)
+	m.recv = rpi.NewReassembler(m.Counters())
+	dial := func(j int, hello rpi.Envelope) error {
+		c, err := m.stack.DialConfig(p, m.opts.SCTP, m.addrs[j], m.opts.Port, m.streams)
+		if err != nil {
+			return err
+		}
+		if err := c.SendMsg(p, 0, hello.Encode()); err != nil {
+			return err
+		}
+		m.attach(j, c)
+		return nil
+	}
+	accept := func() error {
+		for i := 0; i < m.Rank; i++ {
+			c, err := l.Accept(p)
+			if err != nil {
+				return err
+			}
+			msg, err := c.RecvMsg(p)
+			if err != nil {
+				return err
+			}
+			env, derr := rpi.DecodeEnvelope(msg.Data)
+			if derr != nil || env.Kind != rpi.KindHello {
+				return fmt.Errorf("sctp1to1rpi: bad hello")
+			}
+			m.attach(int(env.Rank), c)
+		}
+		return nil
+	}
+	return rpi.MeshInit(p, m.barrier, m.Rank, m.Size, dial, accept)
+}
+
+// attach wires one association in. Accepted Conns share the listener's
+// socket, so re-registering the same notify hook there is a no-op;
+// dialed Conns own a dedicated socket that needs it.
+func (m *Module) attach(rank int, c *sctp.Conn) {
+	m.peers[rank] = c
+	c.SetNotify(m.Notify)
+	m.Counters().Add("connections", 1)
+}
+
+func (m *Module) trySend(key rpi.MsgKey, ppid uint32, data []byte) error {
+	return m.peers[key.Rank].TrySendMsg(key.Stream, ppid, data)
+}
+
+// Send implements rpi.RPI: same Option B/C writer lock as the
+// one-to-many module, keyed by (peer, stream).
+func (m *Module) Send(dest int, env rpi.Envelope, body []byte, onQueued func()) {
+	key := rpi.MsgKey{Rank: dest, Stream: m.StreamFor(env.Context, env.Tag)}
+	m.CountSend(len(body))
+	m.sender.Send(key, env, body, onQueued)
+}
+
+// Advance implements rpi.RPI: one select()-style pass over all N-1
+// associations — the descriptor scan is back (poll cost linear in
+// Size-1, like the TCP module) even though each association is
+// message-oriented and multistreamed.
+func (m *Module) Advance(p *sim.Proc, block bool) {
+	m.Loop(p, block, m.Size-1, func() bool {
+		progress := false
+		for r, c := range m.peers {
+			if c == nil {
+				continue
+			}
+			for {
+				msg, err := c.TryRecvMsg()
+				if err != nil {
+					break
+				}
+				if m.handleInbound(p, r, msg) {
+					progress = true
+				}
+			}
+		}
+		if m.sender.FlushActive() {
+			progress = true
+		}
+		return progress
+	})
+}
+
+// handleInbound feeds one data message into the per-(peer, stream)
+// reassembler. Association events surface as errors from TryRecvMsg,
+// so only data reaches here; the reassembly key uses the peer rank
+// since each rank owns a dedicated association.
+func (m *Module) handleInbound(p *sim.Proc, rank int, msg *sctp.Message) bool {
+	key := rpi.RecvKey{ID: int64(rank), Stream: msg.Stream}
+	res, env, body := m.recv.Feed(key, msg.PPID, msg.Data)
+	switch res {
+	case rpi.FeedMessage:
+		m.Complete(p, env, body)
+		return true
+	case rpi.FeedHello:
+		return true // connection already identified at Init
+	default:
+		return false
+	}
+}
+
+// Finalize implements rpi.RPI: close every association and the
+// listener; graceful SHUTDOWN proceeds in the background.
+func (m *Module) Finalize(p *sim.Proc) {
+	for _, c := range m.peers {
+		if c != nil {
+			c.Close()
+		}
+	}
+	if m.listener != nil {
+		m.listener.Close()
+	}
+}

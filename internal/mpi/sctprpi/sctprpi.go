@@ -16,11 +16,14 @@
 //     the paper's MPI_Init fix (§3.4.3).
 //   - A single-stream mode reduces the module to one stream per
 //     association for the Figure 12 head-of-line ablation.
+//
+// The progression machinery (counters, cost charging, the Advance
+// loop, the Option B/C writer lock, chunk reassembly) lives in the
+// shared rpi.Engine/rpi.MsgSender/rpi.Reassembler; this file is only
+// the one-to-many socket binding.
 package sctprpi
 
 import (
-	"fmt"
-
 	"repro/internal/mpi/rpi"
 	"repro/internal/netsim"
 	"repro/internal/sctp"
@@ -51,72 +54,21 @@ type Options struct {
 	OptionC bool
 }
 
-// Payload protocol identifiers distinguishing middleware frame types on
-// the wire (the SCTP PPID field, which the paper notes is free for
-// application use).
-const (
-	ppidEnvelope = 1
-	ppidBody     = 2
-)
-
-type streamKey struct {
-	rank   int
-	stream uint16
-}
-
-type recvKey struct {
-	assoc  sctp.AssocID
-	stream uint16
-}
-
 // Module is one process's SCTP RPI instance.
 type Module struct {
+	rpi.Engine
 	stack   *sctp.Stack
 	opts    Options
-	rank    int
-	size    int
 	addrs   [][]netsim.Addr // rank → all interface addresses (multihoming)
 	barrier *rpi.Barrier
-	deliver rpi.Delivery
 
-	self        *sim.Proc
 	sock        *sctp.Socket
 	assocByRank []sctp.AssocID
 	rankByAssoc map[sctp.AssocID]int
 	streams     int
-	bodyChunk   int
-
-	// Option B state: at most one in-progress outbound message per
-	// (peer, stream); the rest queue behind it. Under Option C,
-	// bodiless control messages jump this queue via ctrlQ.
-	inProg map[streamKey]*outMsg
-	queued map[streamKey][]*outMsg
-	ctrlQ  map[streamKey][][]byte
-	active []streamKey // keys with work, in arrival order (deterministic)
-
-	// Per-(association, stream) inbound reassembly of middleware
-	// chunks. This is the "maintaining state per stream" design of
-	// paper §3.2.4.
-	rstate map[recvKey]*recvState
-
-	hellos   int
-	cond     *sim.Cond
-	dirty    bool
-	counters map[string]int64
-}
-
-type outMsg struct {
-	env      []byte
-	body     []byte
-	off      int
-	envSent  bool
-	onQueued func()
-}
-
-type recvState struct {
-	env     rpi.Envelope
-	haveEnv bool
-	body    []byte
+	sender      *rpi.MsgSender
+	recv        *rpi.Reassembler
+	hellos      int
 }
 
 // New builds the module for one rank. addrs maps each world rank to
@@ -137,88 +89,64 @@ func New(stack *sctp.Stack, rank int, addrs [][]netsim.Addr, barrier *rpi.Barrie
 	m := &Module{
 		stack:       stack,
 		opts:        opts,
-		rank:        rank,
-		size:        len(addrs),
 		addrs:       addrs,
 		barrier:     barrier,
 		assocByRank: make([]sctp.AssocID, len(addrs)),
 		rankByAssoc: make(map[sctp.AssocID]int),
-		inProg:      make(map[streamKey]*outMsg),
-		queued:      make(map[streamKey][]*outMsg),
-		ctrlQ:       make(map[streamKey][][]byte),
-		rstate:      make(map[recvKey]*recvState),
-		counters:    make(map[string]int64),
 	}
+	m.SetupEngine(rank, len(addrs), opts.Cost)
 	return m
 }
-
-// SetDelivery implements rpi.RPI.
-func (m *Module) SetDelivery(d rpi.Delivery) { m.deliver = d }
-
-// Counters implements rpi.RPI.
-func (m *Module) Counters() map[string]int64 { return m.counters }
 
 // StreamFor exposes the TRC→stream mapping (for tests): messages with
 // the same (context, tag) always share a stream; different TRCs spread
 // across the pool.
 func (m *Module) StreamFor(context, tag int32) uint16 {
-	if m.opts.SingleStream || m.streams <= 1 {
+	if m.opts.SingleStream {
 		return 0
 	}
-	h := uint32(context)*2654435761 + uint32(tag)*40503
-	return uint16(h % uint32(m.streams))
+	return rpi.StreamFor(m.streams, context, tag)
 }
 
 // Init implements rpi.RPI.
 func (m *Module) Init(p *sim.Proc) error {
-	m.self = p
-	m.cond = sim.NewCond(p.Kernel())
+	m.BindProc(p)
 	sk, err := m.stack.SocketConfig(m.opts.Port, m.opts.SCTP)
 	if err != nil {
 		return err
 	}
 	m.sock = sk
 	m.streams = sk.Config().Streams
-	m.bodyChunk = m.opts.BodyChunk
-	if m.bodyChunk <= 0 {
-		m.bodyChunk = sk.Config().SndBuf / 4
-		if m.bodyChunk > 64<<10 {
-			m.bodyChunk = 64 << 10
-		}
-		if m.bodyChunk < 4<<10 {
-			m.bodyChunk = 4 << 10
-		}
-	}
+	m.sender = rpi.NewMsgSender(
+		rpi.DeriveBodyChunk(m.opts.BodyChunk, sk.Config().SndBuf),
+		m.opts.OptionC, m.Counters(), m.trySend)
+	m.recv = rpi.NewReassembler(m.Counters())
 	sk.Listen()
-	sk.SetNotify(func() {
-		m.dirty = true
-		m.cond.Broadcast()
-	})
-	// Every socket must be listening before anyone INITs.
-	m.barrier.Arrive(p)
-
-	// Lower rank initiates each association (avoids INIT collision).
-	hello := rpi.Envelope{Kind: rpi.KindHello, Rank: int32(m.rank)}
-	for j := m.rank + 1; j < m.size; j++ {
+	sk.SetNotify(m.Notify)
+	dial := func(j int, hello rpi.Envelope) error {
 		id, err := sk.Connect(p, m.addrs[j], m.opts.Port, m.streams)
 		if err != nil {
-			return fmt.Errorf("sctprpi: rank %d connect to %d: %w", m.rank, j, err)
+			return err
 		}
 		m.assocByRank[j] = id
 		m.rankByAssoc[id] = j
-		if err := sk.SendMsg(p, id, 0, 0, hello.Encode()); err != nil {
-			return err
-		}
+		return sk.SendMsg(p, id, 0, 0, hello.Encode())
 	}
 	// The paper's §3.4.3 barrier: wait until a hello has arrived from
 	// every peer (acceptors learn the association→rank mapping from it
 	// and reply), then rendezvous globally so no process starts MPI
 	// traffic before all associations exist.
-	for m.hellos < m.size-1 {
-		m.Advance(p, true)
+	accept := func() error {
+		for m.hellos < m.Size-1 {
+			m.Advance(p, true)
+		}
+		return nil
 	}
-	m.barrier.Arrive(p)
-	return nil
+	return rpi.MeshInit(p, m.barrier, m.Rank, m.Size, dial, accept)
+}
+
+func (m *Module) trySend(key rpi.MsgKey, ppid uint32, data []byte) error {
+	return m.sock.TrySendMsg(m.assocByRank[key.Rank], key.Stream, ppid, data)
 }
 
 // Send implements rpi.RPI: pick the stream from the envelope's TRC and
@@ -226,138 +154,18 @@ func (m *Module) Init(p *sim.Proc) error {
 // Option C, bodiless control messages (ACKs) bypass the queue and are
 // interleaved between body chunks, distinguished on the wire by PPID.
 func (m *Module) Send(dest int, env rpi.Envelope, body []byte, onQueued func()) {
-	st := m.StreamFor(env.Context, env.Tag)
-	key := streamKey{dest, st}
-	m.counters["msgs_sent"]++
-	m.counters["bytes_sent"] += int64(len(body))
-	if d := m.opts.Cost.SendCost(len(body)); d > 0 && m.self != nil {
-		m.self.Sleep(d)
-	}
-	if m.opts.OptionC && len(body) == 0 && !env.Kind.HasBody() {
-		m.counters["optionc_ctrl"]++
-		m.ctrlQ[key] = append(m.ctrlQ[key], env.Encode())
-		m.ensureActive(key)
-		m.flushKey(key)
-		if onQueued != nil {
-			onQueued()
-		}
-		return
-	}
-	msg := &outMsg{env: env.Encode(), body: body, onQueued: onQueued}
-	if m.inProg[key] != nil {
-		// Option B: the stream is busy; wait behind it.
-		m.counters["optionb_queued"]++
-		m.queued[key] = append(m.queued[key], msg)
-		return
-	}
-	m.inProg[key] = msg
-	m.ensureActive(key)
-	m.flushKey(key)
-}
-
-func (m *Module) ensureActive(key streamKey) {
-	for _, k := range m.active {
-		if k == key {
-			return
-		}
-	}
-	m.active = append(m.active, key)
-}
-
-// flushKey pushes pending work on one (peer, stream) as far as the
-// transport allows: Option C control messages first, then the
-// in-progress message, then the next queued one. It returns the number
-// of transport messages accepted.
-func (m *Module) flushKey(key streamKey) int {
-	sent := 0
-	id := m.assocByRank[key.rank]
-	for {
-		// Control messages jump the line (Option C); interleaving them
-		// between body chunks is safe because frame types are
-		// distinguished by PPID.
-		for len(m.ctrlQ[key]) > 0 {
-			envBytes := m.ctrlQ[key][0]
-			err := m.sock.TrySendMsg(id, key.stream, ppidEnvelope, envBytes)
-			if err == sctp.ErrWouldBlock {
-				return sent
-			}
-			if err != nil {
-				m.counters["send_errors"]++
-			}
-			m.ctrlQ[key] = m.ctrlQ[key][1:]
-			sent++
-		}
-		msg := m.inProg[key]
-		if msg == nil {
-			if q := m.queued[key]; len(q) > 0 {
-				msg = q[0]
-				m.queued[key] = q[1:]
-				m.inProg[key] = msg
-			} else {
-				m.removeActive(key)
-				return sent
-			}
-		}
-		if !msg.envSent {
-			err := m.sock.TrySendMsg(id, key.stream, ppidEnvelope, msg.env)
-			if err == sctp.ErrWouldBlock {
-				return sent
-			}
-			if err != nil {
-				m.counters["send_errors"]++
-				m.finishMsg(key, msg)
-				continue
-			}
-			msg.envSent = true
-			sent++
-		}
-		for msg.off < len(msg.body) {
-			end := msg.off + m.bodyChunk
-			if end > len(msg.body) {
-				end = len(msg.body)
-			}
-			err := m.sock.TrySendMsg(id, key.stream, ppidBody, msg.body[msg.off:end])
-			if err == sctp.ErrWouldBlock {
-				return sent
-			}
-			if err != nil {
-				m.counters["send_errors"]++
-				break
-			}
-			msg.off = end
-			sent++
-		}
-		m.finishMsg(key, msg)
-	}
-}
-
-func (m *Module) finishMsg(key streamKey, msg *outMsg) {
-	m.inProg[key] = nil
-	if msg.onQueued != nil {
-		msg.onQueued()
-	}
-}
-
-func (m *Module) removeActive(key streamKey) {
-	for i, k := range m.active {
-		if k == key {
-			m.active = append(m.active[:i], m.active[i+1:]...)
-			return
-		}
-	}
+	key := rpi.MsgKey{Rank: dest, Stream: m.StreamFor(env.Context, env.Tag)}
+	m.CountSend(len(body))
+	m.sender.Send(key, env, body, onQueued)
 }
 
 // Advance implements rpi.RPI: drain the one-to-many socket (no select;
 // messages arrive in network order and are demultiplexed on association
-// then stream), then flush writers.
+// then stream), then flush writers. The poll cost covers a single
+// descriptor regardless of world size.
 func (m *Module) Advance(p *sim.Proc, block bool) {
-	for {
-		m.dirty = false
-		if d := m.opts.Cost.PollCost(1); d > 0 {
-			p.Sleep(d)
-		}
+	m.Loop(p, block, 1, func() bool {
 		progress := false
-		// Inbound: retrieve messages as long as any are pending.
 		for {
 			msg, err := m.sock.TryRecvMsg()
 			if err != nil {
@@ -367,25 +175,11 @@ func (m *Module) Advance(p *sim.Proc, block bool) {
 				progress = true
 			}
 		}
-		// Outbound: flush every (peer, stream) with pending work.
-		for i := 0; i < len(m.active); i++ {
-			key := m.active[i]
-			before := len(m.active)
-			if m.flushKey(key) > 0 {
-				progress = true
-			}
-			if len(m.active) < before {
-				i-- // key retired
-			}
+		if m.sender.FlushActive() {
+			progress = true
 		}
-		if progress || !block {
-			return
-		}
-		if m.dirty {
-			continue
-		}
-		m.cond.Wait(p)
-	}
+		return progress
+	})
 }
 
 // handleInbound processes one socket message: notification, hello,
@@ -395,73 +189,36 @@ func (m *Module) handleInbound(p *sim.Proc, msg *sctp.Message) bool {
 	if msg.Notification != sctp.NotifyNone {
 		switch msg.Notification {
 		case sctp.NotifyCommUp:
-			m.counters["assocs_up"]++
+			m.Counters().Add("assocs_up", 1)
 		case sctp.NotifyCommLost:
-			m.counters["assocs_lost"]++
+			m.Counters().Add("assocs_lost", 1)
 		case sctp.NotifyShutdownComplete:
-			m.counters["assocs_closed"]++
+			m.Counters().Add("assocs_closed", 1)
 		}
 		return false
 	}
-	key := recvKey{msg.Assoc, msg.Stream}
-	rs := m.rstate[key]
-	if rs != nil && rs.haveEnv && msg.PPID != ppidEnvelope {
-		// Continuation chunk of a long middleware message on this
-		// stream. Under Option B the chunks are contiguous; under
-		// Option C a control envelope may be interleaved, but it
-		// carries ppidEnvelope and is routed below instead — the
-		// disambiguation that fixes the paper's §3.4 race.
-		rs.body = append(rs.body, msg.Data...)
-		if len(rs.body) >= rs.env.Length {
-			env, body := rs.env, rs.body
-			delete(m.rstate, key)
-			m.complete(p, env, body)
-			return true
-		}
-		return false
-	}
-	// An envelope: either fresh traffic on this stream or an Option C
-	// control message interleaved with a body.
-	env, err := rpi.DecodeEnvelope(msg.Data)
-	if err != nil {
-		m.counters["frame_errors"]++
-		return false
-	}
-	if env.Kind == rpi.KindHello {
+	key := rpi.RecvKey{ID: int64(msg.Assoc), Stream: msg.Stream}
+	res, env, body := m.recv.Feed(key, msg.PPID, msg.Data)
+	switch res {
+	case rpi.FeedMessage:
+		m.Complete(p, env, body)
+		return true
+	case rpi.FeedHello:
 		r := int(env.Rank)
-		if m.assocByRank[r] == 0 && r != m.rank {
+		if m.assocByRank[r] == 0 && r != m.Rank {
 			// We are the acceptor: learn the mapping and reply.
 			m.assocByRank[r] = msg.Assoc
 			m.rankByAssoc[msg.Assoc] = r
-			reply := rpi.Envelope{Kind: rpi.KindHello, Rank: int32(m.rank)}
+			reply := rpi.Envelope{Kind: rpi.KindHello, Rank: int32(m.Rank)}
 			if err := m.sock.SendMsg(p, msg.Assoc, 0, 0, reply.Encode()); err != nil {
-				m.counters["send_errors"]++
+				m.Counters().Add("send_errors", 1)
 			}
 		}
 		m.hellos++
 		return true
-	}
-	if !env.Kind.HasBody() || env.Length == 0 {
-		m.complete(p, env, nil)
-		return true
-	}
-	if rs != nil && rs.haveEnv {
-		// A data envelope arriving inside another message's body train
-		// violates the writer lock (Option B) / PPID protocol.
-		m.counters["frame_errors"]++
+	default:
 		return false
 	}
-	m.rstate[key] = &recvState{env: env, haveEnv: true, body: make([]byte, 0, env.Length)}
-	return false
-}
-
-func (m *Module) complete(p *sim.Proc, env rpi.Envelope, body []byte) {
-	m.counters["msgs_rcvd"]++
-	m.counters["bytes_rcvd"] += int64(len(body))
-	if d := m.opts.Cost.RecvCost(len(body)); d > 0 {
-		p.Sleep(d)
-	}
-	m.deliver(env, body)
 }
 
 // Finalize implements rpi.RPI: close the socket; graceful SHUTDOWN of

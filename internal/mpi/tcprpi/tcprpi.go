@@ -6,6 +6,10 @@
 // pair shares a single ordered byte stream, a lost segment blocks every
 // later message from that peer — the transport-level head-of-line
 // blocking the paper's SCTP module removes.
+//
+// The progression machinery (counters, cost charging, the Advance poll
+// loop, connection bring-up) lives in the shared rpi.Engine; this file
+// is only the TCP byte-stream binding.
 package tcprpi
 
 import (
@@ -29,47 +33,23 @@ type Options struct {
 
 // Module is one process's TCP RPI instance.
 type Module struct {
+	rpi.Engine
 	stack   *tcp.Stack
 	opts    Options
-	rank    int
-	size    int
 	addrs   []netsim.Addr // rank → primary address
 	barrier *rpi.Barrier
-	deliver rpi.Delivery
 
-	self     *sim.Proc
 	listener *tcp.Listener
 	peers    []*peer
-	cond     *sim.Cond
-	dirty    bool
-
-	counters map[string]int64
 }
 
+// peer is one mesh connection: the socket plus its framing reader and
+// partial-write queue.
 type peer struct {
 	conn *tcp.Conn
-
-	// Read framing state: envelope bytes, then Length body bytes.
-	envBuf  [rpi.EnvelopeSize]byte
-	envGot  int
-	env     rpi.Envelope
-	haveEnv bool
-	body    []byte
-
-	// Write queue: one message at a time per socket, with partial-write
-	// state, exactly as LAM's nonblocking TCP writer works.
-	wq  []*outMsg
-	cur *outMsg
+	out  rpi.OutQueue
+	in   rpi.StreamFramer
 }
-
-type outMsg struct {
-	env      []byte
-	body     []byte
-	off      int // bytes written across env+body
-	onQueued func()
-}
-
-func (m *outMsg) total() int { return len(m.env) + len(m.body) }
 
 // New builds the module for one rank. addrs maps world rank to primary
 // address; barrier must be shared by all ranks in the job.
@@ -80,84 +60,67 @@ func New(stack *tcp.Stack, rank int, addrs []netsim.Addr, barrier *rpi.Barrier, 
 	// Note: LAM-TCP disables Nagle by default (paper §4); the core
 	// facade sets opts.TCP.NoDelay accordingly, and the Nagle ablation
 	// benchmark turns it back on.
-	return &Module{
-		stack:    stack,
-		opts:     opts,
-		rank:     rank,
-		size:     len(addrs),
-		addrs:    addrs,
-		barrier:  barrier,
-		peers:    make([]*peer, len(addrs)),
-		counters: make(map[string]int64),
+	m := &Module{
+		stack:   stack,
+		opts:    opts,
+		addrs:   addrs,
+		barrier: barrier,
+		peers:   make([]*peer, len(addrs)),
 	}
+	m.SetupEngine(rank, len(addrs), opts.Cost)
+	return m
 }
-
-// SetDelivery implements rpi.RPI.
-func (m *Module) SetDelivery(d rpi.Delivery) { m.deliver = d }
-
-// Counters implements rpi.RPI.
-func (m *Module) Counters() map[string]int64 { return m.counters }
 
 // Init implements rpi.RPI: listener up, full mesh established (lower
 // ranks connect to higher ranks), hello exchange identifies accepted
 // connections.
 func (m *Module) Init(p *sim.Proc) error {
-	m.self = p
-	m.cond = sim.NewCond(p.Kernel())
+	m.BindProc(p)
 	l, err := m.stack.ListenConfig(m.opts.Port, m.opts.TCP)
 	if err != nil {
 		return err
 	}
 	m.listener = l
-	// Everyone's listener must exist before anyone connects.
-	m.barrier.Arrive(p)
-
-	// Connect to higher ranks and introduce ourselves.
-	hello := rpi.Envelope{Kind: rpi.KindHello, Rank: int32(m.rank)}
-	for j := m.rank + 1; j < m.size; j++ {
+	dial := func(j int, hello rpi.Envelope) error {
 		c, err := m.stack.ConnectConfig(p, m.opts.TCP, m.addrs[j], m.opts.Port)
 		if err != nil {
-			return fmt.Errorf("tcprpi: rank %d connect to %d: %w", m.rank, j, err)
+			return err
 		}
 		if _, err := c.Write(p, hello.Encode()); err != nil {
 			return err
 		}
 		m.attach(j, c)
+		return nil
 	}
-	// Accept from lower ranks; the hello tells us who each one is.
-	for i := 0; i < m.rank; i++ {
-		c, err := l.Accept(p)
-		if err != nil {
-			return err
-		}
-		buf := make([]byte, rpi.EnvelopeSize)
-		got := 0
-		for got < len(buf) {
-			n, err := c.Read(p, buf[got:])
+	accept := func() error {
+		for i := 0; i < m.Rank; i++ {
+			c, err := l.Accept(p)
 			if err != nil {
 				return err
 			}
-			got += n
+			buf := make([]byte, rpi.EnvelopeSize)
+			for got := 0; got < len(buf); {
+				n, err := c.Read(p, buf[got:])
+				if err != nil {
+					return err
+				}
+				got += n
+			}
+			env, err := rpi.DecodeEnvelope(buf)
+			if err != nil || env.Kind != rpi.KindHello {
+				return fmt.Errorf("tcprpi: bad hello")
+			}
+			m.attach(int(env.Rank), c)
 		}
-		env, err := rpi.DecodeEnvelope(buf)
-		if err != nil || env.Kind != rpi.KindHello {
-			return fmt.Errorf("tcprpi: bad hello")
-		}
-		m.attach(int(env.Rank), c)
+		return nil
 	}
-	// All connections up before any MPI traffic.
-	m.barrier.Arrive(p)
-	return nil
+	return rpi.MeshInit(p, m.barrier, m.Rank, m.Size, dial, accept)
 }
 
 func (m *Module) attach(rank int, c *tcp.Conn) {
-	pe := &peer{conn: c}
-	m.peers[rank] = pe
-	c.SetNotify(func() {
-		m.dirty = true
-		m.cond.Broadcast()
-	})
-	m.counters["connections"]++
+	m.peers[rank] = &peer{conn: c}
+	c.SetNotify(m.Notify)
+	m.Counters().Add("connections", 1)
 }
 
 // Send implements rpi.RPI.
@@ -166,156 +129,37 @@ func (m *Module) Send(dest int, env rpi.Envelope, body []byte, onQueued func()) 
 	if pe == nil {
 		panic(fmt.Sprintf("tcprpi: send to unconnected rank %d", dest))
 	}
-	msg := &outMsg{env: env.Encode(), body: body, onQueued: onQueued}
-	pe.wq = append(pe.wq, msg)
-	m.counters["msgs_sent"]++
-	m.counters["bytes_sent"] += int64(len(body))
-	if d := m.opts.Cost.SendCost(len(body)); d > 0 && m.self != nil {
-		m.self.Sleep(d)
-	}
-	m.flush(pe)
+	pe.out.Push(env, body, onQueued)
+	m.CountSend(len(body))
+	pe.out.Flush(pe.conn.TryWrite, m.sendError)
 }
 
-// flush writes queued messages until the socket would block, returning
-// the number of bytes moved into the transport.
-func (m *Module) flush(pe *peer) int {
-	wrote := 0
-	for {
-		if pe.cur == nil {
-			if len(pe.wq) == 0 {
-				return wrote
-			}
-			pe.cur = pe.wq[0]
-			pe.wq = pe.wq[1:]
-		}
-		msg := pe.cur
-		for msg.off < msg.total() {
-			var chunk []byte
-			if msg.off < len(msg.env) {
-				chunk = msg.env[msg.off:]
-			} else {
-				chunk = msg.body[msg.off-len(msg.env):]
-			}
-			n, err := pe.conn.TryWrite(chunk)
-			msg.off += n
-			wrote += n
-			if err == tcp.ErrWouldBlock {
-				return wrote
-			}
-			if err != nil {
-				// Connection failure: drop the message; MPI treats
-				// communication failure as fatal (paper §3.5).
-				m.counters["send_errors"]++
-				msg.off = msg.total()
-			}
-		}
-		pe.cur = nil
-		if msg.onQueued != nil {
-			msg.onQueued()
-		}
-	}
-}
+func (m *Module) sendError(error) { m.Counters().Add("send_errors", 1) }
+
+func (m *Module) frameError() { m.Counters().Add("frame_errors", 1) }
 
 // Advance implements rpi.RPI: one select()-style pass over all
-// sockets, reading every ready byte stream and flushing writers.
+// sockets, reading every ready byte stream and flushing writers. The
+// poll cost is linear in the descriptor count — the select() scan the
+// paper discusses.
 func (m *Module) Advance(p *sim.Proc, block bool) {
-	for {
-		m.dirty = false
-		// The select() cost the paper discusses: linear in descriptors.
-		if d := m.opts.Cost.PollCost(m.size - 1); d > 0 {
-			p.Sleep(d)
-		}
+	m.Loop(p, block, m.Size-1, func() bool {
 		progress := false
 		for _, pe := range m.peers {
 			if pe == nil {
 				continue
 			}
-			if pe.cur != nil || len(pe.wq) > 0 {
-				if m.flush(pe) > 0 {
-					progress = true
-				}
+			if pe.out.Pending() && pe.out.Flush(pe.conn.TryWrite, m.sendError) > 0 {
+				progress = true
 			}
-			if m.readPeer(p, pe) {
+			if pe.in.Drain(pe.conn.TryRead, func(env rpi.Envelope, body []byte) {
+				m.Complete(p, env, body)
+			}, m.frameError) {
 				progress = true
 			}
 		}
-		if progress || !block {
-			return
-		}
-		if m.dirty {
-			continue // socket state changed while we were scanning
-		}
-		m.cond.Wait(p)
-		// Loop around for another pass.
-	}
-}
-
-// readPeer drains the peer's byte stream through the framing state
-// machine, delivering complete messages. Returns whether anything
-// arrived.
-func (m *Module) readPeer(p *sim.Proc, pe *peer) bool {
-	progress := false
-	for {
-		if !pe.haveEnv {
-			n, err := pe.conn.TryRead(pe.envBuf[pe.envGot:])
-			if n > 0 {
-				progress = true
-			}
-			if n == 0 {
-				// Would block, EOF (peer finalized), or reset.
-				return progress
-			}
-			_ = err
-			pe.envGot += n
-			if pe.envGot < rpi.EnvelopeSize {
-				continue
-			}
-			env, derr := rpi.DecodeEnvelope(pe.envBuf[:])
-			if derr != nil {
-				m.counters["frame_errors"]++
-				return progress
-			}
-			pe.env = env
-			pe.envGot = 0
-			pe.haveEnv = true
-			pe.body = nil
-			if env.Kind.HasBody() && env.Length > 0 {
-				pe.body = make([]byte, 0, env.Length)
-			}
-		}
-		// Body bytes, if any.
-		bodyLen := 0
-		if pe.env.Kind.HasBody() {
-			bodyLen = pe.env.Length
-		}
-		for len(pe.body) < bodyLen {
-			need := bodyLen - len(pe.body)
-			buf := make([]byte, min(need, 64<<10))
-			n, err := pe.conn.TryRead(buf)
-			if n > 0 {
-				pe.body = append(pe.body, buf[:n]...)
-				progress = true
-			}
-			if err == tcp.ErrWouldBlock || n == 0 {
-				if len(pe.body) < bodyLen {
-					return progress
-				}
-			} else if err != nil {
-				return progress
-			}
-		}
-		// Complete message.
-		env, body := pe.env, pe.body
-		pe.haveEnv = false
-		pe.body = nil
-		m.counters["msgs_rcvd"]++
-		m.counters["bytes_rcvd"] += int64(len(body))
-		if d := m.opts.Cost.RecvCost(len(body)); d > 0 {
-			p.Sleep(d)
-		}
-		m.deliver(env, body)
-		progress = true
-	}
+		return progress
+	})
 }
 
 // Finalize implements rpi.RPI.
@@ -328,11 +172,4 @@ func (m *Module) Finalize(p *sim.Proc) {
 	if m.listener != nil {
 		m.listener.Close()
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -3,16 +3,20 @@ package sctp
 import (
 	"errors"
 	"time"
+
+	"repro/internal/transport"
 )
 
-// Errors returned by the socket API.
+// Errors returned by the socket API. The cross-stack conditions wrap
+// their canonical internal/transport sentinels so errors.Is matches
+// either stack's variant; purely SCTP-specific conditions remain local.
 var (
-	ErrWouldBlock  = errors.New("sctp: operation would block")
-	ErrMsgSize     = errors.New("sctp: message exceeds send buffer size")
-	ErrClosed      = errors.New("sctp: socket closed")
-	ErrAborted     = errors.New("sctp: association aborted")
-	ErrTimeout     = errors.New("sctp: association timed out")
-	ErrNoAssoc     = errors.New("sctp: no such association")
+	ErrWouldBlock  = transport.Wrap(transport.ErrWouldBlock, "sctp: operation would block")
+	ErrMsgSize     = transport.Wrap(transport.ErrMsgSize, "sctp: message exceeds send buffer size")
+	ErrClosed      = transport.Wrap(transport.ErrClosed, "sctp: socket closed")
+	ErrAborted     = transport.Wrap(transport.ErrAborted, "sctp: association aborted")
+	ErrTimeout     = transport.Wrap(transport.ErrTimeout, "sctp: association timed out")
+	ErrNoAssoc     = transport.Wrap(transport.ErrNotConnected, "sctp: no such association")
 	ErrBadStream   = errors.New("sctp: invalid stream number")
 	ErrPortInUse   = errors.New("sctp: port in use")
 	ErrInitFailed  = errors.New("sctp: association setup failed")

@@ -3,7 +3,11 @@ package sctp
 import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/transport"
 )
+
+// Conn satisfies the shared nonblocking endpoint contract.
+var _ transport.Endpoint = (*Conn)(nil)
 
 // This file implements the one-to-one socket style of paper §2.1: "a
 // single SCTP association ... developed to allow porting of existing
@@ -22,7 +26,12 @@ type Conn struct {
 // raddrs (all its addresses, for multihoming), blocking until the
 // handshake completes.
 func (s *Stack) Dial(p *sim.Proc, raddrs []netsim.Addr, rport uint16, streams int) (*Conn, error) {
-	sk, err := s.Socket(0)
+	return s.DialConfig(p, s.cfg, raddrs, rport, streams)
+}
+
+// DialConfig is Dial with an explicit socket configuration.
+func (s *Stack) DialConfig(p *sim.Proc, cfg Config, raddrs []netsim.Addr, rport uint16, streams int) (*Conn, error) {
+	sk, err := s.SocketConfig(0, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -44,13 +53,27 @@ type OneToOneListener struct {
 // ListenOneToOne starts accepting one-to-one style associations on
 // port.
 func (s *Stack) ListenOneToOne(port uint16) (*OneToOneListener, error) {
-	sk, err := s.Socket(port)
+	return s.ListenOneToOneConfig(port, s.cfg)
+}
+
+// ListenOneToOneConfig is ListenOneToOne with an explicit socket
+// configuration.
+func (s *Stack) ListenOneToOneConfig(port uint16, cfg Config) (*OneToOneListener, error) {
+	sk, err := s.SocketConfig(port, cfg)
 	if err != nil {
 		return nil, err
 	}
 	sk.Listen()
 	return &OneToOneListener{sock: sk}, nil
 }
+
+// SetNotify registers fn on the shared listening socket: it fires when
+// a new association or message arrives (see Socket.SetNotify).
+func (l *OneToOneListener) SetNotify(fn func()) { l.sock.SetNotify(fn) }
+
+// Config returns the listening socket's effective configuration
+// (defaults applied).
+func (l *OneToOneListener) Config() Config { return l.sock.Config() }
 
 // Accept blocks until an inbound association is established and
 // returns it as a Conn. Messages for other associations continue to
@@ -80,6 +103,77 @@ func (l *OneToOneListener) Close() { l.sock.Close() }
 func (c *Conn) SendMsg(p *sim.Proc, stream uint16, data []byte) error {
 	return c.sock.SendMsg(p, c.assoc, stream, 0, data)
 }
+
+// TrySendMsg queues a whole message with an explicit payload protocol
+// identifier, or fails with ErrWouldBlock/ErrMsgSize; the nonblocking
+// variant the RPI modules use.
+func (c *Conn) TrySendMsg(stream uint16, ppid uint32, data []byte) error {
+	return c.sock.TrySendMsg(c.assoc, stream, ppid, data)
+}
+
+// TryRecvMsg returns this association's next data message without
+// blocking, leaving other associations' messages on the shared socket
+// queue. Association events map to errors (ErrAborted, ErrClosed);
+// uninteresting notifications are consumed. ErrWouldBlock means
+// nothing is pending.
+func (c *Conn) TryRecvMsg() (*Message, error) {
+	for {
+		found := -1
+		for i, m := range c.sock.rq {
+			if m.Assoc == c.assoc {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			if c.sock.closed {
+				return nil, ErrClosed
+			}
+			return nil, ErrWouldBlock
+		}
+		m := c.sock.rq[found]
+		c.sock.rq = append(c.sock.rq[:found], c.sock.rq[found+1:]...)
+		switch m.Notification {
+		case NotifyNone:
+			if a := c.sock.byID[m.Assoc]; a != nil {
+				a.creditRwnd(len(m.Data))
+			}
+			return m, nil
+		case NotifyCommLost:
+			return nil, ErrAborted
+		case NotifyShutdownComplete:
+			return nil, ErrClosed
+		default:
+			continue // other notifications are uninteresting here
+		}
+	}
+}
+
+// Readable reports whether a TryRecvMsg would return something (a
+// message or event for this association, or a terminal socket state).
+func (c *Conn) Readable() bool {
+	if c.sock.closed {
+		return true
+	}
+	for _, m := range c.sock.rq {
+		if m.Assoc == c.assoc {
+			return true
+		}
+	}
+	return false
+}
+
+// Writable reports whether the association can accept outbound data.
+func (c *Conn) Writable() bool {
+	a := c.sock.byID[c.assoc]
+	return a != nil && a.Established() && a.SndBufAvailable() > 0
+}
+
+// SetNotify registers fn on the underlying socket (see
+// Socket.SetNotify). Accepted Conns share the listening socket, so the
+// last registration wins there; an RPI that owns several accepted
+// Conns registers the same hook on each.
+func (c *Conn) SetNotify(fn func()) { c.sock.SetNotify(fn) }
 
 // RecvMsg receives the next message for this association, leaving
 // messages belonging to other associations on the shared socket queue.

@@ -3,7 +3,11 @@ package sctp
 import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/transport"
 )
+
+// Socket satisfies the shared nonblocking endpoint contract.
+var _ transport.Endpoint = (*Socket)(nil)
 
 // AssocID identifies an association on a one-to-many socket, as in the
 // sctp_recvmsg/sctp_sendmsg API.
@@ -231,6 +235,18 @@ func (sk *Socket) TryRecvMsg() (*Message, error) {
 
 // Readable reports whether TryRecvMsg would return something.
 func (sk *Socket) Readable() bool { return len(sk.rq) > 0 || sk.closed }
+
+// Writable reports whether at least one established association could
+// accept outbound data right now.
+func (sk *Socket) Writable() bool {
+	for _, id := range sk.Assocs() {
+		a := sk.byID[id]
+		if a.Established() && a.SndBufAvailable() > 0 {
+			return true
+		}
+	}
+	return false
+}
 
 // SendMsg blocks until the message is accepted into the association
 // send buffer.

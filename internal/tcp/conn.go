@@ -1,22 +1,27 @@
 package tcp
 
 import (
-	"errors"
 	"time"
 
 	"repro/internal/netsim"
 	"repro/internal/seqnum"
 	"repro/internal/sim"
+	"repro/internal/transport"
 )
 
-// Errors returned by the socket API.
+// Errors returned by the socket API. Each wraps its canonical
+// internal/transport sentinel, so errors.Is(err,
+// transport.ErrWouldBlock) etc. works across stacks.
 var (
-	ErrWouldBlock = errors.New("tcp: operation would block")
-	ErrClosed     = errors.New("tcp: connection closed")
-	ErrReset      = errors.New("tcp: connection reset by peer")
-	ErrTimeout    = errors.New("tcp: connection timed out")
-	ErrMsgSize    = errors.New("tcp: message too large")
+	ErrWouldBlock = transport.Wrap(transport.ErrWouldBlock, "tcp: operation would block")
+	ErrClosed     = transport.Wrap(transport.ErrClosed, "tcp: connection closed")
+	ErrReset      = transport.Wrap(transport.ErrAborted, "tcp: connection reset by peer")
+	ErrTimeout    = transport.Wrap(transport.ErrTimeout, "tcp: connection timed out")
+	ErrMsgSize    = transport.Wrap(transport.ErrMsgSize, "tcp: message too large")
 )
+
+// Conn satisfies the shared nonblocking endpoint contract.
+var _ transport.Endpoint = (*Conn)(nil)
 
 // Config holds per-connection tunables. Zero values select defaults
 // documented on each field.

@@ -1,0 +1,86 @@
+// Package transport defines the contract shared by the simulated
+// transport stacks (internal/tcp, internal/sctp): a canonical error
+// taxonomy and the nonblocking endpoint surface the RPI modules build
+// on. The paper's argument (§3) is that an RPI is a thin binding over
+// a transport; this package is the part of the binding that does not
+// depend on whether the transport is byte-stream or message oriented.
+//
+// Each stack keeps its own package-level sentinel variables for
+// compatibility, but they wrap the canonical sentinels here, so
+// errors.Is(err, transport.ErrWouldBlock) matches a would-block from
+// either stack and RPI code never needs stack-specific comparisons.
+package transport
+
+import "errors"
+
+// Canonical sentinel errors. Stack-specific errors wrap exactly one of
+// these (via Wrap), preserving their historical message text while
+// joining the shared taxonomy.
+var (
+	// ErrWouldBlock reports that a nonblocking (Try*) call could make
+	// no progress right now; retry after the endpoint's notify fires.
+	ErrWouldBlock = errors.New("operation would block")
+
+	// ErrClosed reports an operation on a locally closed endpoint, or
+	// one whose peer completed an orderly shutdown.
+	ErrClosed = errors.New("endpoint closed")
+
+	// ErrTimeout reports that retransmission gave up (RTO exhaustion,
+	// handshake failure after all retries).
+	ErrTimeout = errors.New("operation timed out")
+
+	// ErrMsgSize reports a message too large for the transport to
+	// accept at once (e.g. larger than the SCTP send buffer — the §3.6
+	// limitation that forces middleware-level chunking).
+	ErrMsgSize = errors.New("message too large")
+
+	// ErrAborted reports an abortive teardown by the peer (RST, ABORT
+	// chunk, or communication-lost notification).
+	ErrAborted = errors.New("connection aborted by peer")
+
+	// ErrNotConnected reports an operation addressed to a peer or
+	// association the endpoint does not have.
+	ErrNotConnected = errors.New("not connected")
+)
+
+// wrapped is a sentinel alias: its own message text, one canonical
+// sentinel underneath for errors.Is.
+type wrapped struct {
+	msg      string
+	sentinel error
+}
+
+func (w *wrapped) Error() string { return w.msg }
+func (w *wrapped) Unwrap() error { return w.sentinel }
+
+// Wrap returns an error whose text is msg and which errors.Is-matches
+// sentinel. Stacks use it to keep their historical package-local error
+// variables while adopting the canonical taxonomy.
+func Wrap(sentinel error, msg string) error {
+	return &wrapped{msg: msg, sentinel: sentinel}
+}
+
+// Endpoint is the nonblocking contract every transport endpoint
+// satisfies and the RPI engine relies on: readiness probes, an event
+// hook that fires (in kernel context) whenever readiness may have
+// changed, and teardown. The data-moving Try* calls stay
+// transport-specific — byte-oriented (TryRead/TryWrite) on TCP
+// connections, message-oriented (TryRecvMsg/TrySendMsg) on SCTP
+// sockets — and are bound into the engine as function values.
+type Endpoint interface {
+	// Readable reports whether a Try-read would return data or a
+	// terminal condition (rather than ErrWouldBlock).
+	Readable() bool
+
+	// Writable reports whether the endpoint can accept at least some
+	// outbound data right now.
+	Writable() bool
+
+	// SetNotify registers fn to be invoked whenever the endpoint
+	// becomes readable/writable or changes state. fn runs in kernel
+	// context and must not block.
+	SetNotify(fn func())
+
+	// Close begins an orderly local teardown.
+	Close()
+}

@@ -1,0 +1,72 @@
+package transport_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/sctp"
+	"repro/internal/tcp"
+	"repro/internal/transport"
+)
+
+// Every stack sentinel must match its canonical sentinel through
+// errors.Is while keeping its historical message text.
+func TestStackSentinelsWrapCanonical(t *testing.T) {
+	cases := []struct {
+		stackErr  error
+		canonical error
+		text      string
+	}{
+		{tcp.ErrWouldBlock, transport.ErrWouldBlock, "tcp: operation would block"},
+		{tcp.ErrClosed, transport.ErrClosed, "tcp: connection closed"},
+		{tcp.ErrReset, transport.ErrAborted, "tcp: connection reset by peer"},
+		{tcp.ErrTimeout, transport.ErrTimeout, "tcp: connection timed out"},
+		{tcp.ErrMsgSize, transport.ErrMsgSize, "tcp: message too large"},
+		{sctp.ErrWouldBlock, transport.ErrWouldBlock, "sctp: operation would block"},
+		{sctp.ErrMsgSize, transport.ErrMsgSize, "sctp: message exceeds send buffer size"},
+		{sctp.ErrClosed, transport.ErrClosed, "sctp: socket closed"},
+		{sctp.ErrAborted, transport.ErrAborted, "sctp: association aborted"},
+		{sctp.ErrTimeout, transport.ErrTimeout, "sctp: association timed out"},
+		{sctp.ErrNoAssoc, transport.ErrNotConnected, "sctp: no such association"},
+	}
+	for _, c := range cases {
+		if !errors.Is(c.stackErr, c.canonical) {
+			t.Errorf("errors.Is(%v, %v) = false", c.stackErr, c.canonical)
+		}
+		if c.stackErr.Error() != c.text {
+			t.Errorf("message %q, want %q", c.stackErr.Error(), c.text)
+		}
+	}
+}
+
+// The two stacks' would-block errors are distinct values but share the
+// canonical identity — the property the RPI engine depends on.
+func TestWouldBlockCrossStack(t *testing.T) {
+	if tcp.ErrWouldBlock == sctp.ErrWouldBlock {
+		t.Fatal("stack sentinels should remain distinct values")
+	}
+	for _, err := range []error{tcp.ErrWouldBlock, sctp.ErrWouldBlock} {
+		if !errors.Is(err, transport.ErrWouldBlock) {
+			t.Fatalf("%v does not match transport.ErrWouldBlock", err)
+		}
+	}
+}
+
+func TestWrapPreservesChains(t *testing.T) {
+	inner := transport.Wrap(transport.ErrTimeout, "x: timed out")
+	outer := fmt.Errorf("dial peer 3: %w", inner)
+	if !errors.Is(outer, transport.ErrTimeout) {
+		t.Fatal("wrapped chain lost the canonical sentinel")
+	}
+	if errors.Is(outer, transport.ErrClosed) {
+		t.Fatal("matched the wrong sentinel")
+	}
+}
+
+// The concrete endpoint types must satisfy the Endpoint contract.
+var (
+	_ transport.Endpoint = (*tcp.Conn)(nil)
+	_ transport.Endpoint = (*sctp.Socket)(nil)
+	_ transport.Endpoint = (*sctp.Conn)(nil)
+)

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Tier-1 checks: formatting, vet, build, full test suite.
+# Run from the repository root (or via `make check`).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "tier-1: OK"
