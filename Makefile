@@ -18,8 +18,11 @@ build:
 test:
 	$(GO) test ./...
 
+# Writes BENCH_kernel.json and BENCH_sweep.json at the repo root, then
+# prints the Go benchmarks. GOMAXPROCS is recorded inside the JSON.
 bench:
-	$(GO) test -bench=. -benchmem
+	BENCH_ARTIFACTS=1 $(GO) test -run TestWriteBenchArtifacts ./internal/bench/
+	$(GO) test -run xxx -bench=. -benchmem ./internal/bench/...
 
 paper:
 	$(GO) run ./cmd/paper -exp all -quick

@@ -22,7 +22,11 @@ func main() {
 	outstanding := flag.Int("outstanding", 10, "outstanding requests per worker")
 	loss := flag.Float64("loss", 0, "Bernoulli loss rate")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	seeds := flag.Int("seeds", 1, "independent seeded runs (reported separately)")
+	parallel := flag.Int("parallel", 1,
+		"concurrent runs when -seeds > 1; 0 selects GOMAXPROCS (results are identical at any setting)")
 	flag.Parse()
+	bench.SetParallelism(*parallel)
 
 	tr, err := core.ParseTransport(*transport)
 	if err != nil {
@@ -30,22 +34,32 @@ func main() {
 		os.Exit(2)
 	}
 
-	r, err := bench.Farm(core.Options{
-		Procs:     *procs,
-		Transport: tr,
-		Seed:      *seed,
-		LossRate:  *loss,
-	}, bench.FarmConfig{
-		NumTasks:    *tasks,
-		TaskSize:    *size,
-		Fanout:      *fanout,
-		MaxWorkTags: *tags,
-		Outstanding: *outstanding,
+	results := make([]bench.FarmResult, *seeds)
+	err = bench.RunCells(*seeds, func(i int) error {
+		r, err := bench.Farm(core.Options{
+			Procs:     *procs,
+			Transport: tr,
+			Seed:      *seed + int64(i),
+			LossRate:  *loss,
+		}, bench.FarmConfig{
+			NumTasks:    *tasks,
+			TaskSize:    *size,
+			Fanout:      *fanout,
+			MaxWorkTags: *tags,
+			Outstanding: *outstanding,
+		})
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s procs=%d tasks=%d size=%d fanout=%d loss=%.2f%%: total run time %.3f s\n",
-		tr, *procs, r.TasksDone, *size, *fanout, *loss*100, r.RunTime.Seconds())
+	for i, r := range results {
+		fmt.Printf("%s procs=%d tasks=%d size=%d fanout=%d loss=%.2f%% seed=%d: total run time %.3f s\n",
+			tr, *procs, r.TasksDone, *size, *fanout, *loss*100, *seed+int64(i), r.RunTime.Seconds())
+	}
 }

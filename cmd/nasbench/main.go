@@ -8,6 +8,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/bench"
 	"repro/internal/bench/nas"
 	"repro/internal/core"
 )
@@ -18,7 +19,10 @@ func main() {
 	class := flag.String("class", "B", "S|W|A|B")
 	loss := flag.Float64("loss", 0, "Bernoulli loss rate")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 1,
+		"concurrent kernel runs; 0 selects GOMAXPROCS (results are identical at any setting)")
 	flag.Parse()
+	bench.SetParallelism(*parallel)
 
 	tr, err := core.ParseTransport(*transport)
 	if err != nil {
@@ -27,15 +31,26 @@ func main() {
 	}
 	c := nas.Class(strings.ToUpper(*class)[0])
 
+	var selected []nas.Kernel
 	for _, k := range nas.Kernels() {
-		if *kernel != "all" && !strings.EqualFold(*kernel, k.Name) {
-			continue
+		if *kernel == "all" || strings.EqualFold(*kernel, k.Name) {
+			selected = append(selected, k)
 		}
-		r, err := nas.Run(core.Options{Transport: tr, Seed: *seed, LossRate: *loss}, k, c)
+	}
+	results := make([]nas.Result, len(selected))
+	err = bench.RunCells(len(selected), func(i int) error {
+		r, err := nas.Run(core.Options{Transport: tr, Seed: *seed, LossRate: *loss}, selected[i], c)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", k.Name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", selected[i].Name, err)
 		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, r := range results {
 		fmt.Printf("%-3s class %c %s: %8.1f Mop/s total  (%.3f s virtual)\n",
 			r.Name, r.Class, tr, r.Mops, r.Elapsed.Seconds())
 	}

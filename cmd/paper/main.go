@@ -33,7 +33,10 @@ func main() {
 	tasks := flag.Int("tasks", 0, "farm task count override (paper: 10000)")
 	rpis := flag.String("rpi", "tcp,sctp",
 		"comma-separated RPI backends for fig8 (tcp|sctp|sctp1|sctp1to1)")
+	parallel := flag.Int("parallel", 1,
+		"concurrent sweep cells; 0 selects GOMAXPROCS (results are identical at any setting)")
 	flag.Parse()
+	bench.SetParallelism(*parallel)
 
 	var transports []core.Transport
 	for _, name := range strings.Split(*rpis, ",") {

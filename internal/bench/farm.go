@@ -208,19 +208,30 @@ func (s *FarmSweep) Run() (*Table, error) {
 	for _, tr := range s.Transports {
 		t.Columns = append(t.Columns, tr.String()+" (s)")
 	}
-	for _, loss := range s.LossRates {
-		row := Row{Label: fmt.Sprintf("loss %.0f%%", loss*100)}
-		for _, tr := range s.Transports {
-			opts := s.Opts
-			opts.Transport = tr
-			opts.LossRate = loss
-			r, err := Farm(opts, s.Config)
-			if err != nil {
-				return nil, fmt.Errorf("farm %v loss %.0f%%: %w", tr, loss*100, err)
-			}
-			row.Values = append(row.Values, r.RunTime.Seconds())
+	// Each (loss, transport) cell is an independent simulation; run
+	// them on the sweep worker pool and assemble rows in order.
+	nt := len(s.Transports)
+	results := make([]float64, len(s.LossRates)*nt)
+	err := RunCells(len(results), func(i int) error {
+		loss, tr := s.LossRates[i/nt], s.Transports[i%nt]
+		opts := s.Opts
+		opts.Transport = tr
+		opts.LossRate = loss
+		r, err := Farm(opts, s.Config)
+		if err != nil {
+			return fmt.Errorf("farm %v loss %.0f%%: %w", tr, loss*100, err)
 		}
-		t.Rows = append(t.Rows, row)
+		results[i] = r.RunTime.Seconds()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, loss := range s.LossRates {
+		t.Rows = append(t.Rows, Row{
+			Label:  fmt.Sprintf("loss %.0f%%", loss*100),
+			Values: results[li*nt : (li+1)*nt],
+		})
 	}
 	return t, nil
 }

@@ -3,6 +3,7 @@ package nas
 import (
 	"fmt"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/mpi"
 )
@@ -353,17 +354,25 @@ type Fig9Row struct {
 // Fig9 runs every kernel under both transports (no loss), the paper's
 // Figure 9 bar chart.
 func Fig9(seed int64, class Class) ([]Fig9Row, error) {
-	var rows []Fig9Row
-	for _, k := range Kernels() {
-		var vals [2]float64
-		for i, tr := range []core.Transport{core.SCTP, core.TCP} {
-			r, err := Run(core.Options{Transport: tr, Seed: seed}, k, class)
-			if err != nil {
-				return nil, fmt.Errorf("fig9 %s %v: %w", k.Name, tr, err)
-			}
-			vals[i] = r.Mops
+	ks := Kernels()
+	trs := []core.Transport{core.SCTP, core.TCP}
+	// One cell per (kernel, transport), run on the sweep worker pool.
+	results := make([]float64, len(ks)*len(trs))
+	err := bench.RunCells(len(results), func(i int) error {
+		k, tr := ks[i/len(trs)], trs[i%len(trs)]
+		r, err := Run(core.Options{Transport: tr, Seed: seed}, k, class)
+		if err != nil {
+			return fmt.Errorf("fig9 %s %v: %w", k.Name, tr, err)
 		}
-		rows = append(rows, Fig9Row{Kernel: k.Name, SCTP: vals[0], TCP: vals[1]})
+		results[i] = r.Mops
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig9Row, len(ks))
+	for i, k := range ks {
+		rows[i] = Fig9Row{Kernel: k.Name, SCTP: results[i*2], TCP: results[i*2+1]}
 	}
 	return rows, nil
 }

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+)
+
+// runPingPong8 is the perf workload: 8 ranks in pairs (rank <-> rank^1)
+// exchanging msgSize-byte messages over lossy links. Loss drives the
+// SCTP retransmission machinery, which is where the simulator spends
+// its time in the paper's experiments.
+func runPingPong8(tb testing.TB, transport core.Transport, msgSize, iters int) {
+	tb.Helper()
+	opts := core.Options{Transport: transport, Seed: 3, LossRate: 0.02, Procs: 8}
+	_, err := core.Run(opts, func(pr *mpi.Process, comm *mpi.Comm) error {
+		msg := make([]byte, msgSize)
+		buf := make([]byte, msgSize)
+		peer := comm.Rank() ^ 1
+		for i := 0; i < iters; i++ {
+			if comm.Rank() < peer {
+				if err := comm.Send(peer, 0, msg); err != nil {
+					return err
+				}
+				if _, err := comm.Recv(peer, 0, buf); err != nil {
+					return err
+				}
+			} else {
+				if _, err := comm.Recv(peer, 0, buf); err != nil {
+					return err
+				}
+				if err := comm.Send(peer, 0, msg); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// BenchmarkKernelPingPong8 measures the whole stack — kernel, netsim,
+// SCTP, MPI — on the lossy 8-rank ping-pong.
+func BenchmarkKernelPingPong8(b *testing.B) {
+	for b.Loop() {
+		runPingPong8(b, core.SCTP, 30<<10, 30)
+	}
+}
+
+// BenchmarkKernelPingPong8TCP is the TCP counterpart.
+func BenchmarkKernelPingPong8TCP(b *testing.B) {
+	for b.Loop() {
+		runPingPong8(b, core.TCP, 30<<10, 30)
+	}
+}
+
+// BenchmarkFig8Sweep measures the figure-8 message-size sweep, serial.
+func BenchmarkFig8Sweep(b *testing.B) {
+	old := Parallelism()
+	SetParallelism(1)
+	defer SetParallelism(old)
+	for b.Loop() {
+		if _, err := Fig8Transports(1, 5, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8SweepParallel measures the same sweep with the worker
+// pool sized to GOMAXPROCS.
+func BenchmarkFig8SweepParallel(b *testing.B) {
+	old := Parallelism()
+	SetParallelism(0)
+	defer SetParallelism(old)
+	for b.Loop() {
+		if _, err := Fig8Transports(1, 5, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

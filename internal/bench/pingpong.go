@@ -109,20 +109,30 @@ func Fig8Transports(seed int64, iters int, transports []core.Transport) (*Table,
 	for _, tr := range transports[1:] {
 		t.Columns = append(t.Columns, fmt.Sprintf("%s/%s", tr, base))
 	}
-	for _, sz := range Fig8Sizes {
+	// One sweep cell per (size, transport); each runs in its own
+	// simulation and is independent of the rest.
+	nt := len(transports)
+	results := make([]float64, len(Fig8Sizes)*nt)
+	err := RunCells(len(results), func(i int) error {
+		sz, tr := Fig8Sizes[i/nt], transports[i%nt]
 		it := iters
 		if sz >= 32768 && it > 60 {
 			it = 60
 		}
-		vals := make([]float64, 0, 2*len(transports)-1)
-		for _, tr := range transports {
-			r, err := PingPong(core.Options{Transport: tr, Seed: seed}, sz, it, 10)
-			if err != nil {
-				return nil, fmt.Errorf("fig8 %v size %d: %w", tr, sz, err)
-			}
-			vals = append(vals, r.Throughput)
+		r, err := PingPong(core.Options{Transport: tr, Seed: seed}, sz, it, 10)
+		if err != nil {
+			return fmt.Errorf("fig8 %v size %d: %w", tr, sz, err)
 		}
-		for _, v := range vals[1:len(transports)] {
+		results[i] = r.Throughput
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, sz := range Fig8Sizes {
+		vals := make([]float64, 0, 2*nt-1)
+		vals = append(vals, results[si*nt:(si+1)*nt]...)
+		for _, v := range vals[1:nt] {
 			vals = append(vals, v/vals[0])
 		}
 		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%d bytes", sz), Values: vals})
@@ -149,20 +159,42 @@ func Table1(seed int64, iters int) (*Table, error) {
 			"paper: 300K -> SCTP  5,870  TCP 1,818 | SCTP  2,825  TCP   885",
 		},
 	}
-	for _, sz := range []int{30 << 10, 300 << 10} {
+	sizes := []int{30 << 10, 300 << 10}
+	losses := []float64{0.01, 0.02}
+	trs := []core.Transport{core.SCTP, core.TCP}
+	// Flatten the (size, loss, transport, seed) grid into independent
+	// cells; sums are assembled afterwards in grid order.
+	cells := len(sizes) * len(losses) * len(trs) * Table1Seeds
+	results := make([]float64, cells)
+	err := RunCells(cells, func(i int) error {
+		s := int64(i % Table1Seeds)
+		rest := i / Table1Seeds
+		tr := trs[rest%len(trs)]
+		rest /= len(trs)
+		loss := losses[rest%len(losses)]
+		sz := sizes[rest/len(losses)]
+		r, err := PingPong(core.Options{
+			Transport: tr, Seed: seed + s, LossRate: loss,
+		}, sz, iters, 2)
+		if err != nil {
+			return fmt.Errorf("table1 %v loss %.0f%% size %d seed %d: %w",
+				tr, loss*100, sz, seed+s, err)
+		}
+		results[i] = r.Throughput
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, sz := range sizes {
 		var vals []float64
-		for _, loss := range []float64{0.01, 0.02} {
-			for _, tr := range []core.Transport{core.SCTP, core.TCP} {
+		for range losses {
+			for range trs {
 				sum := 0.0
-				for s := int64(0); s < Table1Seeds; s++ {
-					r, err := PingPong(core.Options{
-						Transport: tr, Seed: seed + s, LossRate: loss,
-					}, sz, iters, 2)
-					if err != nil {
-						return nil, fmt.Errorf("table1 %v loss %.0f%% size %d seed %d: %w",
-							tr, loss*100, sz, seed+s, err)
-					}
-					sum += r.Throughput
+				for s := 0; s < Table1Seeds; s++ {
+					sum += results[i]
+					i++
 				}
 				vals = append(vals, sum/Table1Seeds)
 			}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The sweep runner: experiment grids (size x transport x loss x seed)
+// are embarrassingly parallel because every cell builds its own Kernel,
+// Network and stacks from scratch — no state is shared between cells
+// except the buffer pool, which is concurrency-safe. Cells are handed
+// to a fixed worker pool and results land in slot-indexed storage, so
+// the assembled tables are identical whatever the worker count.
+
+// parallelism holds the configured worker count; <=0 means GOMAXPROCS.
+var parallelism atomic.Int32
+
+func init() { parallelism.Store(1) }
+
+// SetParallelism sets how many sweep cells run concurrently. n <= 0
+// selects GOMAXPROCS. The default is 1 (serial).
+func SetParallelism(n int) { parallelism.Store(int32(n)) }
+
+// Parallelism returns the effective worker count.
+func Parallelism() int {
+	n := int(parallelism.Load())
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// RunCells evaluates fn(0..n-1) on the configured worker pool. fn must
+// write its result into slot-indexed storage owned by the caller. All
+// cells run even when one fails; the error returned is the failing
+// cell with the lowest index, so error reporting is as deterministic as
+// the results themselves.
+func RunCells(n int, fn func(i int) error) error {
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

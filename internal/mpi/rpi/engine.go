@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // Engine is the progression machinery shared by every RPI module, so a
@@ -70,6 +71,10 @@ func (e *Engine) Complete(p *sim.Proc, env Envelope, body []byte) {
 		p.Sleep(d)
 	}
 	e.deliver(env, body)
+	// Delivery copies the payload into the posted receive buffer (or an
+	// unexpected-message copy); the transport-side body buffer is dead
+	// now and goes back to the wire pool.
+	wire.PutBuf(body)
 }
 
 // Loop is the canonical Advance scaffold: charge one poll pass over

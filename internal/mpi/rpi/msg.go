@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // This file is the message-oriented half of the shared engine: the
@@ -273,7 +274,9 @@ func NewReassembler(ctrs Counters) *Reassembler {
 }
 
 // Feed processes one transport message on (peer, stream) key and
-// reports what it produced.
+// reports what it produced. Feed takes ownership of data: when a single
+// transport message carries an entire body it is returned directly,
+// without a copy, so the caller must not reuse the slice.
 func (r *Reassembler) Feed(key RecvKey, ppid uint32, data []byte) (FeedResult, Envelope, []byte) {
 	rs := r.rstate[key]
 	if rs != nil && rs.haveEnv && ppid != PPIDEnvelope {
@@ -282,7 +285,18 @@ func (r *Reassembler) Feed(key RecvKey, ppid uint32, data []byte) (FeedResult, E
 		// Option C a control envelope may be interleaved, but it
 		// carries PPIDEnvelope and is routed below instead — the
 		// disambiguation that fixes the paper's §3.4 race.
+		if rs.body == nil && len(data) >= rs.env.Length {
+			// The whole body in one message (the common case for
+			// message-oriented transports): hand it through as-is.
+			env := rs.env
+			delete(r.rstate, key)
+			return FeedMessage, env, data
+		}
+		if rs.body == nil {
+			rs.body = wire.GetBuf(rs.env.Length)[:0]
+		}
 		rs.body = append(rs.body, data...)
+		wire.PutBuf(data) // copied out; recycle the transport's buffer
 		if len(rs.body) >= rs.env.Length {
 			env, body := rs.env, rs.body
 			delete(r.rstate, key)
@@ -291,8 +305,11 @@ func (r *Reassembler) Feed(key RecvKey, ppid uint32, data []byte) (FeedResult, E
 		return FeedNone, Envelope{}, nil
 	}
 	// An envelope: either fresh traffic on this stream or an Option C
-	// control message interleaved with a body.
+	// control message interleaved with a body. The envelope's fields are
+	// decoded by value, so the transport's buffer is recycled here on
+	// every branch.
 	env, err := DecodeEnvelope(data)
+	wire.PutBuf(data)
 	if err != nil {
 		r.ctrs.Add("frame_errors", 1)
 		return FeedError, Envelope{}, nil
@@ -309,6 +326,8 @@ func (r *Reassembler) Feed(key RecvKey, ppid uint32, data []byte) (FeedResult, E
 		r.ctrs.Add("frame_errors", 1)
 		return FeedError, Envelope{}, nil
 	}
-	r.rstate[key] = &recvState{env: env, haveEnv: true, body: make([]byte, 0, env.Length)}
+	// body stays nil until the first continuation chunk so a
+	// single-message body can be passed through without copying.
+	r.rstate[key] = &recvState{env: env, haveEnv: true}
 	return FeedNone, Envelope{}, nil
 }

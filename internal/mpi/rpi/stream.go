@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // This file is the byte-stream half of the shared engine: the outbound
@@ -121,7 +122,9 @@ func (f *StreamFramer) Drain(tryRead func([]byte) (int, error),
 			f.haveEnv = true
 			f.body = nil
 			if env.Kind.HasBody() && env.Length > 0 {
-				f.body = make([]byte, 0, env.Length)
+				// Pooled: ownership passes to onMsg with the complete
+				// message; the RPI engine recycles it after delivery.
+				f.body = wire.GetBuf(env.Length)[:0]
 			}
 		}
 		// Body bytes, if any.
@@ -130,11 +133,16 @@ func (f *StreamFramer) Drain(tryRead func([]byte) (int, error),
 			bodyLen = f.env.Length
 		}
 		for len(f.body) < bodyLen {
+			// Read straight into the body's free capacity; no scratch
+			// buffer, no second copy. The 64 KiB cap mirrors a socket
+			// read size and bounds how much one call consumes.
 			need := bodyLen - len(f.body)
-			buf := make([]byte, min(need, 64<<10))
-			n, err := tryRead(buf)
+			if need > 64<<10 {
+				need = 64 << 10
+			}
+			n, err := tryRead(f.body[len(f.body) : len(f.body)+need])
 			if n > 0 {
-				f.body = append(f.body, buf[:n]...)
+				f.body = f.body[:len(f.body)+n]
 				progress = true
 			}
 			if errors.Is(err, transport.ErrWouldBlock) || n == 0 {

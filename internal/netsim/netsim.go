@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // Protocol numbers used by the stacks in this repository.
@@ -43,10 +44,47 @@ func (a Addr) String() string {
 }
 
 // Packet is an IP datagram in flight.
+//
+// A packet built with NewPooledPacket carries a payload from the shared
+// buffer pool and a reference count. Ownership transfers to the network
+// at Node.Send; the network releases the payload on every drop path and
+// after delivering it to the protocol handler. A handler that keeps a
+// sub-slice of the payload alive past its return (e.g. SCTP reassembly
+// fragments) must Retain the packet and Release it when done. Packets
+// built as plain literals have no pool backing, and Retain/Release are
+// no-ops on them.
 type Packet struct {
 	Src, Dst Addr
 	Proto    uint8
 	Payload  []byte
+	refs     int32 // remaining pool references; 0 when not pooled
+}
+
+// NewPooledPacket wraps a payload obtained from wire.GetBuf in a packet
+// that returns it to the pool once the last reference is released.
+func NewPooledPacket(src, dst Addr, proto uint8, payload []byte) *Packet {
+	return &Packet{Src: src, Dst: dst, Proto: proto, Payload: payload, refs: 1}
+}
+
+// Retain adds a reference to a pooled payload.
+func (p *Packet) Retain() {
+	if p.refs > 0 {
+		p.refs++
+	}
+}
+
+// Release drops one reference; the last drop recycles the payload. The
+// payload is nilled so a use-after-release fails loudly instead of
+// reading recycled bytes.
+func (p *Packet) Release() {
+	if p.refs == 0 {
+		return
+	}
+	p.refs--
+	if p.refs == 0 {
+		wire.PutBuf(p.Payload)
+		p.Payload = nil
+	}
 }
 
 // WireSize returns the on-the-wire size of the packet including the IP
@@ -215,6 +253,7 @@ func (n *Network) send(src *Iface, pkt *Packet) {
 	dst := n.routes[pkt.Dst]
 	if dst == nil {
 		n.Stats.PacketsNoRoute++
+		pkt.Release()
 		return
 	}
 	if src.down || dst.down {
@@ -222,6 +261,7 @@ func (n *Network) send(src *Iface, pkt *Packet) {
 		if n.Trace != nil {
 			n.Trace("drop-down", pkt)
 		}
+		pkt.Release()
 		return
 	}
 	p := n.pipe(pkt.Src, pkt.Dst)
@@ -242,6 +282,7 @@ func (n *Network) send(src *Iface, pkt *Packet) {
 			if n.Trace != nil {
 				n.Trace("drop-queue", pkt)
 			}
+			pkt.Release()
 			return
 		}
 	}
@@ -252,12 +293,14 @@ func (n *Network) send(src *Iface, pkt *Packet) {
 		if n.Trace != nil {
 			n.Trace("drop-loss", pkt)
 		}
+		pkt.Release()
 		return
 	}
 	copies := 1
 	if p.params.DupRate > 0 && n.K.Rand().Float64() < p.params.DupRate {
 		copies = 2
 		n.Stats.PacketsDuped++
+		pkt.Retain() // both deliveries alias the same payload; each releases one ref
 	}
 	for i := 0; i < copies; i++ {
 		arrive := p.busyUntil - now + p.params.Delay
@@ -267,12 +310,14 @@ func (n *Network) send(src *Iface, pkt *Packet) {
 		n.K.After(arrive, func() {
 			if dst.down {
 				n.Stats.PacketsDown++
+				pkt.Release()
 				return
 			}
 			if n.Trace != nil {
 				n.Trace("recv", pkt)
 			}
 			dst.node.deliver(pkt, dst)
+			pkt.Release()
 		})
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/seqnum"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 type assocState int
@@ -61,16 +62,36 @@ type path struct {
 	inFastRec  bool
 	recoverTSN seqnum.V
 
-	t3            *sim.Timer
-	hbTimer       *sim.Timer
+	t3            sim.Timer
+	hbTimer       sim.Timer
+	t3Fn          func() // cached After callback; avoids a closure per T3 arm
 	hbOutstanding bool
 	hbNonce       uint64
 	lastSend      time.Duration
 }
 
-// outChunk tracks one DATA chunk through transmission.
+// msgBuf is a pooled copy of one user message, shared by the chunks it
+// was fragmented into. refs counts chunks still holding a share; the
+// last release recycles the buffer.
+type msgBuf struct {
+	b    []byte
+	refs int32
+}
+
+func (mb *msgBuf) release() {
+	mb.refs--
+	if mb.refs == 0 {
+		wire.PutBuf(mb.b)
+		mb.b = nil
+	}
+}
+
+// outChunk tracks one DATA chunk through transmission. The chunk is
+// embedded by value so queuing a message costs one allocation per
+// fragment, not two.
 type outChunk struct {
-	c         *chunk
+	c         chunk
+	mb        *msgBuf
 	size      int
 	pathIdx   int
 	transmits int
@@ -79,8 +100,25 @@ type outChunk struct {
 	inRtxQ    bool
 }
 
+// releaseBuf drops this chunk's share of the message buffer. Idempotent:
+// called when the chunk is first sacked and again defensively at
+// teardown.
+func (oc *outChunk) releaseBuf() {
+	if oc.mb != nil {
+		oc.mb.release()
+		oc.mb = nil
+	}
+}
+
 type tsnRange struct {
 	start, end seqnum.V // inclusive
+}
+
+// frag is one stored fragment: the data slice plus a retained reference
+// to the pooled packet it aliases (nil when the data is unpooled).
+type frag struct {
+	data []byte
+	buf  *netsim.Packet
 }
 
 // partialMsg reassembles a fragmented user message.
@@ -88,12 +126,23 @@ type partialMsg struct {
 	stream uint16
 	ssn    seqnum.S16
 	ppid   uint32
-	frags  map[seqnum.V][]byte
+	frags  map[seqnum.V]frag
 	haveB  bool
 	haveE  bool
 	bTSN   seqnum.V
 	eTSN   seqnum.V
 	bytes  int
+}
+
+// releaseFrags drops the packet references held by an unfinished
+// reassembly, e.g. at association teardown.
+func (pm *partialMsg) releaseFrags() {
+	for tsn, f := range pm.frags {
+		if f.buf != nil {
+			f.buf.Release()
+		}
+		delete(pm.frags, tsn)
+	}
 }
 
 // Assoc is one SCTP association endpoint.
@@ -135,18 +184,20 @@ type Assoc struct {
 	rcvUsed     int
 	lastRwnd    int
 	pktsNoSack  int
-	sackTimer   *sim.Timer
+	sackTimer   sim.Timer
+	sackFn      func() // cached delayed-SACK callback
 	sackNow     bool
+	sackScratch chunk // reused by buildSack; dead once encoded
 	lastDataSrc netsim.Addr
 
 	assocErrors    int
 	reqStreams     int
 	cookie         []byte
-	initTimer      *sim.Timer
+	initTimer      sim.Timer
 	initTries      int
-	shutdownTimer  *sim.Timer
+	shutdownTimer  sim.Timer
 	shutdownTries  int
-	autocloseTimer *sim.Timer
+	autocloseTimer sim.Timer
 	connCond       *sim.Cond
 
 	stats Stats
@@ -200,6 +251,11 @@ func (sk *Socket) newAssoc(peerPort uint16, peerAddrs []netsim.Addr) *Assoc {
 		connCond:   sim.NewCond(sk.kernel()),
 		peerRwnd:   4380, // until the peer advertises
 	}
+	a.sackFn = func() {
+		if a.state != aDone {
+			a.sendSack()
+		}
+	}
 	for _, pa := range peerAddrs {
 		key := addrPort{pa, peerPort}
 		sk.assocs[key] = a
@@ -232,6 +288,8 @@ func (a *Assoc) buildPaths() {
 		}
 		pt.cwnd = initialCwnd(mtu)
 		pt.ssthresh = 1 << 30
+		pi := len(a.paths)
+		pt.t3Fn = func() { a.onT3(pi) }
 		a.paths = append(a.paths, pt)
 	}
 	a.primary = 0
@@ -408,14 +466,30 @@ func (a *Assoc) handleData(src netsim.Addr, c *chunk) {
 	key := uint32(c.Stream)<<16 | uint32(uint16(c.SSN))
 	pm := a.partial[key]
 	if pm == nil {
+		if c.Flags&flagBeginFragment != 0 && c.Flags&flagEndFragment != 0 {
+			// Unfragmented message: deliver directly, skipping the
+			// reassembly map. This is the common case for small sends.
+			a.deliverOrdered(&Message{
+				Assoc:  a.id,
+				Peer:   a.peerAddrs[0],
+				Stream: c.Stream,
+				SSN:    uint16(c.SSN),
+				PPID:   c.PPID,
+				Data:   append(wire.GetBuf(len(c.Data))[:0], c.Data...),
+			})
+			return
+		}
 		pm = &partialMsg{
 			stream: c.Stream, ssn: c.SSN, ppid: c.PPID,
-			frags: make(map[seqnum.V][]byte),
+			frags: make(map[seqnum.V]frag),
 		}
 		a.partial[key] = pm
 	}
 	if _, dup := pm.frags[tsn]; !dup {
-		pm.frags[tsn] = c.Data
+		if c.buf != nil {
+			c.buf.Retain()
+		}
+		pm.frags[tsn] = frag{data: c.Data, buf: c.buf}
 		pm.bytes += len(c.Data)
 	}
 	if c.Flags&flagBeginFragment != 0 {
@@ -436,23 +510,35 @@ func (a *Assoc) handleData(src netsim.Addr, c *chunk) {
 // per-stream SSN order. Different streams deliver independently: this
 // is the multistreaming property that removes head-of-line blocking.
 func (a *Assoc) completeMessage(pm *partialMsg) {
-	data := make([]byte, 0, pm.bytes)
+	// Message.Data is a pooled buffer: the receiver (the RPI engine)
+	// returns it to the wire pool once the payload has been copied out.
+	data := wire.GetBuf(pm.bytes)[:0]
 	for tsn := pm.bTSN; ; tsn = tsn.Add(1) {
-		data = append(data, pm.frags[tsn]...)
+		f := pm.frags[tsn]
+		data = append(data, f.data...)
+		if f.buf != nil {
+			f.buf.Release()
+		}
 		if tsn == pm.eTSN {
 			break
 		}
 	}
-	m := &Message{
+	a.deliverOrdered(&Message{
 		Assoc:  a.id,
 		Peer:   a.peerAddrs[0],
 		Stream: pm.stream,
 		SSN:    uint16(pm.ssn),
 		PPID:   pm.ppid,
 		Data:   data,
-	}
-	st := int(pm.stream)
-	if pm.ssn == a.expectedSSN[st] {
+	})
+}
+
+// deliverOrdered enqueues a reassembled message in per-stream SSN order,
+// draining any messages the arrival unblocks.
+func (a *Assoc) deliverOrdered(m *Message) {
+	st := int(m.Stream)
+	ssn := seqnum.S16(m.SSN)
+	if ssn == a.expectedSSN[st] {
 		a.sock.enqueue(m)
 		a.expectedSSN[st]++
 		for {
@@ -465,7 +551,7 @@ func (a *Assoc) completeMessage(pm *partialMsg) {
 			a.expectedSSN[st]++
 		}
 	} else {
-		a.reorder[st][pm.ssn] = m
+		a.reorder[st][ssn] = m
 	}
 }
 
@@ -503,11 +589,7 @@ func (a *Assoc) sackPolicy() {
 		return
 	}
 	if !a.sackTimer.Active() {
-		a.sackTimer = a.kernel().After(a.cfg.SackDelay, func() {
-			if a.state != aDone {
-				a.sendSack()
-			}
-		})
+		a.sackTimer = a.kernel().After(a.cfg.SackDelay, a.sackFn)
 	}
 }
 
@@ -515,11 +597,17 @@ func (a *Assoc) sackPolicy() {
 // Unlike TCP's four-block option limit, the number of gap-ack blocks is
 // bounded only by the MTU (paper §4.1.1).
 func (a *Assoc) buildSack() *chunk {
-	c := &chunk{
+	// The SACK is encoded into a packet before the next buildSack call,
+	// so one scratch chunk per assoc (with its gap slice) is reused for
+	// every SACK instead of allocating each time.
+	c := &a.sackScratch
+	gaps := c.Gaps[:0]
+	*c = chunk{
 		Type:      ctSack,
 		CumTSNAck: a.cumTSN,
 		ARwnd:     uint32(a.cfg.RcvBuf - a.rcvUsed),
 		DupTSNs:   a.dupTSNs,
+		Gaps:      gaps,
 	}
 	maxGaps := (a.paths[a.primary].mtu - 20) / 4
 	for _, r := range a.rcvRanges {
@@ -573,9 +661,7 @@ func (a *Assoc) sendChunks(src, dst netsim.Addr, chunks []*chunk) {
 		Chunks:          chunks,
 	}
 	a.stats.PacketsSent++
-	a.sock.stack.node.Send(&netsim.Packet{
-		Src: src, Dst: dst, Proto: netsim.ProtoSCTP, Payload: encodePacket(p),
-	})
+	a.sock.stack.node.Send(netsim.NewPooledPacket(src, dst, netsim.ProtoSCTP, encodePacket(p)))
 }
 
 // resetAutoclose restarts the autoclose timer, if configured.
@@ -631,6 +717,22 @@ func (a *Assoc) finish() {
 
 func (a *Assoc) teardown() {
 	a.state = aDone
+	for key, pm := range a.partial {
+		pm.releaseFrags()
+		delete(a.partial, key)
+	}
+	// Unacknowledged chunks still hold shares of pooled message buffers.
+	// rtxQ is a subset of inflight, and releaseBuf is idempotent, so
+	// walking all three queues is safe.
+	for _, oc := range a.outQ {
+		oc.releaseBuf()
+	}
+	for _, oc := range a.rtxQ {
+		oc.releaseBuf()
+	}
+	for _, oc := range a.inflight {
+		oc.releaseBuf()
+	}
 	a.initTimer.Stop()
 	a.sackTimer.Stop()
 	a.autocloseTimer.Stop()

@@ -10,6 +10,7 @@ package sctp
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/netsim"
 	"repro/internal/seqnum"
@@ -73,6 +74,11 @@ type chunk struct {
 	CumTSNAck seqnum.V
 	Gaps      []gapBlock
 	DupTSNs   []seqnum.V
+
+	// buf is the pooled IP packet whose payload Data aliases, when the
+	// chunk was decoded from the wire. Reassembly retains it instead of
+	// copying the fragment.
+	buf *netsim.Packet
 
 	// HEARTBEAT / HEARTBEAT-ACK
 	HBPath  netsim.Addr
@@ -169,17 +175,23 @@ func encodeCookieEcho(w *wire.Writer, cookie []byte) {
 	w.Bytes(cookie)
 }
 
-func decodeChunk(r *wire.Reader) (*chunk, error) {
-	c := &chunk{}
+// decodeChunk decodes one chunk into c, which it fully resets first.
+// The Gaps backing array survives the reset so steady-state SACK
+// decoding on a pooled packet is allocation-free; every other slice
+// field starts nil because receive-side code is allowed to retain
+// Addrs (and copies Cookie/Reason).
+func decodeChunk(r *wire.Reader, c *chunk) error {
+	gaps := c.Gaps[:0]
+	*c = chunk{}
 	c.Type = r.U8()
 	c.Flags = r.U8()
 	length := int(r.U16())
 	if length < 4 {
-		return nil, fmt.Errorf("sctp: bad chunk length %d", length)
+		return fmt.Errorf("sctp: bad chunk length %d", length)
 	}
 	body := r.Bytes(length - 4)
 	if err := r.Err(); err != nil {
-		return nil, err
+		return err
 	}
 	br := wire.NewReader(body)
 	switch c.Type {
@@ -206,8 +218,11 @@ func decodeChunk(r *wire.Reader) (*chunk, error) {
 		c.ARwnd = br.U32()
 		ng := int(br.U16())
 		nd := int(br.U16())
-		for i := 0; i < ng; i++ {
-			c.Gaps = append(c.Gaps, gapBlock{br.U16(), br.U16()})
+		if ng > 0 {
+			c.Gaps = gaps
+			for i := 0; i < ng; i++ {
+				c.Gaps = append(c.Gaps, gapBlock{br.U16(), br.U16()})
+			}
 		}
 		for i := 0; i < nd; i++ {
 			c.DupTSNs = append(c.DupTSNs, seqnum.V(br.U32()))
@@ -223,22 +238,51 @@ func decodeChunk(r *wire.Reader) (*chunk, error) {
 	case ctCookieEcho:
 		c.Cookie = br.Rest()
 	}
-	if err := br.Err(); err != nil {
-		return nil, err
-	}
-	return c, nil
+	return br.Err()
 }
 
-// packet is a parsed SCTP packet: common header plus chunks.
+// packet is a parsed SCTP packet: common header plus chunks. Decoded
+// packets come from packetPool with their chunks laid out in slab;
+// the stack returns them with releasePacket once dispatch finishes
+// (chunk structs are dead by then — receive-side code keeps only
+// payload slices and the owning netsim packet, never the chunks).
 type packet struct {
 	SrcPort, DstPort uint16
 	VerificationTag  uint32
 	Chunks           []*chunk
+	slab             []chunk
+}
+
+var packetPool = sync.Pool{New: func() any { return new(packet) }}
+
+// releasePacket resets a decoded packet and returns it to the pool.
+// Payload aliases are cleared by the per-chunk reset in decodeChunk on
+// next use; here it is enough to drop the chunk pointers.
+func releasePacket(p *packet) {
+	for i := range p.slab {
+		c := &p.slab[i]
+		gaps := c.Gaps[:0]
+		*c = chunk{}
+		c.Gaps = gaps
+	}
+	p.Chunks = p.Chunks[:0]
+	packetPool.Put(p)
 }
 
 // encodePacket serializes the packet, computing the CRC32c checksum.
+// The buffer comes from the shared pool, sized exactly so it is never
+// regrown; ownership passes to the caller (in practice to netsim via a
+// pooled packet).
 func encodePacket(p *packet) []byte {
-	w := wire.NewWriter(commonHeaderSize + 64)
+	size := commonHeaderSize
+	for _, c := range p.Chunks {
+		n := c.wireSize()
+		if c.Type == ctCookieEcho {
+			n = 4 + len(c.Cookie)
+		}
+		size += (n + 3) &^ 3
+	}
+	w := wire.NewPooledWriter(size)
 	w.U16(p.SrcPort)
 	w.U16(p.DstPort)
 	w.U32(p.VerificationTag)
@@ -266,31 +310,48 @@ func decodePacket(b []byte, verify bool) (*packet, error) {
 	}
 	if verify {
 		sum := uint32(b[8])<<24 | uint32(b[9])<<16 | uint32(b[10])<<8 | uint32(b[11])
-		cp := append([]byte(nil), b...)
-		cp[8], cp[9], cp[10], cp[11] = 0, 0, 0, 0
-		if wire.CRC32c(cp) != sum {
+		// Zero the checksum field in place for the computation rather
+		// than copying the whole packet; delivery is serialized within a
+		// kernel, so the scribble is invisible to other readers.
+		b[8], b[9], b[10], b[11] = 0, 0, 0, 0
+		ok := wire.CRC32c(b) == sum
+		b[8] = byte(sum >> 24)
+		b[9] = byte(sum >> 16)
+		b[10] = byte(sum >> 8)
+		b[11] = byte(sum)
+		if !ok {
 			return nil, fmt.Errorf("sctp: bad CRC32c")
 		}
 	}
 	r := wire.NewReader(b)
-	p := &packet{}
+	p := packetPool.Get().(*packet)
 	p.SrcPort = r.U16()
 	p.DstPort = r.U16()
 	p.VerificationTag = r.U32()
 	r.Skip(4) // checksum
+	n := 0
 	for r.Remaining() >= 4 {
 		start := r.Remaining()
-		c, err := decodeChunk(r)
-		if err != nil {
+		if n == len(p.slab) {
+			p.slab = append(p.slab, chunk{})
+		}
+		if err := decodeChunk(r, &p.slab[n]); err != nil {
+			releasePacket(p)
 			return nil, err
 		}
-		p.Chunks = append(p.Chunks, c)
+		n++
 		consumed := start - r.Remaining()
 		pad := (4 - consumed%4) % 4
 		if pad > r.Remaining() {
 			pad = r.Remaining()
 		}
 		r.Skip(pad)
+	}
+	// Pointers are taken only after the loop: growing the slab above
+	// may have moved it.
+	p.Chunks = p.Chunks[:0]
+	for i := 0; i < n; i++ {
+		p.Chunks = append(p.Chunks, &p.slab[i])
 	}
 	return p, nil
 }

@@ -70,9 +70,7 @@ func (a *Assoc) sendInit() {
 		Chunks:          []*chunk{init},
 	}
 	a.stats.PacketsSent++
-	a.sock.stack.node.Send(&netsim.Packet{
-		Src: pt.src, Dst: pt.addr, Proto: netsim.ProtoSCTP, Payload: encodePacket(p),
-	})
+	a.sock.stack.node.Send(netsim.NewPooledPacket(pt.src, pt.addr, netsim.ProtoSCTP, encodePacket(p)))
 	a.armInitTimer(func() {
 		if a.state == aCookieWait {
 			a.sendInit()
@@ -164,7 +162,9 @@ func (a *Assoc) handleInitAck(src netsim.Addr, c *chunk) {
 	if len(c.Addrs) > 0 {
 		a.adoptPeerAddrs(c.Addrs)
 	}
-	a.cookie = c.Cookie
+	// The cookie aliases the pooled packet payload and outlives this
+	// handler (it is echoed until COOKIE-ACK), so copy it out.
+	a.cookie = append([]byte(nil), c.Cookie...)
 	a.state = aCookieEchoed
 	a.initTries = 0
 	a.sendCookieEcho()

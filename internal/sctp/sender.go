@@ -2,6 +2,7 @@ package sctp
 
 import (
 	"repro/internal/seqnum"
+	"repro/internal/wire"
 )
 
 // trySend fragments and queues one user message, or reports why it
@@ -33,37 +34,48 @@ func (a *Assoc) trySend(stream uint16, ppid uint32, data []byte) error {
 	a.outSSN[stream]++
 	maxSeg := a.paths[a.primary].mtu - dataChunkHeaderSize
 	// Copy: sendmsg semantics let the caller reuse its buffer as soon
-	// as the call returns, but chunks live on until acknowledged.
-	rest := append([]byte(nil), data...)
-	first := true
-	for {
+	// as the call returns, but chunks live on until acknowledged. The
+	// copy goes into a pooled buffer shared by all fragments and
+	// recycled once every chunk is acknowledged (or the assoc dies).
+	mb := &msgBuf{b: wire.GetBuf(len(data))}
+	copy(mb.b, data)
+	rest := mb.b
+	nfrags := (len(data) + maxSeg - 1) / maxSeg
+	if nfrags == 0 {
+		nfrags = 1
+	}
+	// One slab for the whole message's chunks rather than an allocation
+	// per fragment.
+	ocs := make([]outChunk, nfrags)
+	for i := 0; i < nfrags; i++ {
 		n := len(rest)
 		if n > maxSeg {
 			n = maxSeg
 		}
 		var flags uint8
-		if first {
+		if i == 0 {
 			flags |= flagBeginFragment
 		}
 		if n == len(rest) {
 			flags |= flagEndFragment
 		}
-		c := &chunk{
-			Type:   ctData,
-			Flags:  flags,
-			TSN:    a.nextTSN,
-			Stream: stream,
-			SSN:    ssn,
-			PPID:   ppid,
-			Data:   rest[:n:n],
+		mb.refs++
+		ocs[i] = outChunk{
+			c: chunk{
+				Type:   ctData,
+				Flags:  flags,
+				TSN:    a.nextTSN,
+				Stream: stream,
+				SSN:    ssn,
+				PPID:   ppid,
+				Data:   rest[:n:n],
+			},
+			mb:   mb,
+			size: n,
 		}
+		a.outQ = append(a.outQ, &ocs[i])
 		a.nextTSN = a.nextTSN.Add(1)
-		a.outQ = append(a.outQ, &outChunk{c: c, size: n})
 		rest = rest[n:]
-		first = false
-		if len(rest) == 0 {
-			break
-		}
 	}
 	a.sndUsed += len(data)
 	a.sock.Stats.MsgsSent++
@@ -268,7 +280,7 @@ func (a *Assoc) sendDataPacket(pi int, batch []*outChunk, isRtx bool) {
 				pt.rttActive = false // Karn
 			}
 		}
-		chunks = append(chunks, oc.c)
+		chunks = append(chunks, &oc.c)
 		a.stats.ChunksSent++
 		a.stats.BytesSent += int64(oc.size)
 	}
@@ -288,7 +300,7 @@ func (a *Assoc) armT3(pi int) {
 	if pt.t3.Active() {
 		return
 	}
-	pt.t3 = a.kernel().After(pt.rto, func() { a.onT3(pi) })
+	pt.t3 = a.kernel().After(pt.rto, pt.t3Fn)
 }
 
 func (a *Assoc) restartT3(pi int) {
@@ -369,7 +381,8 @@ func (a *Assoc) processSack(c *chunk) {
 			}
 			ackedPerPath[oc.pathIdx] += oc.size
 		}
-		oc.sacked = true // fully acked
+		oc.sacked = true // fully acked; a sacked chunk is never sent again
+		oc.releaseBuf()
 		a.sndUsed -= oc.size
 		newlyAcked = true
 		if pt.rttActive && oc.c.TSN.GreaterEq(pt.rttTSN) {
@@ -404,6 +417,7 @@ func (a *Assoc) processSack(c *chunk) {
 			}
 			if !oc.sacked {
 				oc.sacked = true
+				oc.releaseBuf()
 				pt := a.paths[oc.pathIdx]
 				pt.flight -= oc.size
 				if pt.flight < 0 {

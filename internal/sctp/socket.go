@@ -183,9 +183,7 @@ func (sk *Socket) handlePacket(src, dst netsim.Addr, pkt *packet) {
 // sendControl emits a single-chunk packet outside any association.
 func (sk *Socket) sendControl(src, dst netsim.Addr, dstPort uint16, tag uint32, c *chunk) {
 	p := &packet{SrcPort: sk.port, DstPort: dstPort, VerificationTag: tag, Chunks: []*chunk{c}}
-	sk.stack.node.Send(&netsim.Packet{
-		Src: src, Dst: dst, Proto: netsim.ProtoSCTP, Payload: encodePacket(p),
-	})
+	sk.stack.node.Send(netsim.NewPooledPacket(src, dst, netsim.ProtoSCTP, encodePacket(p)))
 }
 
 // enqueue places a message or notification on the socket receive queue.

@@ -59,20 +59,33 @@ func (s *Stack) handlePacket(ipPkt *netsim.Packet, ifc *netsim.Iface) {
 		// No socket on this port. A real stack would send an ABORT with
 		// the peer's verification tag; we silently drop, which the
 		// sender's timers handle identically.
+		releasePacket(pkt)
 		return
 	}
-	deliver := func() { sk.handlePacket(ipPkt.Src, ipPkt.Dst, pkt) }
-	if d := sk.cfg.PerChunkDelay; d > 0 {
-		nData := 0
-		for _, c := range pkt.Chunks {
-			if c.Type == ctData {
-				nData++
-			}
+	// DATA chunk payloads alias the IP payload; record the owning packet
+	// so the reassembly queue can hold a reference instead of copying.
+	nData := 0
+	for _, c := range pkt.Chunks {
+		if c.Type == ctData {
+			c.buf = ipPkt
+			nData++
 		}
-		if nData > 0 {
-			s.kernel().After(time.Duration(nData)*d, deliver)
-			return
-		}
+	}
+	// Dispatch keeps nothing but payload slices and the owning netsim
+	// packet; the decoded packet and its chunks recycle right after.
+	deliver := func() {
+		sk.handlePacket(ipPkt.Src, ipPkt.Dst, pkt)
+		releasePacket(pkt)
+	}
+	if d := sk.cfg.PerChunkDelay; d > 0 && nData > 0 {
+		// The chunks alias the pooled payload; keep it alive across the
+		// deferred dispatch.
+		ipPkt.Retain()
+		s.kernel().After(time.Duration(nData)*d, func() {
+			deliver()
+			ipPkt.Release()
+		})
+		return
 	}
 	deliver()
 }

@@ -23,7 +23,8 @@ type Kernel struct {
 	now     time.Duration
 	seq     uint64
 	events  eventHeap
-	run     []*Proc
+	run     procRing
+	free    []*event // recycled event structs
 	procs   map[*Proc]struct{}
 	yield   chan struct{}
 	rng     *rand.Rand
@@ -48,37 +49,74 @@ func (k *Kernel) Now() time.Duration { return k.now }
 // Rand returns the kernel's deterministic random source.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
-// Timer is a cancellable scheduled callback.
+// PendingEvents returns the number of events currently scheduled. With
+// timers removed from the heap on Stop, this stays proportional to the
+// genuinely outstanding work, not to cancellation churn.
+func (k *Kernel) PendingEvents() int { return k.events.Len() }
+
+// Timer is a cancellable scheduled callback. The zero Timer is inert:
+// Stop and Active return false. Timers are values; event structs behind
+// them are pooled, and a generation counter makes a Timer held across
+// its event's recycling safely report inactive.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
-// Stop cancels the timer. It is safe to call on an already-fired or
-// already-stopped timer. It reports whether the call prevented the
-// callback from running.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+// Stop cancels the timer, removing its event from the schedule. It is
+// safe to call on a zero, already-fired or already-stopped timer. It
+// reports whether the call prevented the callback from running.
+func (t Timer) Stop() bool {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen || ev.index < 0 {
 		return false
 	}
-	t.ev.cancelled = true
+	heap.Remove(&ev.k.events, ev.index)
+	ev.k.recycle(ev)
 	return true
 }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool {
-	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.fired
+func (t Timer) Active() bool {
+	return t.ev != nil && t.ev.gen == t.gen && t.ev.index >= 0
+}
+
+// allocEvent takes an event from the free list (or allocates one) and
+// stamps it with the next sequence number.
+func (k *Kernel) allocEvent(when time.Duration, fn func()) *event {
+	var ev *event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		ev = &event{k: k}
+	}
+	ev.when = when
+	ev.seq = k.seq
+	ev.fn = fn
+	k.seq++
+	return ev
+}
+
+// recycle returns a fired or cancelled event to the free list. Bumping
+// the generation invalidates every Timer still pointing at it.
+func (k *Kernel) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	ev.index = -1
+	k.free = append(k.free, ev)
 }
 
 // After schedules fn to run at Now()+d in kernel context.
 // A negative d is treated as zero.
-func (k *Kernel) After(d time.Duration, fn func()) *Timer {
+func (k *Kernel) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	ev := &event{when: k.now + d, seq: k.seq, fn: fn}
-	k.seq++
+	ev := k.allocEvent(k.now+d, fn)
 	heap.Push(&k.events, ev)
-	return &Timer{ev: ev}
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // Spawn creates a process named name running fn and marks it runnable.
@@ -98,9 +136,9 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		fn(p)
 		p.state = stateDone
 		delete(k.procs, p)
-		k.yield <- struct{}{}
+		k.schedNext()
 	}()
-	k.run = append(k.run, p)
+	k.run.push(p)
 	return p
 }
 
@@ -116,6 +154,23 @@ func (e *DeadlockError) Error() string {
 		e.Time, strings.Join(e.Blocked, ", "))
 }
 
+// schedNext hands the single execution token to the next runnable
+// process, or back to the kernel loop when none is runnable (or the
+// kernel is stopping). It must be the caller's last scheduling action:
+// a process calls it right before blocking on its own resume channel.
+// Resuming the successor directly halves the channel operations per
+// process switch compared to bouncing through the kernel loop, while
+// preserving exact FIFO order.
+func (k *Kernel) schedNext() {
+	if !k.stopped && k.run.len > 0 {
+		p := k.run.pop()
+		p.state = stateRunning
+		p.resume <- struct{}{}
+		return
+	}
+	k.yield <- struct{}{}
+}
+
 // Run executes events and processes until the simulation quiesces: no
 // runnable process and no pending event. If live processes remain at
 // quiescence it returns a *DeadlockError naming them.
@@ -127,9 +182,11 @@ func (k *Kernel) Run() error {
 	k.stopped = false
 	defer func() { k.running = false }()
 	for {
-		for len(k.run) > 0 && !k.stopped {
-			p := k.run[0]
-			k.run = k.run[1:]
+		if !k.stopped && k.run.len > 0 {
+			// Kick off the first runnable process; the processes then
+			// hand control to each other directly and the last one
+			// yields back here once the run queue drains.
+			p := k.run.pop()
 			p.state = stateRunning
 			p.resume <- struct{}{}
 			<-k.yield
@@ -137,16 +194,17 @@ func (k *Kernel) Run() error {
 		if k.stopped {
 			return nil
 		}
-		ev := k.nextEvent()
-		if ev == nil {
+		if k.events.Len() == 0 {
 			if len(k.procs) > 0 {
 				return &DeadlockError{Time: k.now, Blocked: k.blockedNames()}
 			}
 			return nil
 		}
+		ev := heap.Pop(&k.events).(*event)
 		k.now = ev.when
-		ev.fired = true
-		ev.fn()
+		fn := ev.fn
+		k.recycle(ev)
+		fn()
 	}
 }
 
@@ -173,17 +231,6 @@ func (k *Kernel) Stop() { k.stopped = true }
 // LiveProcs returns the number of processes that have not finished.
 func (k *Kernel) LiveProcs() int { return len(k.procs) }
 
-func (k *Kernel) nextEvent() *event {
-	for k.events.Len() > 0 {
-		ev := heap.Pop(&k.events).(*event)
-		if ev.cancelled {
-			continue
-		}
-		return ev
-	}
-	return nil
-}
-
 func (k *Kernel) blockedNames() []string {
 	names := make([]string, 0, len(k.procs))
 	for p := range k.procs {
@@ -199,16 +246,50 @@ func (k *Kernel) ready(p *Proc) {
 		return
 	}
 	p.state = stateReady
-	k.run = append(k.run, p)
+	k.run.push(p)
+}
+
+// procRing is a growable FIFO ring buffer for the run queue. Unlike the
+// former head-sliced []* queue, popped slots are nilled out immediately,
+// so the backing array never pins finished processes.
+type procRing struct {
+	buf  []*Proc // len(buf) is always a power of two (or zero)
+	head int
+	len  int
+}
+
+func (r *procRing) push(p *Proc) {
+	if r.len == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.len)&(len(r.buf)-1)] = p
+	r.len++
+}
+
+func (r *procRing) pop() *Proc {
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.len--
+	return p
+}
+
+func (r *procRing) grow() {
+	nbuf := make([]*Proc, max(2*len(r.buf), 8))
+	for i := 0; i < r.len; i++ {
+		nbuf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = nbuf
+	r.head = 0
 }
 
 type event struct {
-	when      time.Duration
-	seq       uint64
-	fn        func()
-	cancelled bool
-	fired     bool
-	index     int
+	when  time.Duration
+	seq   uint64
+	fn    func()
+	gen   uint64 // bumped on recycle; stale Timers compare unequal
+	index int    // heap position, -1 when not scheduled
+	k     *Kernel
 }
 
 type eventHeap []*event
@@ -235,6 +316,7 @@ func (h *eventHeap) Pop() any {
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
+	ev.index = -1
 	*h = old[:n-1]
 	return ev
 }

@@ -38,11 +38,14 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // Now returns the current virtual time.
 func (p *Proc) Now() time.Duration { return p.k.now }
 
-// park blocks the process until another actor calls k.ready(p).
+// park blocks the process until another actor calls k.ready(p). The
+// successor (the next runnable process, or the kernel loop) is resumed
+// directly; all of p's state is written before the handoff, so the
+// successor observes a fully parked process.
 func (p *Proc) park() {
 	p.state = stateParked
 	p.waitGen++
-	p.k.yield <- struct{}{}
+	p.k.schedNext()
 	<-p.resume
 }
 
@@ -50,9 +53,14 @@ func (p *Proc) park() {
 // rescheduled after currently pending work.
 func (p *Proc) Yield() {
 	k := p.k
+	if k.run.len == 0 && !k.stopped {
+		// No other process is runnable: handing control away would
+		// schedule p itself right back, so just keep running.
+		return
+	}
 	p.state = stateReady
-	k.run = append(k.run, p)
-	k.yield <- struct{}{}
+	k.run.push(p)
+	k.schedNext()
 	<-p.resume
 }
 
@@ -118,6 +126,7 @@ func (c *Cond) Signal() {
 		return
 	}
 	p := c.waiters[0]
+	c.waiters[0] = nil // release the slot; head-slicing pins the array
 	c.waiters = c.waiters[1:]
 	c.k.ready(p)
 }

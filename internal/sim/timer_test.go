@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimerStopAfterFire(t *testing.T) {
+	k := New(1)
+	fired := 0
+	tm := k.After(time.Second, func() { fired++ })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1", fired)
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after fire returned true")
+	}
+	if tm.Active() {
+		t.Fatal("Active after fire")
+	}
+}
+
+func TestTimerStopTwice(t *testing.T) {
+	k := New(1)
+	tm := k.After(time.Second, func() { t.Error("cancelled timer fired") })
+	if !tm.Stop() {
+		t.Fatal("first Stop returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimerActiveZeroDelay(t *testing.T) {
+	k := New(1)
+	tm := k.After(0, func() {})
+	if !tm.Active() {
+		t.Fatal("zero-delay timer not Active before Run")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Active() {
+		t.Fatal("zero-delay timer Active after firing")
+	}
+}
+
+func TestZeroTimerInert(t *testing.T) {
+	var tm Timer
+	if tm.Stop() {
+		t.Fatal("zero Timer Stop returned true")
+	}
+	if tm.Active() {
+		t.Fatal("zero Timer Active returned true")
+	}
+}
+
+// TestTimerStaleAfterRecycle holds a Timer past its event's recycling
+// and reuse. The generation counter must keep the stale handle inert so
+// it cannot cancel the unrelated timer now occupying the pooled event.
+func TestTimerStaleAfterRecycle(t *testing.T) {
+	k := New(1)
+	stale := k.After(time.Second, func() {})
+	fired := false
+	k.After(2*time.Second, func() {
+		// stale's event fired at t=1s and is back on the free list;
+		// this After reuses it.
+		fresh := k.After(time.Second, func() { fired = true })
+		if stale.Stop() {
+			t.Error("stale Stop returned true")
+		}
+		if stale.Active() {
+			t.Error("stale Timer reports Active")
+		}
+		if !fresh.Active() {
+			t.Error("fresh timer cancelled through stale handle")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("reused-event timer did not fire")
+	}
+}
+
+// TestStopBoundsHeap churns set-then-cancel cycles — the
+// retransmission-timer pattern — and checks the event heap does not
+// accumulate cancelled entries. Before Stop removed events from the
+// heap, PendingEvents would grow by one per cycle here.
+func TestStopBoundsHeap(t *testing.T) {
+	k := New(1)
+	k.Spawn("churn", func(p *Proc) {
+		for i := 0; i < 10000; i++ {
+			tm := k.After(time.Hour, func() { t.Error("cancelled timer fired") })
+			p.Sleep(time.Microsecond)
+			tm.Stop()
+		}
+		if n := k.PendingEvents(); n > 1 {
+			t.Errorf("PendingEvents = %d after churn, want <= 1", n)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunQueueWrapFIFO pushes enough ready processes through the ring
+// buffer to force it to wrap and grow, and checks wakeup order stays
+// FIFO throughout.
+func TestRunQueueWrapFIFO(t *testing.T) {
+	k := New(1)
+	const n = 100
+	var order []int
+	for i := 0; i < n; i++ {
+		i := i
+		k.Spawn("p", func(p *Proc) {
+			for round := 0; round < 5; round++ {
+				p.Yield()
+			}
+			order = append(order, i)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != n {
+		t.Fatalf("%d procs finished, want %d", len(order), n)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("finish order[%d] = %d, want %d (ring lost FIFO)", i, got, i)
+		}
+	}
+}

@@ -161,9 +161,9 @@ type Conn struct {
 	sb sendBuffer
 	rb recvBuffer
 
-	rtoTimer     *sim.Timer
-	delackTimer  *sim.Timer
-	persistTimer *sim.Timer
+	rtoTimer     sim.Timer
+	delackTimer  sim.Timer
+	persistTimer sim.Timer
 	persistShift uint
 
 	readCond, writeCond, connCond *sim.Cond

@@ -52,8 +52,11 @@ const maxSackBlocks = 4
 // wireSackLimit bounds the decoder against absurd block counts.
 const wireSackLimit = 255
 
+// encode serializes the segment into a pooled buffer. The caller owns
+// the result; transmitted segments hand it to netsim via NewPooledPacket
+// so the network recycles it after delivery.
 func (s *segment) encode() []byte {
-	w := wire.NewWriter(headerBaseSize + 8*len(s.Sacks) + len(s.Data))
+	w := wire.NewPooledWriter(headerBaseSize + 8*len(s.Sacks) + len(s.Data))
 	w.U16(s.SrcPort)
 	w.U16(s.DstPort)
 	w.U32(uint32(s.Seq))

@@ -171,12 +171,7 @@ func (c *Conn) sendSegment(seg *segment) {
 	seg.SrcPort = c.lport
 	seg.DstPort = c.rport
 	c.Stats.SegsSent++
-	c.stack.node.Send(&netsim.Packet{
-		Src:     c.laddr,
-		Dst:     c.raddr,
-		Proto:   netsim.ProtoTCP,
-		Payload: seg.encode(),
-	})
+	c.stack.node.Send(netsim.NewPooledPacket(c.laddr, c.raddr, netsim.ProtoTCP, seg.encode()))
 }
 
 func (c *Conn) sendSyn() {

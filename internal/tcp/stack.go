@@ -65,7 +65,13 @@ func (s *Stack) handlePacket(pkt *netsim.Packet, ifc *netsim.Iface) {
 		}
 	}
 	if d := s.cfg.PerSegmentDelay; d > 0 {
-		s.kernel().After(d, deliver)
+		// seg.Data aliases the packet payload; keep it alive across the
+		// deferred dispatch.
+		pkt.Retain()
+		s.kernel().After(d, func() {
+			deliver()
+			pkt.Release()
+		})
 	} else {
 		deliver()
 	}
@@ -79,12 +85,7 @@ func (s *Stack) sendRst(pkt *netsim.Packet, seg *segment) {
 		Seq:     seg.Ack,
 		Ack:     seg.Seq.Add(seg.segLen()),
 	}
-	s.node.Send(&netsim.Packet{
-		Src:     pkt.Dst,
-		Dst:     pkt.Src,
-		Proto:   netsim.ProtoTCP,
-		Payload: rst.encode(),
-	})
+	s.node.Send(netsim.NewPooledPacket(pkt.Dst, pkt.Src, netsim.ProtoTCP, rst.encode()))
 }
 
 func (s *Stack) removeConn(c *Conn) {

@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Buffer pool: power-of-two size classes from 64 B to 512 KiB, covering
+// everything from a bare ACK segment to the largest pooled message
+// buffer (the paper's 300 KiB farm tasks). The pools are sync.Pool so
+// independent simulation kernels running concurrently (the parallel
+// sweep runner) can share them safely; within one kernel all calls are
+// serialized by the cooperative scheduler anyway.
+//
+// Ownership contract: a buffer obtained from GetBuf is owned by the
+// caller until handed off (e.g. as a pooled netsim.Packet payload);
+// whoever holds the last reference returns it with PutBuf. PutBuf only
+// recycles slices whose capacity is exactly a pool class, so returning
+// a foreign or oversized buffer is harmless.
+const (
+	minPoolShift = 6  // 64 B
+	maxPoolShift = 19 // 512 KiB
+)
+
+var bufPools [maxPoolShift + 1]sync.Pool
+
+// poolShift returns the size class for a buffer of length n, or -1 when
+// n is outside the pooled range.
+func poolShift(n int) int {
+	if n <= 0 || n > 1<<maxPoolShift {
+		return -1
+	}
+	s := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if s < minPoolShift {
+		s = minPoolShift
+	}
+	return s
+}
+
+// GetBuf returns a buffer with len n, recycled when possible. Contents
+// are not zeroed.
+func GetBuf(n int) []byte {
+	s := poolShift(n)
+	if s < 0 {
+		return make([]byte, n)
+	}
+	if v := bufPools[s].Get(); v != nil {
+		return v.([]byte)[:n]
+	}
+	return make([]byte, n, 1<<s)
+}
+
+// PutBuf returns a buffer to its pool. Only buffers whose capacity is
+// exactly a pool class size are recycled; anything else is left to the
+// garbage collector.
+func PutBuf(b []byte) {
+	c := cap(b)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	s := bits.Len(uint(c)) - 1
+	if s < minPoolShift || s > maxPoolShift {
+		return
+	}
+	bufPools[s].Put(b[:c]) //nolint:staticcheck // slice converted to any; header alloc is far cheaper than the payload
+}
+
+// NewPooledWriter returns a Writer whose backing array comes from the
+// buffer pool, sized for n bytes. The finished w.B should eventually be
+// recycled with PutBuf (typically via a pooled packet payload). If the
+// caller's size estimate was exact the final buffer keeps its pooled
+// capacity class and recycling succeeds; if the writer grew past it the
+// buffer is simply collected by the GC instead.
+func NewPooledWriter(n int) *Writer {
+	return &Writer{B: GetBuf(n)[:0]}
+}

@@ -21,4 +21,7 @@ go build ./...
 echo "== go test =="
 go test ./...
 
+echo "== go test -race (sweep runner) =="
+go test -race ./internal/bench/...
+
 echo "tier-1: OK"
