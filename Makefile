@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench paper
+.PHONY: check fmt vet build test bench paper chaos
 
 # Tier-1 gate: formatting, vet, build, full test suite.
 check:
@@ -26,3 +26,10 @@ bench:
 
 paper:
 	$(GO) run ./cmd/paper -exp all -quick
+
+# Fault-injection gate: a fixed 50-seed schedule corpus per backend with
+# the invariant oracles armed, plus a 25-seed multihomed corpus. Fails
+# (exit 1) with a shrunk repro if any run violates an invariant.
+chaos:
+	$(GO) run ./cmd/chaos -rpi all -seeds 50
+	$(GO) run ./cmd/chaos -rpi all -seeds 25 -multihome

@@ -1,0 +1,155 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sctp"
+)
+
+var allTransports = []core.Transport{core.TCP, core.SCTP, core.SCTPOneToOne}
+
+// failoverSCTP tightens failure detection so a two-second outage is
+// decisive: heartbeats every 250 ms, two path retries, 100 ms RTO floor.
+var failoverSCTP = sctp.Config{
+	HBInterval:     250 * time.Millisecond,
+	PathMaxRetrans: 2,
+	RTOInitial:     200 * time.Millisecond,
+	RTOMin:         100 * time.Millisecond,
+}
+
+// TestDeterministicReplay runs the same Spec twice per backend and
+// requires bit-identical results: same packet-trace hash, same
+// violations. This is the repro guarantee — a failing seed replays
+// exactly. Seed 3's generated schedule includes a Corrupt event, so the
+// CRC-verify path is part of what is pinned.
+func TestDeterministicReplay(t *testing.T) {
+	for _, tr := range allTransports {
+		spec := Spec{Transport: tr, Seed: 3}
+		r1 := Run(spec)
+		r2 := Run(spec)
+		if r1.TraceHash != r2.TraceHash {
+			t.Errorf("%v: trace hash differs across replays: %s vs %s",
+				tr, r1.TraceHash, r2.TraceHash)
+		}
+		if strings.Join(r1.Violations, "\n") != strings.Join(r2.Violations, "\n") {
+			t.Errorf("%v: violations differ across replays:\n%v\nvs\n%v",
+				tr, r1.Violations, r2.Violations)
+		}
+		if r1.Sends != r2.Sends || r1.Deliveries != r2.Deliveries {
+			t.Errorf("%v: counters differ across replays", tr)
+		}
+	}
+}
+
+// TestCorpusQuick is a fast slice of the `make chaos` corpus: every
+// backend must survive the first eight generated schedules with all
+// invariants intact.
+func TestCorpusQuick(t *testing.T) {
+	for _, tr := range allTransports {
+		for seed := int64(1); seed <= 8; seed++ {
+			if res := Run(Spec{Transport: tr, Seed: seed}); res.Failed() {
+				t.Errorf("%v seed %d:\n%s", tr, seed, res)
+			}
+		}
+	}
+}
+
+// TestOracleCatchesDupDelivery mutation-tests the oracle: an RPI
+// wrapper that delivers every 5th short message twice must trip the
+// exactly-once and in-order checks, and the failure must shrink to the
+// empty schedule (the bug does not need any fault to fire).
+func TestOracleCatchesDupDelivery(t *testing.T) {
+	spec := Spec{Transport: core.SCTP, Seed: 1, DupDeliverEvery: 5}
+	res := Run(spec)
+	if !res.Failed() {
+		t.Fatal("duplicate-delivery bug not caught")
+	}
+	if !hasViolation(res, "exactly-once violated") {
+		t.Fatalf("no exactly-once violation in:\n%s", res)
+	}
+	min, minRes := Shrink(spec)
+	if minRes == nil {
+		t.Fatal("shrink lost the failure")
+	}
+	if min.Prefix != EmptySchedule || len(minRes.Schedule) != 0 {
+		t.Fatalf("shrunk to %d events, want empty schedule:\n%s",
+			len(minRes.Schedule), minRes.Schedule)
+	}
+	if !minRes.Failed() {
+		t.Fatal("minimal spec does not fail")
+	}
+}
+
+// TestOracleCatchesCorruptionWithoutChecksum mutation-tests the
+// integrity oracle: seed 3's schedule corrupts packets mid-run, and
+// with CRC32c verification forced off the corrupted payloads reach the
+// application. The oracle must flag them, and shrinking must land on
+// the prefix that ends at the Corrupt event. The control run (checksum
+// on, the harness default under corruption) must pass clean.
+func TestOracleCatchesCorruptionWithoutChecksum(t *testing.T) {
+	spec := Spec{Transport: core.SCTP, Seed: 3, DisableChecksum: true}
+	res := Run(spec)
+	if !res.Failed() {
+		t.Fatal("delivered corruption not caught")
+	}
+	if !hasViolation(res, "corrupted") {
+		t.Fatalf("no corruption violation in:\n%s", res)
+	}
+
+	min, minRes := Shrink(spec)
+	if minRes == nil {
+		t.Fatal("shrink lost the failure")
+	}
+	last := minRes.Schedule[len(minRes.Schedule)-1]
+	if !strings.HasPrefix(last.Act.String(), "corrupt") {
+		t.Fatalf("minimal prefix (%d events) does not end at the Corrupt event:\n%s",
+			len(minRes.Schedule), minRes.Schedule)
+	}
+	if min.Prefix != len(minRes.Schedule) {
+		t.Fatalf("Prefix %d != schedule length %d", min.Prefix, len(minRes.Schedule))
+	}
+
+	control := Run(Spec{Transport: core.SCTP, Seed: 3})
+	if control.Failed() {
+		t.Fatalf("control run with CRC verification failed:\n%s", control)
+	}
+}
+
+// TestMultihomedFailover is the end-to-end failover check: mid-run, the
+// subnet carrying every primary path goes down for two seconds. The
+// associations must detect the dead path, fail over to an alternate
+// interface, finish the workload, and keep every delivery invariant
+// intact.
+func TestMultihomedFailover(t *testing.T) {
+	spec := Spec{
+		Transport: core.SCTP,
+		Seed:      11,
+		Multihome: true,
+		Schedule: Schedule{
+			{At: time.Millisecond, Dur: 2 * time.Second, Act: LinkDown(0)},
+		},
+		SCTP: &failoverSCTP,
+	}
+	res := Run(spec)
+	if res.Failed() {
+		t.Fatalf("failover run violated invariants:\n%s", res)
+	}
+	if !res.Completed {
+		t.Fatal("run did not complete")
+	}
+	if res.Failovers == 0 {
+		t.Fatal("primary subnet was down for 2s but no association failed over")
+	}
+}
+
+func hasViolation(r *Result, substr string) bool {
+	for _, v := range r.Violations {
+		if strings.Contains(v, substr) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,266 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mpi/rpi"
+	"repro/internal/netsim"
+	"repro/internal/sctp"
+	"repro/internal/seqnum"
+	"repro/internal/tcp"
+)
+
+// maxViolations bounds the violation log so a badly broken run cannot
+// grow it without bound; the count past the cap is still recorded.
+const maxViolations = 64
+
+// Oracle is the per-run invariant checker. One Oracle watches all
+// ranks of one simulation: every callback runs in kernel context, so no
+// locking is needed and the observation order is deterministic.
+//
+// It checks, end to end:
+//   - MPI-level exactly-once, in-order delivery per (rank, tag,
+//     context), with payload integrity (hash at Send vs at Delivery);
+//   - SCTP per-stream serial-number monotonicity, cumulative-TSN
+//     monotonicity, and congestion-window sanity per path;
+//   - TCP rcv.nxt monotonicity and congestion-window sanity;
+//   - eventual progress (every rank finishes, nothing sent stays
+//     undelivered) — the runner feeds completion state into Finish.
+type Oracle struct {
+	clock func() time.Duration
+
+	violations []string
+	suppressed int
+
+	// MPI layer.
+	sent      map[msgID]*sentMsg
+	sendOrder []msgID
+	lastSeq   map[orderKey]uint64
+
+	// SCTP layer.
+	expectSSN  map[assocStream]uint16
+	lastCumTSN map[*sctp.Assoc]seqnum.V
+
+	// TCP layer.
+	lastRcvNxt map[*tcp.Conn]seqnum.V
+
+	// Progress bookkeeping.
+	Sends      int64
+	Deliveries int64
+	Failovers  int64
+}
+
+type msgID struct {
+	src, dst int
+	seq      uint64
+	kind     rpi.Kind
+}
+
+type sentMsg struct {
+	env       rpi.Envelope
+	hash      uint64
+	delivered int
+}
+
+type orderKey struct {
+	src, dst int
+	tag, ctx int32
+}
+
+type assocStream struct {
+	a      *sctp.Assoc
+	stream uint16
+}
+
+// NewOracle builds an oracle; clock supplies virtual time for
+// violation timestamps (pass the kernel's Now).
+func NewOracle(clock func() time.Duration) *Oracle {
+	return &Oracle{
+		clock:      clock,
+		sent:       make(map[msgID]*sentMsg),
+		lastSeq:    make(map[orderKey]uint64),
+		expectSSN:  make(map[assocStream]uint16),
+		lastCumTSN: make(map[*sctp.Assoc]seqnum.V),
+		lastRcvNxt: make(map[*tcp.Conn]seqnum.V),
+	}
+}
+
+// Violations returns the recorded invariant violations in detection
+// order (deterministic for a given seed and schedule).
+func (o *Oracle) Violations() []string {
+	v := o.violations
+	if o.suppressed > 0 {
+		v = append(v[:len(v):len(v)],
+			fmt.Sprintf("... %d further violations suppressed", o.suppressed))
+	}
+	return v
+}
+
+func (o *Oracle) violate(format string, args ...interface{}) {
+	if len(o.violations) >= maxViolations {
+		o.suppressed++
+		return
+	}
+	o.violations = append(o.violations,
+		fmt.Sprintf("[%v] %s", o.clock(), fmt.Sprintf(format, args...)))
+}
+
+// fnv1a hashes a body for the integrity check.
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// dataKind reports whether the kind is subject to the MPI
+// non-overtaking order (the kinds a receive matches on; ACK echoes and
+// rendezvous bodies may legitimately interleave).
+func dataKind(k rpi.Kind) bool {
+	return k == rpi.KindShort || k == rpi.KindSync || k == rpi.KindLongReq
+}
+
+// Observer returns the rpi.Observer for one rank's module.
+func (o *Oracle) Observer(rank int) rpi.Observer {
+	return rpi.Observer{
+		Send: func(dest int, env rpi.Envelope, body []byte) {
+			if env.Kind == rpi.KindHello {
+				return
+			}
+			o.Sends++
+			id := msgID{src: int(env.Rank), dst: dest, seq: env.Seq, kind: env.Kind}
+			if _, dup := o.sent[id]; dup {
+				o.violate("rank %d sent duplicate message %+v", rank, id)
+				return
+			}
+			o.sent[id] = &sentMsg{env: env, hash: fnv1a(body)}
+			o.sendOrder = append(o.sendOrder, id)
+		},
+		Deliver: func(env rpi.Envelope, body []byte) {
+			if env.Kind == rpi.KindHello {
+				return
+			}
+			o.Deliveries++
+			id := msgID{src: int(env.Rank), dst: rank, seq: env.Seq, kind: env.Kind}
+			rec := o.sent[id]
+			if rec == nil {
+				o.violate("rank %d received never-sent message %+v (env %+v)", rank, id, env)
+				return
+			}
+			rec.delivered++
+			if rec.delivered > 1 {
+				o.violate("exactly-once violated: %+v delivered %d times at rank %d",
+					id, rec.delivered, rank)
+			}
+			if env != rec.env {
+				o.violate("envelope mutated in transit to rank %d: sent %+v, got %+v",
+					rank, rec.env, env)
+			}
+			if env.Kind.HasBody() {
+				if h := fnv1a(body); h != rec.hash {
+					o.violate("payload corrupted in transit: %+v (hash %x != %x)",
+						id, h, rec.hash)
+				}
+			}
+			if dataKind(env.Kind) {
+				key := orderKey{src: int(env.Rank), dst: rank, tag: env.Tag, ctx: env.Context}
+				if last, seen := o.lastSeq[key]; seen && env.Seq <= last {
+					o.violate("in-order delivery violated at rank %d for (src=%d,tag=%d,ctx=%d): seq %d after %d",
+						rank, env.Rank, env.Tag, env.Context, env.Seq, last)
+				}
+				o.lastSeq[key] = env.Seq
+			}
+		},
+	}
+}
+
+// SCTPProbe returns the probe checking SCTP TSN/SSN monotonicity and
+// congestion-window sanity.
+func (o *Oracle) SCTPProbe() *sctp.Probe {
+	return &sctp.Probe{
+		Deliver: func(a *sctp.Assoc, stream, ssn uint16) {
+			key := assocStream{a, stream}
+			if want := o.expectSSN[key]; ssn != want {
+				o.violate("SSN order violated on assoc %d stream %d: got %d, want %d",
+					a.ID(), stream, ssn, want)
+				o.expectSSN[key] = ssn + 1
+				return
+			}
+			o.expectSSN[key]++
+		},
+		CumTSN: func(a *sctp.Assoc, tsn seqnum.V) {
+			if last, seen := o.lastCumTSN[a]; seen && !tsn.Greater(last) {
+				o.violate("cumTSN regressed on assoc %d: %d after %d", a.ID(), tsn, last)
+			}
+			o.lastCumTSN[a] = tsn
+		},
+		Cwnd: func(a *sctp.Assoc, addr netsim.Addr, cwnd, ssthresh, flight, mtu, limit int) {
+			switch {
+			case cwnd < mtu:
+				o.violate("sctp cwnd below one MTU on assoc %d path %v: %d < %d",
+					a.ID(), addr, cwnd, mtu)
+			case cwnd > limit:
+				o.violate("sctp cwnd above clamp on assoc %d path %v: %d > %d",
+					a.ID(), addr, cwnd, limit)
+			}
+			if flight < 0 {
+				o.violate("sctp negative flight on assoc %d path %v: %d", a.ID(), addr, flight)
+			}
+			if ssthresh <= 0 {
+				o.violate("sctp non-positive ssthresh on assoc %d path %v: %d",
+					a.ID(), addr, ssthresh)
+			}
+		},
+		Failover: func(a *sctp.Assoc, from, to netsim.Addr) {
+			o.Failovers++
+		},
+	}
+}
+
+// TCPProbe returns the probe checking TCP receive monotonicity and
+// congestion-window sanity.
+func (o *Oracle) TCPProbe() *tcp.Probe {
+	return &tcp.Probe{
+		Deliver: func(c *tcp.Conn, rcvNxt seqnum.V) {
+			if last, seen := o.lastRcvNxt[c]; seen && rcvNxt.Less(last) {
+				o.violate("tcp rcv.nxt regressed on %v:%d: %d after %d",
+					c.LocalAddr(), c.LocalPort(), rcvNxt, last)
+			}
+			o.lastRcvNxt[c] = rcvNxt
+		},
+		Cwnd: func(c *tcp.Conn, cwnd, ssthresh, flight, mss, limit int) {
+			switch {
+			case cwnd < mss:
+				o.violate("tcp cwnd below one MSS on %v:%d: %d < %d",
+					c.LocalAddr(), c.LocalPort(), cwnd, mss)
+			case cwnd > limit:
+				o.violate("tcp cwnd above clamp on %v:%d: %d > %d",
+					c.LocalAddr(), c.LocalPort(), cwnd, limit)
+			}
+			if flight < 0 {
+				o.violate("tcp negative flight on %v:%d: %d", c.LocalAddr(), c.LocalPort(), flight)
+			}
+			if ssthresh <= 0 {
+				o.violate("tcp non-positive ssthresh on %v:%d: %d",
+					c.LocalAddr(), c.LocalPort(), ssthresh)
+			}
+		},
+	}
+}
+
+// Finish runs the end-of-run checks. completed reports whether every
+// rank finished cleanly; the completeness check only applies then
+// (after a deadline abort, undelivered traffic is expected).
+func (o *Oracle) Finish(completed bool) {
+	if !completed {
+		return
+	}
+	for _, id := range o.sendOrder {
+		if rec := o.sent[id]; rec.delivered == 0 {
+			o.violate("sent but never delivered: %+v (env %+v)", id, rec.env)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package chaos is the deterministic fault-injection harness: seeded,
+// declarative fault schedules driven by the simulation clock, plus
+// end-to-end protocol invariant oracles wired into netsim, the SCTP and
+// TCP stacks, and the RPI contract boundary. It is the Jepsen-style
+// counterpart to the paper's Dummynet methodology: instead of measuring
+// throughput under loss, it checks that the stacks stay *correct* under
+// time-varying faults — link flaps, partitions, burst loss, bandwidth
+// collapse, and bit corruption.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+)
+
+// applyCtx gives actions what they need to apply and undo themselves:
+// the cluster under test and the baseline link parameters to restore.
+type applyCtx struct {
+	c        *core.Cluster
+	baseLoss float64
+	baseBW   int64
+}
+
+// Action is one fault. Every action is paired with a revert so that any
+// schedule prefix is self-healing: eventual progress is always required
+// of the stacks, never excused by a fault left standing.
+type Action interface {
+	apply(ctx *applyCtx)
+	revert(ctx *applyCtx)
+	String() string
+}
+
+// Event schedules an action at a virtual time, reverting it Dur later.
+type Event struct {
+	At  time.Duration
+	Dur time.Duration
+	Act Action
+}
+
+// Schedule is a fault schedule: events applied at fixed virtual times.
+type Schedule []Event
+
+// install arms every event's apply/revert on the cluster's kernel. It
+// must run before Cluster.Start so relative times share the run's t=0.
+func (s Schedule) install(ctx *applyCtx) {
+	for i := range s {
+		ev := s[i]
+		ctx.c.Kernel.After(ev.At, func() { ev.Act.apply(ctx) })
+		if ev.Dur > 0 {
+			ctx.c.Kernel.After(ev.At+ev.Dur, func() { ev.Act.revert(ctx) })
+		}
+	}
+}
+
+// HasCorrupt reports whether the schedule injects bit corruption; runs
+// with corruption enable SCTP CRC32c verification unless a mutation
+// test explicitly disables it.
+func (s Schedule) HasCorrupt() bool {
+	for _, ev := range s {
+		if _, ok := ev.Act.(*corruptAct); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the schedule one event per line.
+func (s Schedule) String() string {
+	var b strings.Builder
+	for _, ev := range s {
+		fmt.Fprintf(&b, "@%-8v +%-7v %s\n", ev.At, ev.Dur, ev.Act)
+	}
+	return b.String()
+}
+
+// LinkDown / LinkUp: an entire subnet loses carrier (the paper's pulled
+// cable on one of the multihomed networks). The revert is the LinkUp.
+
+type linkDownAct struct{ subnet int }
+
+// LinkDown downs every interface on subnet for the event's duration.
+func LinkDown(subnet int) Action { return &linkDownAct{subnet} }
+
+func (a *linkDownAct) apply(ctx *applyCtx)  { ctx.c.Net.SetSubnetDown(a.subnet, true) }
+func (a *linkDownAct) revert(ctx *applyCtx) { ctx.c.Net.SetSubnetDown(a.subnet, false) }
+func (a *linkDownAct) String() string       { return fmt.Sprintf("linkdown(subnet=%d)", a.subnet) }
+
+// IfaceDown: one rank loses one NIC.
+
+type ifaceDownAct struct{ rank, iface int }
+
+// IfaceDown downs the iface-th interface of rank for the duration.
+func IfaceDown(rank, iface int) Action { return &ifaceDownAct{rank, iface} }
+
+func (a *ifaceDownAct) addr(ctx *applyCtx) (netsim.Addr, bool) {
+	if a.rank >= len(ctx.c.Nodes) {
+		return 0, false
+	}
+	addrs := ctx.c.Nodes[a.rank].Addrs()
+	if a.iface >= len(addrs) {
+		return 0, false
+	}
+	return addrs[a.iface], true
+}
+
+func (a *ifaceDownAct) apply(ctx *applyCtx) {
+	if addr, ok := a.addr(ctx); ok {
+		ctx.c.Net.SetIfaceDown(addr, true)
+	}
+}
+
+func (a *ifaceDownAct) revert(ctx *applyCtx) {
+	if addr, ok := a.addr(ctx); ok {
+		ctx.c.Net.SetIfaceDown(addr, false)
+	}
+}
+
+func (a *ifaceDownAct) String() string {
+	return fmt.Sprintf("ifacedown(rank=%d,iface=%d)", a.rank, a.iface)
+}
+
+// Partition / Heal: block every pipe crossing the cut between one group
+// of ranks and the rest, both directions. Blocking happens before the
+// per-packet RNG draws, so a partition leaves the draw sequence of all
+// other traffic untouched.
+
+type partitionAct struct{ group []int }
+
+// Partition isolates the given ranks from all others for the duration
+// (the Heal is the revert).
+func Partition(group ...int) Action { return &partitionAct{group} }
+
+func (a *partitionAct) set(ctx *applyCtx, down bool) {
+	in := make(map[int]bool, len(a.group))
+	for _, r := range a.group {
+		in[r] = true
+	}
+	for i, ni := range ctx.c.Nodes {
+		for j, nj := range ctx.c.Nodes {
+			if i == j || in[i] == in[j] {
+				continue
+			}
+			for _, src := range ni.Addrs() {
+				for _, dst := range nj.Addrs() {
+					ctx.c.Net.UpdateLinkParamsBetween(src, dst,
+						func(lp *netsim.LinkParams) { lp.Down = down })
+				}
+			}
+		}
+	}
+}
+
+func (a *partitionAct) apply(ctx *applyCtx)  { a.set(ctx, true) }
+func (a *partitionAct) revert(ctx *applyCtx) { a.set(ctx, false) }
+func (a *partitionAct) String() string       { return fmt.Sprintf("partition(group=%v)", a.group) }
+
+// BurstLoss: every link jumps to a high Bernoulli loss rate, then
+// returns to the run's baseline (a Dummynet plr change mid-run).
+
+type burstLossAct struct{ rate float64 }
+
+// BurstLoss sets the loss rate on every link for the duration.
+func BurstLoss(rate float64) Action { return &burstLossAct{rate} }
+
+func (a *burstLossAct) apply(ctx *applyCtx) {
+	ctx.c.Net.UpdateLinkParams(func(lp *netsim.LinkParams) { lp.LossRate = a.rate })
+}
+
+func (a *burstLossAct) revert(ctx *applyCtx) {
+	ctx.c.Net.UpdateLinkParams(func(lp *netsim.LinkParams) { lp.LossRate = ctx.baseLoss })
+}
+
+func (a *burstLossAct) String() string { return fmt.Sprintf("burstloss(rate=%g)", a.rate) }
+
+// RateChange: every link's bandwidth divides by a factor, then returns
+// to baseline.
+
+type rateChangeAct struct{ div int64 }
+
+// RateChange divides link bandwidth by div for the duration.
+func RateChange(div int64) Action { return &rateChangeAct{div} }
+
+func (a *rateChangeAct) apply(ctx *applyCtx) {
+	if a.div <= 0 {
+		return
+	}
+	bw := ctx.baseBW / a.div
+	ctx.c.Net.UpdateLinkParams(func(lp *netsim.LinkParams) { lp.Bandwidth = bw })
+}
+
+func (a *rateChangeAct) revert(ctx *applyCtx) {
+	ctx.c.Net.UpdateLinkParams(func(lp *netsim.LinkParams) { lp.Bandwidth = ctx.baseBW })
+}
+
+func (a *rateChangeAct) String() string { return fmt.Sprintf("ratechange(div=%d)", a.div) }
+
+// Corrupt: every link flips one random bit in a fraction of packets.
+
+type corruptAct struct{ rate float64 }
+
+// Corrupt sets the bit-corruption rate on every link for the duration.
+func Corrupt(rate float64) Action { return &corruptAct{rate} }
+
+func (a *corruptAct) apply(ctx *applyCtx) {
+	ctx.c.Net.UpdateLinkParams(func(lp *netsim.LinkParams) { lp.CorruptRate = a.rate })
+}
+
+func (a *corruptAct) revert(ctx *applyCtx) {
+	ctx.c.Net.UpdateLinkParams(func(lp *netsim.LinkParams) { lp.CorruptRate = 0 })
+}
+
+func (a *corruptAct) String() string { return fmt.Sprintf("corrupt(rate=%g)", a.rate) }
+
+// GenConfig parameterizes random schedule generation. The default
+// window is tuned to the chaos workload's fault-free span (a few
+// milliseconds of virtual time): early events hit connection setup,
+// mid-window events hit the ring traffic, and the stalls the faults
+// cause stretch the run into the later events.
+type GenConfig struct {
+	Events       int           // number of fault events
+	Start        time.Duration // earliest event time (default 200 µs)
+	Horizon      time.Duration // latest event time (default 10 ms)
+	Procs        int           // world size (partition targets)
+	Ifaces       int           // interfaces per node (subnet targets)
+	AllowCorrupt bool          // include Corrupt events (SCTP-family backends)
+}
+
+func (g GenConfig) withDefaults() GenConfig {
+	if g.Events == 0 {
+		g.Events = 5
+	}
+	if g.Start == 0 {
+		g.Start = 200 * time.Microsecond
+	}
+	if g.Horizon == 0 {
+		g.Horizon = 10 * time.Millisecond
+	}
+	if g.Procs == 0 {
+		g.Procs = 4
+	}
+	if g.Ifaces == 0 {
+		g.Ifaces = 1
+	}
+	return g
+}
+
+// RandomSchedule draws a seeded schedule: every event heals itself, so
+// any prefix of the schedule leaves a network the stacks must finish
+// on. The same (seed, cfg) always yields the same schedule — this is
+// the repro handle the runner prints on failure.
+func RandomSchedule(seed int64, cfg GenConfig) Schedule {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	kinds := 4 // burstloss, ratechange, ifacedown, partition
+	if cfg.Ifaces > 1 {
+		kinds++ // linkdown of a whole subnet
+	}
+	if cfg.AllowCorrupt {
+		kinds++
+	}
+	s := make(Schedule, 0, cfg.Events)
+	for i := 0; i < cfg.Events; i++ {
+		at := cfg.Start + time.Duration(rng.Int63n(int64(cfg.Horizon-cfg.Start)))
+		dur := time.Millisecond + time.Duration(rng.Int63n(int64(7*time.Millisecond)))
+		var act Action
+		switch k := rng.Intn(kinds); k {
+		case 0:
+			act = BurstLoss(0.02 + 0.18*rng.Float64())
+		case 1:
+			act = RateChange(1 << (1 + rng.Intn(5))) // divide bandwidth by 2..32
+		case 2:
+			act = IfaceDown(rng.Intn(cfg.Procs), rng.Intn(cfg.Ifaces))
+		case 3:
+			// Cut a random nonempty proper subset of ranks.
+			var group []int
+			for r := 0; r < cfg.Procs; r++ {
+				if rng.Intn(2) == 1 {
+					group = append(group, r)
+				}
+			}
+			if len(group) == 0 || len(group) == cfg.Procs {
+				group = []int{rng.Intn(cfg.Procs)}
+			}
+			act = Partition(group...)
+		case 4:
+			if cfg.Ifaces > 1 {
+				act = LinkDown(rng.Intn(cfg.Ifaces))
+			} else {
+				act = Corrupt(0.01 + 0.09*rng.Float64())
+			}
+		default:
+			act = Corrupt(0.01 + 0.09*rng.Float64())
+		}
+		s = append(s, Event{At: at, Dur: dur, Act: act})
+	}
+	sort.SliceStable(s, func(i, j int) bool { return s[i].At < s[j].At })
+	return s
+}

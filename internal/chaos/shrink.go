@@ -1,0 +1,67 @@
+package chaos
+
+// prefixVal encodes "keep the first k events" in Spec.Prefix terms
+// (0 means the whole schedule, so an empty prefix needs the sentinel).
+func prefixVal(k int) int {
+	if k == 0 {
+		return EmptySchedule
+	}
+	return k
+}
+
+// Shrink minimizes a failing run to the shortest schedule prefix that
+// still fails, by binary search on the prefix length. Every probe is a
+// full deterministic re-run, so the returned Result is a faithful
+// replay of the minimal Spec, not a projection of the original.
+//
+// Failure need not be monotone in the prefix (a later heal can mask an
+// earlier fault), so the result is a locally-minimal prefix: it fails,
+// and the binary search found no shorter failing prefix on its path.
+// That is the standard property-based-testing contract and is enough
+// for a useful repro.
+//
+// The second return is nil when the full spec does not fail (nothing to
+// shrink).
+func Shrink(spec Spec) (Spec, *Result) {
+	full := Run(spec)
+	if !full.Failed() {
+		return spec, nil
+	}
+	n := len(full.Schedule)
+
+	try := func(k int) *Result {
+		s := spec
+		s.Prefix = prefixVal(k)
+		if r := Run(s); r.Failed() {
+			return r
+		}
+		return nil
+	}
+
+	// The workload alone failing means the schedule is irrelevant: the
+	// minimal repro is the empty prefix.
+	if r := try(0); r != nil {
+		min := spec
+		min.Prefix = EmptySchedule
+		return min, r
+	}
+
+	// Invariant: try(lo) passed, try(hi) failed.
+	lo, hi, best := 0, n, full
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if r := try(mid); r != nil {
+			hi, best = mid, r
+		} else {
+			lo = mid
+		}
+	}
+	min := spec
+	min.Prefix = prefixVal(hi)
+	if best == full && hi < n {
+		// The search never re-ran hi exactly; do it so the Result
+		// matches the returned Spec.
+		best = Run(min)
+	}
+	return min, best
+}

@@ -131,6 +131,18 @@ type Options struct {
 	TCPConfig  *tcp.Config
 	SCTPConfig *sctp.Config
 
+	// TCPProbe / SCTPProbe install protocol-event callbacks on every
+	// stack built for this run (invariant-oracle hook points; see
+	// tcp.Probe and sctp.Probe). Applied on top of any TCPConfig /
+	// SCTPConfig override.
+	TCPProbe  *tcp.Probe
+	SCTPProbe *sctp.Probe
+
+	// WrapRPI, when non-nil, wraps each rank's RPI module after it is
+	// built — the hook the chaos harness uses to interpose its MPI-level
+	// delivery oracle (see rpi.Observe).
+	WrapRPI func(rank int, m rpi.RPI) rpi.RPI
+
 	// Deadline aborts the simulation after this much virtual time
 	// (0 = none). Used defensively by long benchmark sweeps.
 	Deadline time.Duration
@@ -247,6 +259,9 @@ func (o Options) tcpConfig() tcp.Config {
 			cfg.RcvBuf = o.BufSize
 		}
 	}
+	if o.TCPProbe != nil {
+		cfg.Probe = o.TCPProbe
+	}
 	return cfg
 }
 
@@ -271,6 +286,9 @@ func (o Options) sctpConfig() sctp.Config {
 		if cfg.Streams == 0 {
 			cfg.Streams = o.Streams
 		}
+	}
+	if o.SCTPProbe != nil {
+		cfg.Probe = o.SCTPProbe
 	}
 	return cfg
 }
@@ -377,6 +395,9 @@ func NewCluster(opts Options) (*Cluster, error) {
 	modules := make([]rpi.RPI, opts.Procs)
 	for i, nd := range nodes {
 		modules[i] = build(opts, nd, i, &meshEnv{addrs: addrs, addrLists: addrLists, barrier: barrier})
+		if opts.WrapRPI != nil {
+			modules[i] = opts.WrapRPI(i, modules[i])
+		}
 	}
 	return &Cluster{
 		Opts:    opts,

@@ -1,0 +1,49 @@
+package rpi
+
+import "repro/internal/sim"
+
+// Observer taps the middleware↔module boundary without changing
+// behavior. Send sees every envelope (and body) the middleware posts;
+// Deliver sees every completed inbound message just before the
+// middleware's handler runs. Either callback may be nil. The chaos
+// harness builds its MPI-level delivery oracle on this hook.
+type Observer struct {
+	Send    func(dest int, env Envelope, body []byte)
+	Deliver func(env Envelope, body []byte)
+}
+
+// Observe wraps an RPI module so obs sees all traffic crossing the
+// contract boundary. The wrapper is transparent: all calls forward to
+// the inner module unchanged.
+func Observe(m RPI, obs Observer) RPI {
+	return &observedRPI{inner: m, obs: obs}
+}
+
+type observedRPI struct {
+	inner RPI
+	obs   Observer
+}
+
+func (o *observedRPI) Init(p *sim.Proc) error { return o.inner.Init(p) }
+
+func (o *observedRPI) SetDelivery(d Delivery) {
+	if o.obs.Deliver == nil {
+		o.inner.SetDelivery(d)
+		return
+	}
+	o.inner.SetDelivery(func(env Envelope, body []byte) {
+		o.obs.Deliver(env, body)
+		d(env, body)
+	})
+}
+
+func (o *observedRPI) Send(dest int, env Envelope, body []byte, onQueued func()) {
+	if o.obs.Send != nil {
+		o.obs.Send(dest, env, body)
+	}
+	o.inner.Send(dest, env, body, onQueued)
+}
+
+func (o *observedRPI) Advance(p *sim.Proc, block bool) { o.inner.Advance(p, block) }
+func (o *observedRPI) Finalize(p *sim.Proc)            { o.inner.Finalize(p) }
+func (o *observedRPI) Counters() Counters              { return o.inner.Counters() }

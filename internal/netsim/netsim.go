@@ -12,6 +12,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
@@ -60,9 +61,21 @@ type Packet struct {
 	refs     int32 // remaining pool references; 0 when not pooled
 }
 
+// livePooled counts pooled packets whose payload has not yet been
+// returned to the pool, across every network in the process. At
+// simulation quiescence the count must return to its starting value;
+// the chaos harness uses the delta as its packet-leak oracle.
+var livePooled int64
+
+// LivePooledPackets returns the number of pooled packets currently
+// holding a payload. Meaningful as a leak check only when a single
+// simulation is running in the process.
+func LivePooledPackets() int64 { return atomic.LoadInt64(&livePooled) }
+
 // NewPooledPacket wraps a payload obtained from wire.GetBuf in a packet
 // that returns it to the pool once the last reference is released.
 func NewPooledPacket(src, dst Addr, proto uint8, payload []byte) *Packet {
+	atomic.AddInt64(&livePooled, 1)
 	return &Packet{Src: src, Dst: dst, Proto: proto, Payload: payload, refs: 1}
 }
 
@@ -84,6 +97,7 @@ func (p *Packet) Release() {
 	if p.refs == 0 {
 		wire.PutBuf(p.Payload)
 		p.Payload = nil
+		atomic.AddInt64(&livePooled, -1)
 	}
 }
 
@@ -91,15 +105,21 @@ func (p *Packet) Release() {
 // header.
 func (p *Packet) WireSize() int { return len(p.Payload) + IPHeaderSize }
 
-// LinkParams describes one direction of a link.
+// LinkParams describes one direction of a link. All fields may be
+// changed at runtime through UpdateLinkParams; because a packet's
+// arrival time is fixed at send time, parameter changes only affect
+// packets sent afterwards and can never reorder traffic already in
+// flight.
 type LinkParams struct {
-	Delay      time.Duration // one-way propagation delay
-	Bandwidth  int64         // bits per second; 0 means infinite
-	LossRate   float64       // Bernoulli drop probability in [0,1)
-	DupRate    float64       // Bernoulli duplication probability (Dummynet supports this too)
-	Jitter     time.Duration // uniform extra delay in [0, Jitter); causes reordering
-	QueueBytes int           // drop-tail queue bound; 0 means unbounded
-	MTU        int           // maximum packet payload size; 0 means 1500
+	Delay       time.Duration // one-way propagation delay
+	Bandwidth   int64         // bits per second; 0 means infinite
+	LossRate    float64       // Bernoulli drop probability in [0,1)
+	DupRate     float64       // Bernoulli duplication probability (Dummynet supports this too)
+	CorruptRate float64       // Bernoulli bit-corruption probability: one random payload bit flips
+	Jitter      time.Duration // uniform extra delay in [0, Jitter); causes reordering
+	QueueBytes  int           // drop-tail queue bound; 0 means unbounded
+	MTU         int           // maximum packet payload size; 0 means 1500
+	Down        bool          // administratively down: drop everything (fault injection)
 }
 
 // DefaultLinkParams matches the paper's testbed: 1 Gb/s Ethernet through
@@ -123,13 +143,15 @@ func (lp LinkParams) mtu() int {
 
 // Stats counts network-wide events.
 type Stats struct {
-	PacketsSent    int64
-	PacketsLost    int64 // Bernoulli loss
-	PacketsDuped   int64 // Bernoulli duplication
-	PacketsQueued  int64 // dropped by drop-tail queue
-	PacketsDown    int64 // dropped because an interface was down
-	PacketsNoRoute int64
-	BytesSent      int64
+	PacketsSent      int64
+	PacketsLost      int64 // Bernoulli loss
+	PacketsDuped     int64 // Bernoulli duplication
+	PacketsCorrupted int64 // Bernoulli bit corruption (packet still delivered)
+	PacketsQueued    int64 // dropped by drop-tail queue
+	PacketsDown      int64 // dropped because an interface was down
+	PacketsBlocked   int64 // dropped because the pipe was administratively down
+	PacketsNoRoute   int64
+	BytesSent        int64
 }
 
 // Network is the simulated internetwork.
@@ -192,6 +214,43 @@ func (n *Network) SetLinkParamsBetween(src, dst Addr, lp LinkParams) {
 	key := pipeKey{src, dst}
 	n.perPair[key] = lp
 	if p, ok := n.pipes[key]; ok {
+		p.params = lp
+	}
+}
+
+// UpdateLinkParams applies mutate to the defaults, every per-pair
+// override, and every live pipe — the runtime fault-injection knob the
+// chaos scheduler turns mid-run (Dummynet `pipe config` on a running
+// experiment). Packets already in flight keep their scheduled arrival
+// times.
+func (n *Network) UpdateLinkParams(mutate func(lp *LinkParams)) {
+	mutate(&n.def)
+	for key := range n.perPair {
+		lp := n.perPair[key]
+		mutate(&lp)
+		n.perPair[key] = lp
+	}
+	for _, p := range n.pipes {
+		mutate(&p.params)
+	}
+}
+
+// UpdateLinkParamsBetween applies mutate to the one-directional pipe
+// from src to dst, materializing a per-pair override from the current
+// effective parameters when none exists yet.
+func (n *Network) UpdateLinkParamsBetween(src, dst Addr, mutate func(lp *LinkParams)) {
+	key := pipeKey{src, dst}
+	lp, ok := n.perPair[key]
+	if !ok {
+		if p, live := n.pipes[key]; live {
+			lp = p.params
+		} else {
+			lp = n.def
+		}
+	}
+	mutate(&lp)
+	n.perPair[key] = lp
+	if p, live := n.pipes[key]; live {
 		p.params = lp
 	}
 }
@@ -265,6 +324,18 @@ func (n *Network) send(src *Iface, pkt *Packet) {
 		return
 	}
 	p := n.pipe(pkt.Src, pkt.Dst)
+	if p.params.Down {
+		// Administratively blocked pipe (partition injection). Checked
+		// before any RNG draw so that blocking one pair leaves the draw
+		// sequence of all other traffic untouched.
+		n.Stats.PacketsBlocked++
+		p.BlockedDrops++
+		if n.Trace != nil {
+			n.Trace("drop-blocked", pkt)
+		}
+		pkt.Release()
+		return
+	}
 	now := n.K.Now()
 	txTime := time.Duration(0)
 	if p.params.Bandwidth > 0 {
@@ -302,6 +373,20 @@ func (n *Network) send(src *Iface, pkt *Packet) {
 		n.Stats.PacketsDuped++
 		pkt.Retain() // both deliveries alias the same payload; each releases one ref
 	}
+	if p.params.CorruptRate > 0 && len(pkt.Payload) > 0 &&
+		n.K.Rand().Float64() < p.params.CorruptRate {
+		// Flip one random payload bit in place (a duplicated copy shares
+		// the payload and is corrupted too, like a bad switch port). Both
+		// draws are gated on CorruptRate so links without corruption
+		// consume exactly the same RNG sequence as before.
+		bit := n.K.Rand().Int63n(int64(len(pkt.Payload)) * 8)
+		pkt.Payload[bit/8] ^= 1 << uint(bit%8)
+		n.Stats.PacketsCorrupted++
+		p.CorruptHits++
+		if n.Trace != nil {
+			n.Trace("corrupt", pkt)
+		}
+	}
 	for i := 0; i < copies; i++ {
 		arrive := p.busyUntil - now + p.params.Delay
 		if p.params.Jitter > 0 {
@@ -324,10 +409,12 @@ func (n *Network) send(src *Iface, pkt *Packet) {
 
 // Pipe is one direction of a link between two interfaces.
 type Pipe struct {
-	params     LinkParams
-	busyUntil  time.Duration
-	LossDrops  int64
-	QueueDrops int64
+	params       LinkParams
+	busyUntil    time.Duration
+	LossDrops    int64
+	QueueDrops   int64
+	BlockedDrops int64
+	CorruptHits  int64
 }
 
 // Handler receives packets demultiplexed to a protocol on a node.

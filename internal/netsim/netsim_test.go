@@ -193,6 +193,104 @@ func TestSetLossAppliesEverywhere(t *testing.T) {
 	}
 }
 
+func TestCorruptRateFlipsOneBit(t *testing.T) {
+	lp := DefaultLinkParams()
+	lp.CorruptRate = 1.0
+	k, net, a, b := twoNodes(5, lp)
+	const n = 50
+	flipped := 0
+	b.Handle(99, func(pkt *Packet, ifc *Iface) {
+		// Count bits differing from the all-zero original.
+		diff := 0
+		for _, c := range pkt.Payload {
+			for ; c != 0; c &= c - 1 {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Errorf("packet has %d flipped bits, want exactly 1", diff)
+		}
+		flipped++
+	})
+	for i := 0; i < n; i++ {
+		a.Send(&Packet{Src: a.Addr(), Dst: b.Addr(), Proto: 99, Payload: make([]byte, 64)})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if flipped != n {
+		t.Fatalf("delivered %d of %d (corruption must not drop)", flipped, n)
+	}
+	if net.Stats.PacketsCorrupted != n {
+		t.Fatalf("stats.PacketsCorrupted = %d, want %d", net.Stats.PacketsCorrupted, n)
+	}
+}
+
+func TestLinkDownBlocksAndCounts(t *testing.T) {
+	k, net, a, b := twoNodes(1, DefaultLinkParams())
+	got := 0
+	b.Handle(99, func(pkt *Packet, ifc *Iface) { got++ })
+	net.UpdateLinkParamsBetween(a.Addr(), b.Addr(), func(lp *LinkParams) { lp.Down = true })
+	a.Send(&Packet{Src: a.Addr(), Dst: b.Addr(), Proto: 99, Payload: []byte{1}})
+	// The reverse direction is its own pipe and stays up.
+	b.Send(&Packet{Src: b.Addr(), Dst: a.Addr(), Proto: 99, Payload: []byte{1}})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatal("packet crossed an administratively-down link")
+	}
+	if net.Stats.PacketsBlocked != 1 {
+		t.Fatalf("stats.PacketsBlocked = %d, want 1", net.Stats.PacketsBlocked)
+	}
+	net.UpdateLinkParamsBetween(a.Addr(), b.Addr(), func(lp *LinkParams) { lp.Down = false })
+	a.Send(&Packet{Src: a.Addr(), Dst: b.Addr(), Proto: 99, Payload: []byte{1}})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatal("packet not delivered after link came back up")
+	}
+}
+
+// TestRuntimeMutationNoReorder changes link bandwidth while packets are
+// queued on the pipe: arrival times are computed at send time, so
+// in-flight packets must keep their order relative to packets sent
+// after the change, never overtaking or being overtaken.
+func TestRuntimeMutationNoReorder(t *testing.T) {
+	lp := LinkParams{Bandwidth: 8000, QueueBytes: 1 << 20} // 1000 bytes/s
+	k, net, a, b := twoNodes(1, lp)
+	var order []int
+	b.Handle(99, func(pkt *Packet, ifc *Iface) { order = append(order, int(pkt.Payload[0])) })
+	send := func(i int) {
+		p := make([]byte, 80) // 100 bytes on wire = 100 ms serialization
+		p[0] = byte(i)
+		a.Send(&Packet{Src: a.Addr(), Dst: b.Addr(), Proto: 99, Payload: p})
+	}
+	for i := 0; i < 5; i++ {
+		send(i)
+	}
+	// Mid-drain, make the link 1000x faster; the five queued packets
+	// still own their original arrival times.
+	k.After(150*time.Millisecond, func() {
+		net.UpdateLinkParams(func(lp *LinkParams) { lp.Bandwidth = 8e6 })
+		for i := 5; i < 10; i++ {
+			send(i)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 10 {
+		t.Fatalf("delivered %d of 10", len(order))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("delivery order %v: packet %d overtook", order, got)
+		}
+	}
+}
+
 func TestMTU(t *testing.T) {
 	lp := DefaultLinkParams()
 	lp.MTU = 9000

@@ -459,6 +459,9 @@ func (a *Assoc) handleData(src netsim.Addr, c *chunk) {
 	if len(a.rcvRanges) > 0 && a.rcvRanges[0].start == a.cumTSN.Add(1) {
 		a.cumTSN = a.rcvRanges[0].end
 		a.rcvRanges = a.rcvRanges[1:]
+		if p := a.cfg.Probe; p != nil && p.CumTSN != nil {
+			p.CumTSN(a, a.cumTSN)
+		}
 	}
 
 	// Reassembly: fragments of one message share (stream, SSN) and
@@ -539,6 +542,7 @@ func (a *Assoc) deliverOrdered(m *Message) {
 	st := int(m.Stream)
 	ssn := seqnum.S16(m.SSN)
 	if ssn == a.expectedSSN[st] {
+		a.probeDeliver(m)
 		a.sock.enqueue(m)
 		a.expectedSSN[st]++
 		for {
@@ -547,6 +551,7 @@ func (a *Assoc) deliverOrdered(m *Message) {
 				break
 			}
 			delete(a.reorder[st], a.expectedSSN[st])
+			a.probeDeliver(next)
 			a.sock.enqueue(next)
 			a.expectedSSN[st]++
 		}
@@ -909,8 +914,12 @@ func (a *Assoc) pathError(i int) {
 func (a *Assoc) choosePrimary() {
 	for i, pt := range a.paths {
 		if pt.active && i != a.primary {
+			from := a.paths[a.primary].addr
 			a.primary = i
 			a.stats.Failovers++
+			if p := a.cfg.Probe; p != nil && p.Failover != nil {
+				p.Failover(a, from, pt.addr)
+			}
 			return
 		}
 	}

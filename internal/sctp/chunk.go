@@ -9,6 +9,7 @@
 package sctp
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -16,6 +17,10 @@ import (
 	"repro/internal/seqnum"
 	"repro/internal/wire"
 )
+
+// errBadCRC marks a packet rejected by CRC32c verification; the stack
+// counts these drops separately from other decode failures.
+var errBadCRC = errors.New("sctp: bad CRC32c")
 
 // Chunk type identifiers (RFC 4960 §3.2).
 const (
@@ -320,7 +325,7 @@ func decodePacket(b []byte, verify bool) (*packet, error) {
 		b[10] = byte(sum >> 8)
 		b[11] = byte(sum)
 		if !ok {
-			return nil, fmt.Errorf("sctp: bad CRC32c")
+			return nil, errBadCRC
 		}
 	}
 	r := wire.NewReader(b)

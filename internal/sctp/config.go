@@ -66,6 +66,11 @@ type Config struct {
 	// SCTP's loss resilience.
 	AckCountingCwnd bool
 
+	// Probe, when non-nil, receives protocol-event callbacks (delivery
+	// order, cumulative-TSN advance, congestion-window changes, path
+	// failover). The chaos harness installs its invariant oracles here.
+	Probe *Probe
+
 	// CMT enables Concurrent Multipath Transfer: new data is striped
 	// across all active paths instead of using only the primary. This
 	// is the University of Delaware extension the paper's §2.1 and §5

@@ -1,0 +1,45 @@
+package sctp
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/seqnum"
+)
+
+// Probe is a set of optional protocol-event callbacks, installed via
+// Config.Probe. The chaos harness uses them as invariant-oracle hook
+// points; all callbacks run in kernel context and must not mutate
+// association state. A nil Probe (the default) costs one pointer check
+// per event.
+type Probe struct {
+	// Deliver fires each time a message is handed to the socket receive
+	// queue in per-stream order; ssn is the stream sequence number being
+	// delivered. Per (association, stream) the ssn sequence must be
+	// exactly 0,1,2,... — the serial-number monotonicity invariant.
+	Deliver func(a *Assoc, stream, ssn uint16)
+
+	// CumTSN fires after the cumulative TSN advances on receive. The
+	// reported value must never decrease for an association.
+	CumTSN func(a *Assoc, tsn seqnum.V)
+
+	// Cwnd fires whenever a path's congestion state changes (SACK
+	// growth, fast retransmit, T3 collapse). limit is the clamp the
+	// sender enforces (SndBuf + path MTU).
+	Cwnd func(a *Assoc, addr netsim.Addr, cwnd, ssthresh, flight, mtu, limit int)
+
+	// Failover fires when the primary path changes (paper §3.5.1).
+	Failover func(a *Assoc, from, to netsim.Addr)
+}
+
+// probeDeliver reports an in-order delivery to the probe, if any.
+func (a *Assoc) probeDeliver(m *Message) {
+	if p := a.cfg.Probe; p != nil && p.Deliver != nil {
+		p.Deliver(a, m.Stream, m.SSN)
+	}
+}
+
+// probeCwnd reports path congestion state to the probe, if any.
+func (a *Assoc) probeCwnd(pt *path) {
+	if p := a.cfg.Probe; p != nil && p.Cwnd != nil {
+		p.Cwnd(a, pt.addr, pt.cwnd, pt.ssthresh, pt.flight, pt.mtu, a.cfg.SndBuf+pt.mtu)
+	}
+}

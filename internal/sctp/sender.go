@@ -350,6 +350,7 @@ func (a *Assoc) onT3(pi int) {
 		}
 	}
 	pt.flight = 0
+	a.probeCwnd(pt)
 	a.transmit()
 	a.sock.fireNotify()
 }
@@ -459,8 +460,13 @@ func (a *Assoc) processSack(c *chunk) {
 	}
 
 	// Congestion window growth (byte counting — the paper's §4.1.1
-	// contrast with TCP's ack counting) and fast-recovery exit.
-	for pi, bytes := range ackedPerPath {
+	// contrast with TCP's ack counting) and fast-recovery exit. Paths
+	// iterate in index order so probe callbacks fire deterministically.
+	for pi := range a.paths {
+		bytes, acked := ackedPerPath[pi]
+		if !acked {
+			continue
+		}
 		pt := a.paths[pi]
 		pt.errors = 0
 		if !pt.active {
@@ -496,6 +502,7 @@ func (a *Assoc) processSack(c *chunk) {
 		if pt.cwnd > max {
 			pt.cwnd = max
 		}
+		a.probeCwnd(pt)
 	}
 
 	// Peer receive window: advertised minus what is still in flight.
@@ -543,6 +550,7 @@ func (a *Assoc) markFastRtx(oc *outChunk) {
 	oc.missing = 0
 	oc.inRtxQ = true
 	a.rtxQ = append(a.rtxQ, oc)
+	a.probeCwnd(pt)
 }
 
 // outstandingUnsacked returns in-flight bytes not yet sacked.

@@ -7,6 +7,13 @@ import (
 	"repro/internal/sim"
 )
 
+// StackStats counts stack-level events that occur before a packet is
+// demultiplexed to an association.
+type StackStats struct {
+	ChecksumDrops int64 // packets rejected by CRC32c verification
+	DecodeDrops   int64 // packets rejected as malformed
+}
+
 // Stack is the per-node SCTP instance.
 type Stack struct {
 	node     *netsim.Node
@@ -15,6 +22,8 @@ type Stack struct {
 	secret   []byte
 	nextPort uint16
 	nextID   AssocID
+
+	Stats StackStats
 }
 
 // NewStack attaches an SCTP stack with default socket config cfg to
@@ -52,6 +61,15 @@ func (s *Stack) ephemeralPort() uint16 {
 func (s *Stack) handlePacket(ipPkt *netsim.Packet, ifc *netsim.Iface) {
 	pkt, err := decodePacket(ipPkt.Payload, s.cfg.ChecksumVerify)
 	if err != nil {
+		// A corrupted packet that fails the CRC (or is structurally
+		// unparseable) is dropped here; the sender's T3 timer recovers,
+		// exactly as with loss. The paper's kernels computed the CRC but
+		// this is where it pays off under real corruption.
+		if err == errBadCRC {
+			s.Stats.ChecksumDrops++
+		} else {
+			s.Stats.DecodeDrops++
+		}
 		return
 	}
 	sk, ok := s.socks[pkt.DstPort]

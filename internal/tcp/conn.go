@@ -46,6 +46,11 @@ type Config struct {
 	// work, etc). The paper offloads TCP checksums to the NIC, so the
 	// default is zero.
 	PerSegmentDelay time.Duration
+
+	// Probe, when non-nil, receives protocol-event callbacks (in-order
+	// delivery advance, congestion-window changes). The chaos harness
+	// installs its invariant oracles here.
+	Probe *Probe
 }
 
 func (c Config) withDefaults() Config {
@@ -394,6 +399,7 @@ func (c *Conn) newAck(ack seqnum.V) {
 			c.inFastRec = false
 			c.inRTORec = false
 			c.cwnd = c.ssthresh
+			c.probeCwnd()
 		} else {
 			// Partial ACK (New-Reno): retransmit the next hole and
 			// deflate the window by the amount acked.
@@ -441,6 +447,7 @@ func (c *Conn) growCwnd(acked int) {
 	if c.cwnd > c.sb.limit+c.mss {
 		c.cwnd = c.sb.limit + c.mss
 	}
+	c.probeCwnd()
 }
 
 // dupAck counts duplicate ACKs and triggers fast retransmit at three.
@@ -471,6 +478,7 @@ func (c *Conn) dupAck() {
 	c.inFastRec = true
 	c.recover = c.sndNxt
 	c.highRtx = c.sndUna
+	c.probeCwnd()
 	c.retransmitHole(c.sndUna)
 	c.resetRTO()
 }
@@ -591,6 +599,7 @@ func (c *Conn) processData(seg *segment) {
 		// Pull any now-contiguous out-of-order segments.
 		hadOOO := len(c.rb.ooo) > 0
 		c.rcvNxt = c.rb.extract(c.rcvNxt)
+		c.probeDeliver()
 		if hadOOO || trimmedTail {
 			c.sendAckNow() // hole filled or data dropped: ACK immediately
 		} else {

@@ -1,0 +1,32 @@
+package tcp
+
+import "repro/internal/seqnum"
+
+// Probe is a set of optional protocol-event callbacks, installed via
+// Config.Probe — the TCP analogue of sctp.Probe, used by the chaos
+// harness as invariant-oracle hook points. Callbacks run in kernel
+// context and must not mutate connection state.
+type Probe struct {
+	// Deliver fires after in-order data advances rcv.nxt; the reported
+	// value must never decrease for a connection.
+	Deliver func(c *Conn, rcvNxt seqnum.V)
+
+	// Cwnd fires whenever the congestion window changes (ACK growth,
+	// fast retransmit, recovery exit, RTO collapse). limit is the clamp
+	// the sender enforces (SndBuf + MSS).
+	Cwnd func(c *Conn, cwnd, ssthresh, flight, mss, limit int)
+}
+
+// probeDeliver reports an rcv.nxt advance to the probe, if any.
+func (c *Conn) probeDeliver() {
+	if p := c.cfg.Probe; p != nil && p.Deliver != nil {
+		p.Deliver(c, c.rcvNxt)
+	}
+}
+
+// probeCwnd reports congestion state to the probe, if any.
+func (c *Conn) probeCwnd() {
+	if p := c.cfg.Probe; p != nil && p.Cwnd != nil {
+		p.Cwnd(c, c.cwnd, c.ssthresh, c.outstanding(), c.mss, c.sb.limit+c.mss)
+	}
+}

@@ -300,6 +300,7 @@ func (c *Conn) onRTO() {
 	// Conservatively forget SACK information (the reneging rule).
 	c.sacked = nil
 	c.rttActive = false
+	c.probeCwnd()
 	c.retransmitHole(c.sndUna)
 	c.resetRTO()
 	c.fireNotify()

@@ -24,4 +24,8 @@ go test ./...
 echo "== go test -race (sweep runner) =="
 go test -race ./internal/bench/...
 
+echo "== chaos corpus =="
+go run ./cmd/chaos -rpi all -seeds 50
+go run ./cmd/chaos -rpi all -seeds 25 -multihome
+
 echo "tier-1: OK"
