@@ -28,8 +28,11 @@ paper:
 	$(GO) run ./cmd/paper -exp all -quick
 
 # Fault-injection gate: a fixed 50-seed schedule corpus per backend with
-# the invariant oracles armed, plus a 25-seed multihomed corpus. Fails
-# (exit 1) with a shrunk repro if any run violates an invariant.
+# the invariant oracles armed, plus a 25-seed multihomed corpus and a
+# 25-seed session-kill corpus (AssocKill-only schedules; the recovery
+# layer must complete every job). Fails (exit 1) with a shrunk repro if
+# any run violates an invariant.
 chaos:
 	$(GO) run ./cmd/chaos -rpi all -seeds 50
 	$(GO) run ./cmd/chaos -rpi all -seeds 25 -multihome
+	$(GO) run ./cmd/chaos -rpi all -seeds 25 -kill

@@ -10,6 +10,7 @@
 //	go run ./cmd/chaos -rpi all -seeds 50          # the `make chaos` gate
 //	go run ./cmd/chaos -rpi tcp -seed 17 -v        # one run, verbose
 //	go run ./cmd/chaos -rpi sctp -seed 3 -prefix 2 # replay a shrunk repro
+//	go run ./cmd/chaos -rpi all -seeds 25 -kill    # session-recovery corpus
 package main
 
 import (
@@ -30,12 +31,15 @@ func main() {
 		prefix    = flag.Int("prefix", 0, "keep only the first N events (<0: none, 0: all)")
 		procs     = flag.Int("procs", 4, "world size")
 		multihome = flag.Bool("multihome", false, "three interfaces per node, heartbeats on")
+		kill      = flag.Bool("kill", false, "session-recovery corpus: generated schedules are AssocKill-only")
+		budget    = flag.Int("budget", 0, "redial budget per loss episode (0: default 8, <0: none)")
 		noShrink  = flag.Bool("noshrink", false, "skip shrinking failures")
 		verbose   = flag.Bool("v", false, "print every run, not just failures")
 
 		// Oracle self-test knobs: deliberate bugs that must make the
 		// harness fail (exercise the failure/shrink/repro path).
 		dupEvery   = flag.Int("dup", 0, "mutation: deliver every Nth short message twice")
+		dropReplay = flag.Int("dropreplay", 0, "mutation: silently drop the Nth replayed message")
 		noChecksum = flag.Bool("nochecksum", false, "mutation: keep CRC32c verify off under Corrupt events")
 	)
 	flag.Parse()
@@ -66,7 +70,10 @@ func main() {
 				Prefix:          *prefix,
 				Procs:           *procs,
 				Multihome:       *multihome,
+				AllowKill:       *kill,
+				RedialBudget:    *budget,
 				DupDeliverEvery: *dupEvery,
+				DropReplayEvery: *dropReplay,
 				DisableChecksum: *noChecksum,
 			}
 			res := chaos.Run(spec)

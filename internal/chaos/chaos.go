@@ -48,9 +48,15 @@ type Spec struct {
 	// tighten heartbeat and RTO timing).
 	SCTP *sctp.Config
 
+	// Session-recovery knobs.
+	AllowKill    bool          // generated schedules are AssocKill-only (recovery corpus)
+	RedialBudget int           // redials per loss episode: 0 = default (8), <0 = none
+	LinkDelay    time.Duration // one-way link delay override (stretch virtual time)
+
 	// Mutation knobs — deliberate bugs the oracle must catch.
 	DisableChecksum bool // keep CRC32c verify off even under Corrupt events
 	DupDeliverEvery int  // deliver every Nth short message twice (0 = off)
+	DropReplayEvery int  // silently drop the Nth replayed message job-wide (0 = off)
 }
 
 func (s Spec) withDefaults() Spec {
@@ -96,6 +102,7 @@ func (s Spec) schedule() Schedule {
 			Procs:        s.Procs,
 			Ifaces:       s.ifaces(),
 			AllowCorrupt: s.Transport != core.TCP,
+			AllowKill:    s.AllowKill,
 		})
 	}
 	switch {
@@ -134,6 +141,13 @@ type Result struct {
 	Deliveries int64
 	Failovers  int64
 
+	// Session-recovery aggregates, summed over every rank's counters.
+	SessionsLost   int64
+	Redials        int64
+	RedialsOK      int64
+	Replayed       int64
+	DupsSuppressed int64
+
 	Report *core.Report
 }
 
@@ -148,8 +162,17 @@ func (r *Result) Repro() string {
 	if s.Multihome {
 		cmd += " -multihome"
 	}
+	if s.AllowKill {
+		cmd += " -kill"
+	}
+	if s.RedialBudget != 0 {
+		cmd += fmt.Sprintf(" -budget %d", s.RedialBudget)
+	}
 	if s.DupDeliverEvery > 0 {
 		cmd += fmt.Sprintf(" -dup %d", s.DupDeliverEvery)
+	}
+	if s.DropReplayEvery > 0 {
+		cmd += fmt.Sprintf(" -dropreplay %d", s.DropReplayEvery)
 	}
 	if s.DisableChecksum {
 		cmd += " -nochecksum"
@@ -165,6 +188,10 @@ func (r *Result) String() string {
 	if !r.Failed() {
 		fmt.Fprintf(&b, "ok (%d sends, %d deliveries, trace %s)",
 			r.Sends, r.Deliveries, r.TraceHash[:12])
+		if r.SessionsLost > 0 {
+			fmt.Fprintf(&b, " recovery: lost=%d redials=%d/%d replayed=%d dups=%d",
+				r.SessionsLost, r.RedialsOK, r.Redials, r.Replayed, r.DupsSuppressed)
+		}
 		return b.String()
 	}
 	fmt.Fprintf(&b, "%d violation(s)\n", len(r.Violations))
@@ -189,19 +216,26 @@ func Run(spec Spec) *Result {
 	sched := spec.schedule()
 
 	opts := core.Options{
-		Procs:         spec.Procs,
-		Transport:     spec.Transport,
-		Seed:          spec.Seed,
-		LossRate:      spec.LossRate,
-		IfacesPerNode: spec.ifaces(),
-		NoCost:        true,
-		Deadline:      spec.Deadline,
-		SCTPConfig:    spec.SCTP,
+		Procs:           spec.Procs,
+		Transport:       spec.Transport,
+		Seed:            spec.Seed,
+		LossRate:        spec.LossRate,
+		IfacesPerNode:   spec.ifaces(),
+		NoCost:          true,
+		Deadline:        spec.Deadline,
+		SCTPConfig:      spec.SCTP,
+		RedialBudget:    spec.RedialBudget,
+		DropReplayEvery: spec.DropReplayEvery,
 		// Corruption on the wire requires the receiver to verify CRC32c,
 		// exactly the paper's trade-off (it ran with verification off on
 		// a clean LAN). A mutation test disables it to prove the oracle
 		// notices corrupted payloads sneaking through.
 		SCTPChecksum: sched.HasCorrupt() && !spec.DisableChecksum,
+	}
+	if spec.LinkDelay > 0 {
+		lp := netsim.DefaultLinkParams()
+		lp.Delay = spec.LinkDelay
+		opts.Link = &lp
 	}
 
 	var clock func() time.Duration
@@ -257,9 +291,18 @@ func Run(spec Spec) *Result {
 	}
 	res.Completed = completed
 
+	for _, cs := range rep.RPIStats {
+		res.SessionsLost += cs["sessions_lost"]
+		res.Redials += cs["redials_attempted"]
+		res.RedialsOK += cs["redials_ok"]
+		res.Replayed += cs["msgs_replayed"]
+		res.DupsSuppressed += cs["dups_suppressed"]
+	}
+
 	// Progress oracle: a clean run finishes every rank. Deadlocks and
-	// deadline aborts are invariant violations — every scheduled fault
-	// heals, so the stacks have no excuse not to finish.
+	// deadline aborts are invariant violations — the shaping faults all
+	// heal, and killed sessions are the recovery layer's to repair, so
+	// the stacks have no excuse not to finish.
 	if rep.SimErr != nil {
 		res.Violations = append(res.Violations, fmt.Sprintf("progress: %v", rep.SimErr))
 	}

@@ -1,12 +1,14 @@
 package chaos
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/sctp"
+	"repro/internal/transport"
 )
 
 var allTransports = []core.Transport{core.TCP, core.SCTP, core.SCTPOneToOne}
@@ -27,19 +29,29 @@ var failoverSCTP = sctp.Config{
 // CRC-verify path is part of what is pinned.
 func TestDeterministicReplay(t *testing.T) {
 	for _, tr := range allTransports {
-		spec := Spec{Transport: tr, Seed: 3}
-		r1 := Run(spec)
-		r2 := Run(spec)
-		if r1.TraceHash != r2.TraceHash {
-			t.Errorf("%v: trace hash differs across replays: %s vs %s",
-				tr, r1.TraceHash, r2.TraceHash)
-		}
-		if strings.Join(r1.Violations, "\n") != strings.Join(r2.Violations, "\n") {
-			t.Errorf("%v: violations differ across replays:\n%v\nvs\n%v",
-				tr, r1.Violations, r2.Violations)
-		}
-		if r1.Sends != r2.Sends || r1.Deliveries != r2.Deliveries {
-			t.Errorf("%v: counters differ across replays", tr)
+		// The healing-fault corpus and the session-kill corpus (redial
+		// backoff jitter draws from the sim RNG, so recovery timing is
+		// part of what must replay exactly).
+		for _, spec := range []Spec{
+			{Transport: tr, Seed: 3},
+			{Transport: tr, Seed: 5, AllowKill: true},
+		} {
+			r1 := Run(spec)
+			r2 := Run(spec)
+			if r1.TraceHash != r2.TraceHash {
+				t.Errorf("%v (kill=%v): trace hash differs across replays: %s vs %s",
+					tr, spec.AllowKill, r1.TraceHash, r2.TraceHash)
+			}
+			if strings.Join(r1.Violations, "\n") != strings.Join(r2.Violations, "\n") {
+				t.Errorf("%v (kill=%v): violations differ across replays:\n%v\nvs\n%v",
+					tr, spec.AllowKill, r1.Violations, r2.Violations)
+			}
+			if r1.Sends != r2.Sends || r1.Deliveries != r2.Deliveries {
+				t.Errorf("%v (kill=%v): counters differ across replays", tr, spec.AllowKill)
+			}
+			if r1.Replayed != r2.Replayed || r1.SessionsLost != r2.SessionsLost {
+				t.Errorf("%v (kill=%v): recovery counters differ across replays", tr, spec.AllowKill)
+			}
 		}
 	}
 }
@@ -142,6 +154,132 @@ func TestMultihomedFailover(t *testing.T) {
 	}
 	if res.Failovers == 0 {
 		t.Fatal("primary subnet was down for 2s but no association failed over")
+	}
+}
+
+// killSpec pins an AssocKill at t=2s of virtual time. The 25 ms link
+// delay stretches the mixed workload well past the kill, so the fault
+// lands mid-traffic on an active ring session.
+func killSpec(tr core.Transport, seed int64) Spec {
+	return Spec{
+		Transport: tr,
+		Seed:      seed,
+		LinkDelay: 25 * time.Millisecond,
+		Rounds:    60,
+		Schedule: Schedule{
+			{At: 2 * time.Second, Act: AssocKill(1, 2)},
+		},
+	}
+}
+
+// TestSessionKillRecovery is the session-recovery acceptance check: an
+// AssocKill at t=2s on every backend, and the full mixed workload must
+// still complete with zero invariant violations and zero duplicate
+// deliveries — the killed session redials, replays its unacked tail
+// exactly once, and the run is bit-identical across replays.
+func TestSessionKillRecovery(t *testing.T) {
+	for _, tr := range allTransports {
+		spec := killSpec(tr, 42)
+		res := Run(spec)
+		if res.Failed() {
+			t.Errorf("%v: kill recovery violated invariants:\n%s", tr, res)
+			continue
+		}
+		if !res.Completed {
+			t.Errorf("%v: run did not complete after session kill", tr)
+		}
+		if res.SessionsLost == 0 {
+			t.Errorf("%v: AssocKill at 2s did not kill any session", tr)
+		}
+		if res.RedialsOK == 0 {
+			t.Errorf("%v: session lost but no successful redial", tr)
+		}
+		replay := Run(spec)
+		if replay.TraceHash != res.TraceHash {
+			t.Errorf("%v: recovery run not bit-identical across replays: %s vs %s",
+				tr, res.TraceHash, replay.TraceHash)
+		}
+	}
+}
+
+// TestSessionKillBudgetExhausted: the same kill with the redial budget
+// disabled must abort the job with a diagnostic session-lost error —
+// never hang until the deadline, and never deadlock the simulation.
+func TestSessionKillBudgetExhausted(t *testing.T) {
+	for _, tr := range allTransports {
+		spec := killSpec(tr, 42)
+		spec.RedialBudget = -1
+		res := Run(spec)
+		if res.Completed {
+			t.Errorf("%v: run completed despite a dead session and no redial budget", tr)
+			continue
+		}
+		rep := res.Report
+		if rep == nil {
+			t.Fatalf("%v: no report", tr)
+		}
+		if rep.SimErr != nil {
+			t.Errorf("%v: abort was not clean: %v", tr, rep.SimErr)
+		}
+		found := false
+		for _, err := range rep.RankErrs {
+			if errors.Is(err, transport.ErrSessionLost) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%v: no rank reported transport.ErrSessionLost; errs: %v",
+				tr, rep.RankErrs)
+		}
+	}
+}
+
+// TestKillCorpusQuick is a fast slice of the `make chaos` kill corpus:
+// every backend must survive the first five generated AssocKill-only
+// schedules with recovery keeping all invariants intact.
+func TestKillCorpusQuick(t *testing.T) {
+	for _, tr := range allTransports {
+		for seed := int64(1); seed <= 5; seed++ {
+			spec := Spec{Transport: tr, Seed: seed, AllowKill: true}
+			if res := Run(spec); res.Failed() {
+				t.Errorf("%v seed %d:\n%s", tr, seed, res)
+			}
+		}
+	}
+}
+
+// TestOracleCatchesDroppedReplay mutation-tests the recovery oracle: a
+// session layer that silently drops one replayed message must trip the
+// exactly-once completeness check, and the failure must shrink to the
+// schedule prefix ending at the AssocKill event (the bug needs the kill
+// to fire).
+func TestOracleCatchesDroppedReplay(t *testing.T) {
+	spec := killSpec(core.SCTP, 42)
+	spec.DropReplayEvery = 1
+	res := Run(spec)
+	if !res.Failed() {
+		t.Fatal("dropped replay not caught")
+	}
+	if !hasViolation(res, "never delivered") {
+		t.Fatalf("no undelivered-message violation in:\n%s", res)
+	}
+	min, minRes := Shrink(spec)
+	if minRes == nil {
+		t.Fatal("shrink lost the failure")
+	}
+	if len(minRes.Schedule) == 0 {
+		t.Fatalf("shrunk to the empty schedule; the failure needs the kill:\n%s", minRes)
+	}
+	last := minRes.Schedule[len(minRes.Schedule)-1]
+	if !strings.HasPrefix(last.Act.String(), "assockill") {
+		t.Fatalf("minimal prefix does not end at the AssocKill event:\n%s", minRes.Schedule)
+	}
+	if min.Prefix != len(minRes.Schedule) {
+		t.Fatalf("Prefix %d != schedule length %d", min.Prefix, len(minRes.Schedule))
+	}
+	control := Run(killSpec(core.SCTP, 42))
+	if control.Failed() {
+		t.Fatalf("control run without the mutation failed:\n%s", control)
 	}
 }
 

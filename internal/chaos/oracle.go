@@ -217,6 +217,18 @@ func (o *Oracle) SCTPProbe() *sctp.Probe {
 		Failover: func(a *sctp.Assoc, from, to netsim.Addr) {
 			o.Failovers++
 		},
+		Restart: func(a *sctp.Assoc) {
+			// RFC 4960 §5.2 restart keeps the *Assoc and its ID but
+			// resets all transfer state: the peer's SSNs restart at 0 and
+			// the cumulative TSN restarts at the new initial TSN. Drop
+			// the monotonicity expectations for the old incarnation.
+			for key := range o.expectSSN {
+				if key.a == a {
+					delete(o.expectSSN, key)
+				}
+			}
+			delete(o.lastCumTSN, a)
+		},
 	}
 }
 
@@ -251,16 +263,30 @@ func (o *Oracle) TCPProbe() *tcp.Probe {
 	}
 }
 
+// undeliveredCap bounds the undelivered-message diagnostics emitted for
+// an aborted run, where an undelivered tail is expected and the first
+// few entries are what identify the failure.
+const undeliveredCap = 5
+
 // Finish runs the end-of-run checks. completed reports whether every
-// rank finished cleanly; the completeness check only applies then
-// (after a deadline abort, undelivered traffic is expected).
+// rank finished cleanly. A completed run must have delivered everything
+// it sent — session kills included, which is the exactly-once-replay
+// obligation. An aborted run legitimately strands in-flight traffic, so
+// only the first undeliveredCap messages are reported, as diagnostics
+// for whatever caused the abort.
 func (o *Oracle) Finish(completed bool) {
-	if !completed {
-		return
-	}
+	undelivered := 0
 	for _, id := range o.sendOrder {
-		if rec := o.sent[id]; rec.delivered == 0 {
+		rec := o.sent[id]
+		if rec.delivered > 0 {
+			continue
+		}
+		undelivered++
+		if completed || undelivered <= undeliveredCap {
 			o.violate("sent but never delivered: %+v (env %+v)", id, rec.env)
 		}
+	}
+	if !completed && undelivered > undeliveredCap {
+		o.violate("... %d further undelivered messages at abort", undelivered-undeliveredCap)
 	}
 }

@@ -27,9 +27,12 @@ type applyCtx struct {
 	baseBW   int64
 }
 
-// Action is one fault. Every action is paired with a revert so that any
-// schedule prefix is self-healing: eventual progress is always required
-// of the stacks, never excused by a fault left standing.
+// Action is one fault. Network-shaping actions are paired with a revert
+// so that any schedule prefix is self-healing: eventual progress is
+// always required of the stacks, never excused by a fault left
+// standing. AssocKill is the deliberate exception — it does not heal,
+// because repairing a dead session is the session-recovery layer's job,
+// and the oracle holds it to the same eventual-progress bar.
 type Action interface {
 	apply(ctx *applyCtx)
 	revert(ctx *applyCtx)
@@ -217,6 +220,25 @@ func (a *corruptAct) revert(ctx *applyCtx) {
 
 func (a *corruptAct) String() string { return fmt.Sprintf("corrupt(rate=%g)", a.rate) }
 
+// AssocKill: one rank's transport session to a peer dies abruptly — the
+// connection or association is destroyed in place, as if the remote
+// stack reset it while the job was mid-flight. Unlike every other
+// action it does not heal: the session-recovery layer must redial,
+// replay the unacked tail, and deliver exactly once, or the progress
+// and delivery oracles fire.
+
+type assocKillAct struct{ rank, peer int }
+
+// AssocKill destroys rank's transport session to peer at the event
+// time. Schedule it with Dur 0: there is nothing to revert.
+func AssocKill(rank, peer int) Action { return &assocKillAct{rank, peer} }
+
+func (a *assocKillAct) apply(ctx *applyCtx)  { ctx.c.KillSession(a.rank, a.peer) }
+func (a *assocKillAct) revert(ctx *applyCtx) {}
+func (a *assocKillAct) String() string {
+	return fmt.Sprintf("assockill(rank=%d,peer=%d)", a.rank, a.peer)
+}
+
 // GenConfig parameterizes random schedule generation. The default
 // window is tuned to the chaos workload's fault-free span (a few
 // milliseconds of virtual time): early events hit connection setup,
@@ -229,6 +251,11 @@ type GenConfig struct {
 	Procs        int           // world size (partition targets)
 	Ifaces       int           // interfaces per node (subnet targets)
 	AllowCorrupt bool          // include Corrupt events (SCTP-family backends)
+
+	// AllowKill switches generation to the session-recovery corpus:
+	// every event is an AssocKill against a live ring neighbour, none of
+	// them heal, and the recovery layer has to earn completion.
+	AllowKill bool
 }
 
 func (g GenConfig) withDefaults() GenConfig {
@@ -257,6 +284,22 @@ func (g GenConfig) withDefaults() GenConfig {
 func RandomSchedule(seed int64, cfg GenConfig) Schedule {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(seed))
+	if cfg.AllowKill {
+		// Kill corpus: AssocKill only, aimed at ring neighbours so every
+		// kill lands on a session the workload is actively using.
+		s := make(Schedule, 0, cfg.Events)
+		for i := 0; i < cfg.Events; i++ {
+			at := cfg.Start + time.Duration(rng.Int63n(int64(cfg.Horizon-cfg.Start)))
+			rank := rng.Intn(cfg.Procs)
+			peer := (rank + 1) % cfg.Procs
+			if rng.Intn(2) == 1 {
+				peer = (rank + cfg.Procs - 1) % cfg.Procs
+			}
+			s = append(s, Event{At: at, Act: AssocKill(rank, peer)})
+		}
+		sort.SliceStable(s, func(i, j int) bool { return s[i].At < s[j].At })
+		return s
+	}
 	kinds := 4 // burstloss, ratechange, ifacedown, partition
 	if cfg.Ifaces > 1 {
 		kinds++ // linkdown of a whole subnet

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/sctp"
 	"repro/internal/sim"
 	"repro/internal/tcp"
+	"repro/internal/transport"
 )
 
 // Transport selects the RPI module under test.
@@ -142,6 +144,16 @@ type Options struct {
 	// built — the hook the chaos harness uses to interpose its MPI-level
 	// delivery oracle (see rpi.Observe).
 	WrapRPI func(rank int, m rpi.RPI) rpi.RPI
+
+	// RedialBudget bounds session-recovery redial attempts per loss
+	// episode: 0 means the default (8), negative disables recovery (the
+	// first session loss is terminal). See rpi.SessionConfig.
+	RedialBudget int
+
+	// DropReplayEvery, when N > 0, silently drops the Nth replayed
+	// message across the whole job — a mutation knob that must trip the
+	// chaos harness's exactly-once oracle. See rpi.SessionConfig.
+	DropReplayEvery int
 
 	// Deadline aborts the simulation after this much virtual time
 	// (0 = none). Used defensively by long benchmark sweeps.
@@ -297,8 +309,10 @@ func buildTCP(opts Options, nd *netsim.Node, rank int, env *meshEnv) rpi.RPI {
 	cfg := opts.tcpConfig()
 	st := tcp.NewStack(nd, cfg)
 	return tcprpi.New(st, rank, env.addrs, env.barrier, tcprpi.Options{
-		Cost: opts.cost(DefaultTCPCost()),
-		TCP:  cfg,
+		Cost:            opts.cost(DefaultTCPCost()),
+		TCP:             cfg,
+		RedialBudget:    opts.RedialBudget,
+		DropReplayEvery: opts.DropReplayEvery,
 	})
 }
 
@@ -306,10 +320,12 @@ func buildSCTP(opts Options, nd *netsim.Node, rank int, env *meshEnv) rpi.RPI {
 	cfg := opts.sctpConfig()
 	st := sctp.NewStack(nd, cfg)
 	return sctprpi.New(st, rank, env.addrLists, env.barrier, sctprpi.Options{
-		Cost:         opts.cost(DefaultSCTPCost()),
-		SCTP:         cfg,
-		SingleStream: opts.Transport == SCTPSingleStream,
-		OptionC:      opts.SCTPOptionC,
+		Cost:            opts.cost(DefaultSCTPCost()),
+		SCTP:            cfg,
+		SingleStream:    opts.Transport == SCTPSingleStream,
+		OptionC:         opts.SCTPOptionC,
+		RedialBudget:    opts.RedialBudget,
+		DropReplayEvery: opts.DropReplayEvery,
 	})
 }
 
@@ -317,9 +333,11 @@ func buildSCTP1to1(opts Options, nd *netsim.Node, rank int, env *meshEnv) rpi.RP
 	cfg := opts.sctpConfig()
 	st := sctp.NewStack(nd, cfg)
 	return sctp1to1rpi.New(st, rank, env.addrLists, env.barrier, sctp1to1rpi.Options{
-		Cost:    opts.cost(DefaultSCTP1to1Cost()),
-		SCTP:    cfg,
-		OptionC: opts.SCTPOptionC,
+		Cost:            opts.cost(DefaultSCTP1to1Cost()),
+		SCTP:            cfg,
+		OptionC:         opts.SCTPOptionC,
+		RedialBudget:    opts.RedialBudget,
+		DropReplayEvery: opts.DropReplayEvery,
 	})
 }
 
@@ -422,16 +440,51 @@ func (c *Cluster) Start(fn Program) {
 			comm, err := pr.Init()
 			if err != nil {
 				c.report.RankErrs[rank] = err
+				c.modules[rank].Abort(p)
+				c.report.RPIStats[rank] = c.modules[rank].Counters()
 				return
 			}
-			if err := fn(pr, comm); err != nil {
+			err = fn(pr, comm)
+			if err != nil {
 				c.report.RankErrs[rank] = err
 			}
-			if err := pr.Finalize(); err != nil && c.report.RankErrs[rank] == nil {
-				c.report.RankErrs[rank] = err
+			if errors.Is(err, transport.ErrSessionLost) {
+				// Terminal transport failure: an orderly Finalize is
+				// impossible (its barrier would hang on the dead peer).
+				// Abort releases every socket, so peers talking to this
+				// rank fail fast, exhaust their own redial budgets, and
+				// cascade to a clean job-wide shutdown instead of a
+				// simulation deadlock.
+				c.modules[rank].Abort(p)
+			} else if ferr := pr.Finalize(); ferr != nil {
+				if c.report.RankErrs[rank] == nil {
+					c.report.RankErrs[rank] = ferr
+				}
+				if errors.Is(ferr, transport.ErrSessionLost) {
+					c.modules[rank].Abort(p)
+				}
 			}
 			c.report.RPIStats[rank] = c.modules[rank].Counters()
 		})
+	}
+}
+
+// KillSession destroys rank's transport session to peer from kernel
+// context, as if the connection or association died on the wire — the
+// chaos harness's AssocKill fault. It walks WrapRPI wrappers via
+// Unwrap and reports whether the module supports session kills.
+func (c *Cluster) KillSession(rank, peer int) bool {
+	m := c.modules[rank]
+	for {
+		if k, ok := m.(interface{ KillSession(peer int) }); ok {
+			k.KillSession(peer)
+			return true
+		}
+		u, ok := m.(interface{ Unwrap() rpi.RPI })
+		if !ok {
+			return false
+		}
+		m = u.Unwrap()
 	}
 }
 

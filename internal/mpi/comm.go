@@ -143,7 +143,8 @@ func (c *Comm) Probe(src, tag int) (Status, error) {
 	if err != nil {
 		return Status{}, err
 	}
-	return c.fixStatus(c.pr.probe(w, tag, c.ctx)), nil
+	st, err := c.pr.probe(w, tag, c.ctx)
+	return c.fixStatus(st), err
 }
 
 // Iprobe checks for a matching message without blocking.
@@ -152,8 +153,8 @@ func (c *Comm) Iprobe(src, tag int) (bool, Status, error) {
 	if err != nil {
 		return false, Status{}, err
 	}
-	ok, st := c.pr.iprobe(w, tag, c.ctx)
-	return ok, c.fixStatus(st), nil
+	ok, st, err := c.pr.iprobe(w, tag, c.ctx)
+	return ok, c.fixStatus(st), err
 }
 
 // SendRecv exchanges messages with possibly different partners without

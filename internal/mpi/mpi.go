@@ -348,10 +348,14 @@ func (pr *Process) copyBody(req *Request, env rpi.Envelope, body []byte) {
 
 // --- progression -----------------------------------------------------
 
-// Wait blocks until the request completes.
+// Wait blocks until the request completes. A terminal RPI error
+// (session recovery exhausted) aborts the wait: the job cannot make
+// further progress and must shut down.
 func (pr *Process) Wait(req *Request) (Status, error) {
 	for !req.Done {
-		pr.rpi.Advance(pr.P, true)
+		if err := pr.rpi.Advance(pr.P, true); err != nil {
+			return req.status, err
+		}
 	}
 	return req.status, req.Err
 }
@@ -360,7 +364,9 @@ func (pr *Process) Wait(req *Request) (Status, error) {
 // once, like MPI_Test).
 func (pr *Process) Test(req *Request) (bool, Status, error) {
 	if !req.Done {
-		pr.rpi.Advance(pr.P, false)
+		if err := pr.rpi.Advance(pr.P, false); err != nil {
+			return req.Done, req.status, err
+		}
 	}
 	return req.Done, req.status, req.Err
 }
@@ -386,13 +392,17 @@ func (pr *Process) WaitAny(reqs ...*Request) (int, Status, error) {
 				return i, r.status, r.Err
 			}
 		}
-		pr.rpi.Advance(pr.P, true)
+		if err := pr.rpi.Advance(pr.P, true); err != nil {
+			return -1, Status{}, err
+		}
 	}
 }
 
 // iprobe checks for a matching message without receiving it.
-func (pr *Process) iprobe(srcWorld, tag int, ctx int32) (bool, Status) {
-	pr.rpi.Advance(pr.P, false)
+func (pr *Process) iprobe(srcWorld, tag int, ctx int32) (bool, Status, error) {
+	if err := pr.rpi.Advance(pr.P, false); err != nil {
+		return false, Status{}, err
+	}
 	spec := &Request{srcWorld: srcWorld, tag: tag, ctx: ctx}
 	for i := range pr.unexpected {
 		m := &pr.unexpected[i]
@@ -401,18 +411,24 @@ func (pr *Process) iprobe(srcWorld, tag int, ctx int32) (bool, Status) {
 				Source: int(m.env.Rank),
 				Tag:    int(m.env.Tag),
 				Count:  m.env.Length,
-			}
+			}, nil
 		}
 	}
-	return false, Status{}
+	return false, Status{}, nil
 }
 
 // probe blocks until a matching message is available.
-func (pr *Process) probe(srcWorld, tag int, ctx int32) Status {
+func (pr *Process) probe(srcWorld, tag int, ctx int32) (Status, error) {
 	for {
-		if ok, st := pr.iprobe(srcWorld, tag, ctx); ok {
-			return st
+		ok, st, err := pr.iprobe(srcWorld, tag, ctx)
+		if err != nil {
+			return st, err
 		}
-		pr.rpi.Advance(pr.P, true)
+		if ok {
+			return st, nil
+		}
+		if err := pr.rpi.Advance(pr.P, true); err != nil {
+			return Status{}, err
+		}
 	}
 }

@@ -58,11 +58,14 @@ func (l *loopRPI) Send(dest int, env rpi.Envelope, body []byte, onQueued func())
 	}
 }
 
-func (l *loopRPI) Advance(p *sim.Proc, block bool) {
+func (l *loopRPI) Advance(p *sim.Proc, block bool) error {
 	if block {
 		l.cond.Wait(p)
 	}
+	return nil
 }
+
+func (l *loopRPI) Abort(p *sim.Proc) {}
 
 // run spawns n middleware processes over a loop fabric and executes fn
 // on each.

@@ -11,6 +11,7 @@ type Barrier struct {
 	arrived int
 	gen     int
 	cond    *sim.Cond
+	wakers  []func()
 }
 
 // NewBarrier returns a barrier for n parties.
@@ -24,12 +25,40 @@ func (b *Barrier) Arrive(p *sim.Proc) {
 	gen := b.gen
 	b.arrived++
 	if b.arrived == b.n {
-		b.arrived = 0
-		b.gen++
-		b.cond.Broadcast()
+		b.complete()
 		return
 	}
 	for b.gen == gen {
 		b.cond.Wait(p)
 	}
+}
+
+// ArriveFunc registers one arrival without blocking and returns a
+// completion check. If the rendezvous is still open, wake is retained
+// and invoked (in kernel context) when the last party arrives, so a
+// caller parked on a different condition can re-check. The caller must
+// keep servicing its module until the check holds — this is how a
+// process waiting out the MeshInit rendezvous keeps answering a
+// recovering peer's handshake instead of deadlocking it.
+func (b *Barrier) ArriveFunc(wake func()) func() bool {
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.complete()
+		return func() bool { return true }
+	}
+	if wake != nil {
+		b.wakers = append(b.wakers, wake)
+	}
+	return func() bool { return b.gen != gen }
+}
+
+func (b *Barrier) complete() {
+	b.arrived = 0
+	b.gen++
+	b.cond.Broadcast()
+	for _, w := range b.wakers {
+		w()
+	}
+	b.wakers = nil
 }

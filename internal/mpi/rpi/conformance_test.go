@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/mpi"
 	"repro/internal/mpi/rpi"
@@ -113,6 +114,56 @@ func runWorld(t *testing.T, b backend, n int, loss float64,
 		}
 	}
 	return modules
+}
+
+// runWorldMods is runWorld with the modules exposed to the per-rank
+// program, so recovery tests can kill transport sessions mid-protocol.
+func runWorldMods(t *testing.T, b backend, n int, loss float64,
+	fn func(mods []rpi.RPI, pr *mpi.Process, comm *mpi.Comm) error) {
+	t.Helper()
+	k := sim.New(1)
+	net := netsim.NewNetwork(k)
+	lp := netsim.DefaultLinkParams()
+	lp.LossRate = loss
+	net.SetDefaultLinkParams(lp)
+	modules := b.build(k, net, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		rank := i
+		k.Spawn(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
+			pr := mpi.NewProcess(p, rank, n, modules[rank], 0)
+			comm, err := pr.Init()
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			if err := fn(modules, pr, comm); err != nil {
+				errs[rank] = err
+			}
+			if err := pr.Finalize(); err != nil && errs[rank] == nil {
+				errs[rank] = err
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("%s: %v", b.name, err)
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("%s rank %d: %v", b.name, r, err)
+		}
+	}
+}
+
+// kill destroys rank's transport session to peer, as the chaos
+// harness's AssocKill fault does. Every backend must support it.
+func kill(t *testing.T, mods []rpi.RPI, rank, peer int) {
+	t.Helper()
+	k, ok := mods[rank].(interface{ KillSession(peer int) })
+	if !ok {
+		t.Fatalf("module %T does not implement KillSession", mods[rank])
+	}
+	k.KillSession(peer)
 }
 
 func pattern(n int, salt byte) []byte {
@@ -359,6 +410,72 @@ func TestConformanceUnderLoss(t *testing.T) {
 					}
 				}
 				return nil
+			})
+		})
+	}
+}
+
+// A session killed mid-rendezvous must recover: the sender posts a
+// long (rendezvous) Isend, its transport session dies before the
+// handshake can finish, and exactly-once replay across the reconnect
+// must still deliver the full payload once the receiver posts.
+func TestConformanceKillMidRendezvous(t *testing.T) {
+	for _, b := range backends() {
+		t.Run(b.name, func(t *testing.T) {
+			runWorldMods(t, b, 2, 0, func(mods []rpi.RPI, pr *mpi.Process, comm *mpi.Comm) error {
+				const size = 300 << 10
+				if comm.Rank() == 0 {
+					req, err := comm.Isend(1, 0, pattern(size, 5))
+					if err != nil {
+						return err
+					}
+					// The rendezvous request is in flight (or queued);
+					// killing the session now forces the recovery layer to
+					// redial and replay it.
+					kill(t, mods, 0, 1)
+					_, err = comm.Wait(req)
+					return err
+				}
+				pr.P.Sleep(20 * time.Millisecond)
+				buf := make([]byte, size)
+				st, err := comm.Recv(0, 0, buf)
+				if err != nil {
+					return err
+				}
+				if st.Count != size {
+					return fmt.Errorf("count %d", st.Count)
+				}
+				return checkPattern(buf, 5)
+			})
+		})
+	}
+}
+
+// A session killed mid-handshake must recover: the synchronous-send
+// handshake (KindSync out, KindSyncAck back) is interrupted on both
+// sides — the sender kills its session right after posting, and the
+// receiver kills its own side before posting the receive — so the
+// reconnect races the handshake in both directions.
+func TestConformanceKillMidHandshake(t *testing.T) {
+	for _, b := range backends() {
+		t.Run(b.name, func(t *testing.T) {
+			runWorldMods(t, b, 2, 0, func(mods []rpi.RPI, pr *mpi.Process, comm *mpi.Comm) error {
+				if comm.Rank() == 0 {
+					req, err := comm.Issend(1, 1, pattern(512, 3))
+					if err != nil {
+						return err
+					}
+					kill(t, mods, 0, 1)
+					_, err = comm.Wait(req)
+					return err
+				}
+				pr.P.Sleep(5 * time.Millisecond)
+				kill(t, mods, 1, 0)
+				buf := make([]byte, 512)
+				if _, err := comm.Recv(0, 1, buf); err != nil {
+					return err
+				}
+				return checkPattern(buf, 3)
 			})
 		})
 	}

@@ -23,6 +23,7 @@ type Engine struct {
 	self    *sim.Proc
 	cond    *sim.Cond
 	dirty   bool
+	err     error
 }
 
 // SetupEngine initializes the engine at module construction time.
@@ -51,6 +52,18 @@ func (e *Engine) Notify() {
 	e.dirty = true
 	e.cond.Broadcast()
 }
+
+// Fail records a terminal module error (session recovery exhausted).
+// The first error sticks; every subsequent Advance returns it.
+func (e *Engine) Fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+	e.Notify()
+}
+
+// Err returns the sticky terminal error, if any.
+func (e *Engine) Err() error { return e.err }
 
 // CountSend records one outbound message of n body bytes and charges
 // the send-side CPU cost.
@@ -88,7 +101,7 @@ func (e *Engine) Loop(p *sim.Proc, block bool, nfds int, pump func() bool) {
 			p.Sleep(d)
 		}
 		progress := pump()
-		if progress || !block {
+		if progress || !block || e.err != nil {
 			return
 		}
 		if e.dirty {
@@ -99,6 +112,30 @@ func (e *Engine) Loop(p *sim.Proc, block bool, nfds int, pump func() bool) {
 	}
 }
 
+// LoopUntil is Loop with an external completion condition instead of a
+// progress requirement: it pumps until stop() holds (or the module
+// fails terminally), parking between transport events. MeshInit's
+// final rendezvous runs on it so a process waiting for slower peers
+// keeps serving inbound traffic — a peer recovering from a session
+// kill during bring-up needs its redial handshake answered even by
+// ranks already done with their own setup.
+func (e *Engine) LoopUntil(p *sim.Proc, nfds int, stop func() bool, pump func() bool) {
+	for !stop() && e.err == nil {
+		e.dirty = false
+		if d := e.Cost.PollCost(nfds); d > 0 {
+			p.Sleep(d)
+		}
+		pump()
+		if stop() || e.err != nil {
+			return
+		}
+		if e.dirty {
+			continue // socket state changed while we were scanning
+		}
+		e.cond.Wait(p)
+	}
+}
+
 // MeshInit runs the connection bring-up shared by all modules: a
 // rendezvous so every listener exists before anyone connects, a dial
 // to every higher rank announcing ourselves with a hello envelope
@@ -106,9 +143,18 @@ func (e *Engine) Loop(p *sim.Proc, block bool, nfds int, pump func() bool) {
 // accept step for the remaining peers, and a final rendezvous so no
 // MPI traffic precedes full connectivity — the paper's §3.4.3 MPI_Init
 // fix.
+//
+// The final rendezvous must not park the process dead: a session kill
+// during bring-up forces one rank back into recovery, and its redial
+// handshake needs the surviving side to keep pumping. wake is the
+// module's Notify hook (invoked when the last party arrives) and wait
+// drives the module until the passed check holds, typically via
+// Engine.LoopUntil with the module's Advance pump.
 func MeshInit(p *sim.Proc, b *Barrier, rank, size int,
 	dial func(peer int, hello Envelope) error,
-	accept func() error) error {
+	accept func() error,
+	wake func(),
+	wait func(done func() bool) error) error {
 	b.Arrive(p)
 	hello := Envelope{Kind: KindHello, Rank: int32(rank)}
 	for j := rank + 1; j < size; j++ {
@@ -119,6 +165,9 @@ func MeshInit(p *sim.Proc, b *Barrier, rank, size int,
 	if err := accept(); err != nil {
 		return err
 	}
-	b.Arrive(p)
-	return nil
+	if wait == nil {
+		b.Arrive(p)
+		return nil
+	}
+	return wait(b.ArriveFunc(wake))
 }

@@ -223,6 +223,35 @@ func (s *MsgSender) finishMsg(key MsgKey, msg *msgOut) {
 	}
 }
 
+// DropPeer discards all outbound state destined for peer rank: queued
+// and in-progress messages, control frames, and active keys. Used when
+// the session to that peer dies — retained messages are replayed from
+// the session layer on a fresh transport session, so partially written
+// frames must not linger here.
+func (s *MsgSender) DropPeer(rank int) {
+	for key := range s.inProg {
+		if key.Rank == rank {
+			delete(s.inProg, key)
+		}
+	}
+	for key := range s.queued {
+		if key.Rank == rank {
+			delete(s.queued, key)
+		}
+	}
+	for key := range s.ctrlQ {
+		if key.Rank == rank {
+			delete(s.ctrlQ, key)
+		}
+	}
+	for i := 0; i < len(s.active); i++ {
+		if s.active[i].Rank == rank {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			i--
+		}
+	}
+}
+
 // FlushActive flushes every (peer, stream) with pending work, in
 // arrival order, and reports whether any transport message was
 // accepted.
@@ -271,6 +300,22 @@ type Reassembler struct {
 // NewReassembler builds a reassembler charging frame errors to ctrs.
 func NewReassembler(ctrs Counters) *Reassembler {
 	return &Reassembler{ctrs: ctrs, rstate: make(map[RecvKey]*recvState)}
+}
+
+// Drop discards all partial reassembly state for transport identity id
+// (every stream), releasing any partially accumulated body buffers.
+// Used when the session owning that identity dies: replayed messages
+// arrive as fresh, complete chunk trains on the new session.
+func (r *Reassembler) Drop(id int64) {
+	for key, rs := range r.rstate {
+		if key.ID != id {
+			continue
+		}
+		if rs.body != nil {
+			wire.PutBuf(rs.body)
+		}
+		delete(r.rstate, key)
+	}
 }
 
 // Feed processes one transport message on (peer, stream) key and

@@ -44,6 +44,11 @@ func (o *observedRPI) Send(dest int, env Envelope, body []byte, onQueued func())
 	o.inner.Send(dest, env, body, onQueued)
 }
 
-func (o *observedRPI) Advance(p *sim.Proc, block bool) { o.inner.Advance(p, block) }
-func (o *observedRPI) Finalize(p *sim.Proc)            { o.inner.Finalize(p) }
-func (o *observedRPI) Counters() Counters              { return o.inner.Counters() }
+func (o *observedRPI) Advance(p *sim.Proc, block bool) error { return o.inner.Advance(p, block) }
+func (o *observedRPI) Finalize(p *sim.Proc)                  { o.inner.Finalize(p) }
+func (o *observedRPI) Abort(p *sim.Proc)                     { o.inner.Abort(p) }
+func (o *observedRPI) Counters() Counters                    { return o.inner.Counters() }
+
+// Unwrap exposes the wrapped module so capability probes (e.g. the
+// chaos harness's session killer) can reach through the observer.
+func (o *observedRPI) Unwrap() RPI { return o.inner }

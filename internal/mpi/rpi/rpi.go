@@ -18,13 +18,15 @@ type Kind uint8
 
 // Envelope kinds.
 const (
-	KindShort    Kind = iota // eager short message: body follows
-	KindSync                 // eager synchronous short: body follows, ACK expected
-	KindSyncAck              // completes a synchronous send
-	KindLongReq              // rendezvous request: no body, Length = full size
-	KindLongAck              // receiver ready: sender may transmit the body
-	KindLongBody             // rendezvous body: body follows
-	KindHello                // RPI-internal: connection setup barrier
+	KindShort        Kind = iota // eager short message: body follows
+	KindSync                     // eager synchronous short: body follows, ACK expected
+	KindSyncAck                  // completes a synchronous send
+	KindLongReq                  // rendezvous request: no body, Length = full size
+	KindLongAck                  // receiver ready: sender may transmit the body
+	KindLongBody                 // rendezvous body: body follows
+	KindHello                    // RPI-internal: connection setup barrier
+	KindReconnect                // RPI-internal: session recovery handshake (carries SEpoch/SAck)
+	KindReconnectAck             // RPI-internal: completes a recovery handshake
 )
 
 // HasBody reports whether a message of this kind carries a body on the
@@ -50,6 +52,10 @@ func (k Kind) String() string {
 		return "longbody"
 	case KindHello:
 		return "hello"
+	case KindReconnect:
+		return "reconnect"
+	case KindReconnectAck:
+		return "reconnectack"
 	}
 	return "?"
 }
@@ -64,10 +70,23 @@ type Envelope struct {
 	Rank    int32  // world rank of the sender
 	Kind    Kind   // message kind (LAM's flags field)
 	Seq     uint64 // sender-local sequence number; ACKs echo it
+
+	// Session-recovery fields, managed by the per-peer session layer
+	// inside each module (the middleware and the Observe boundary never
+	// see them set). SSeq is the per-peer dense message sequence number
+	// (1-based; 0 marks unsessioned control traffic such as hellos and
+	// the recovery handshake itself). SAck piggybacks the sender's
+	// last-delivered-in-order SSeq for this peer, pruning the peer's
+	// retention. SEpoch counts recovery handshakes on this peering; on
+	// KindReconnect/KindReconnectAck, SAck carries the cumulative
+	// delivered seq the replay negotiates from.
+	SSeq   uint64
+	SAck   uint64
+	SEpoch uint32
 }
 
 // EnvelopeSize is the fixed wire size of an encoded envelope.
-const EnvelopeSize = 32
+const EnvelopeSize = 48
 
 // Encode serializes the envelope.
 func (e *Envelope) Encode() []byte {
@@ -78,6 +97,9 @@ func (e *Envelope) Encode() []byte {
 	w.U32(uint32(e.Rank))
 	w.U32(uint32(e.Kind))
 	w.U64(e.Seq)
+	w.U64(e.SSeq)
+	w.U64(e.SAck)
+	w.U32(e.SEpoch)
 	w.Pad(EnvelopeSize)
 	return w.B
 }
@@ -92,6 +114,9 @@ func DecodeEnvelope(b []byte) (Envelope, error) {
 	e.Rank = int32(r.U32())
 	e.Kind = Kind(r.U32())
 	e.Seq = r.U64()
+	e.SSeq = r.U64()
+	e.SAck = r.U64()
+	e.SEpoch = r.U32()
 	return e, r.Err()
 }
 
@@ -119,10 +144,18 @@ type RPI interface {
 	// Advance progresses outstanding transport work, invoking the
 	// delivery callback for anything that arrived. With block set it
 	// parks the process until there is at least potential progress.
-	Advance(p *sim.Proc, block bool)
+	// A non-nil error is terminal (session recovery exhausted its
+	// redial budget): the job must abort via Abort, not Finalize.
+	Advance(p *sim.Proc, block bool) error
 
 	// Finalize flushes and tears down transport state.
 	Finalize(p *sim.Proc)
+
+	// Abort abandons all transport state abortively (no handshakes, no
+	// flushes) after a terminal Advance error, releasing listener and
+	// socket resources so peers redialing this rank fail fast instead
+	// of hanging the simulation.
+	Abort(p *sim.Proc)
 
 	// Counters exposes per-module statistics for reports and tests.
 	// Iteration helpers on the returned Counters are deterministic.

@@ -79,6 +79,12 @@ func (q *OutQueue) Flush(tryWrite func([]byte) (int, error), onError func(error)
 	}
 }
 
+// Reset discards all queued and partially written messages. Used when
+// the connection dies: unacknowledged messages are replayed from the
+// session layer's retention on the replacement connection, so nothing
+// here is worth keeping (bodies are caller-owned and not pooled).
+func (q *OutQueue) Reset() { q.wq, q.cur = nil, nil }
+
 // StreamFramer is the per-connection inbound state machine for
 // byte-stream transports: EnvelopeSize envelope bytes, then Length
 // body bytes, repeated.
@@ -88,6 +94,15 @@ type StreamFramer struct {
 	env     Envelope
 	haveEnv bool
 	body    []byte
+}
+
+// Reset abandons any partially framed message (the connection died
+// mid-message), releasing the pooled body buffer.
+func (f *StreamFramer) Reset() {
+	if f.body != nil {
+		wire.PutBuf(f.body)
+	}
+	*f = StreamFramer{}
 }
 
 // Drain pulls every available byte through the framing state machine,

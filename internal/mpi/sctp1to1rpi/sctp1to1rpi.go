@@ -9,18 +9,23 @@
 // one-to-many socket itself rather than from SCTP's other features.
 //
 // The progression machinery (counters, cost charging, the Advance
-// loop, the Option B/C writer lock, chunk reassembly) lives in the
-// shared rpi.Engine/rpi.MsgSender/rpi.Reassembler; this file is only
-// the one-to-one socket binding.
+// loop, the Option B/C writer lock, chunk reassembly, session
+// recovery) lives in the shared rpi.Engine/rpi.MsgSender/
+// rpi.Reassembler/rpi.Sessions; this file is only the one-to-one
+// socket binding. A dead association is redialed as a fresh one-to-one
+// socket; the KindReconnect handshake and collision tie-break work as
+// in the TCP module.
 package sctp1to1rpi
 
 import (
-	"fmt"
+	"errors"
 
 	"repro/internal/mpi/rpi"
 	"repro/internal/netsim"
 	"repro/internal/sctp"
 	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // DefaultPort is the mesh listener port.
@@ -38,6 +43,11 @@ type Options struct {
 	// OptionC interleaves bodiless control envelopes between body
 	// chunks, distinguished by PPID (see sctprpi.Options).
 	OptionC bool
+
+	// RedialBudget and DropReplayEvery configure the session recovery
+	// layer (see rpi.SessionConfig).
+	RedialBudget    int
+	DropReplayEvery int
 }
 
 // Module is one process's one-to-one SCTP RPI instance.
@@ -48,11 +58,15 @@ type Module struct {
 	addrs   [][]netsim.Addr // rank → all interface addresses (multihoming)
 	barrier *rpi.Barrier
 
-	listener *sctp.OneToOneListener
-	peers    []*sctp.Conn // rank → dedicated association
-	streams  int
-	sender   *rpi.MsgSender
-	recv     *rpi.Reassembler
+	listener  *sctp.OneToOneListener
+	peers     []*sctp.Conn // rank → dedicated association; nil while down
+	streams   int
+	sender    *rpi.MsgSender
+	recv      *rpi.Reassembler
+	sess      *rpi.Sessions
+	pending   []*sctp.Conn // accepted, awaiting their first envelope
+	helloSeen []bool       // lower ranks confirmed during bring-up (distinct)
+	hellos    int
 }
 
 // New builds the module for one rank. addrs maps each world rank to
@@ -82,6 +96,14 @@ func New(stack *sctp.Stack, rank int, addrs [][]netsim.Addr, barrier *rpi.Barrie
 	return m
 }
 
+// lost reports whether err is a session-loss signal: aborts and
+// timeouts, but not graceful teardown (ErrClosed), which Finalize
+// produces.
+func lost(err error) bool {
+	return err != nil &&
+		(errors.Is(err, transport.ErrAborted) || errors.Is(err, transport.ErrTimeout))
+}
+
 // StreamFor exposes the TRC→stream mapping (for tests): same hash as
 // the one-to-many module, applied per-peer association.
 func (m *Module) StreamFor(context, tag int32) uint16 {
@@ -93,9 +115,20 @@ func (m *Module) StreamFor(context, tag int32) uint16 {
 
 // Init implements rpi.RPI: listener up, full mesh of one-to-one
 // associations established (lower ranks dial higher ranks), hello
-// exchange identifies accepted associations.
+// exchange identifies accepted associations. The accept phase is
+// pump-driven (inbound associations identify themselves through the
+// pending machinery) so a session kill during bring-up is detected and
+// recovered like any other: a killed dialer redials and announces
+// itself with KindReconnect instead of a hello, and the final
+// rendezvous keeps pumping so that handshake is answered even by ranks
+// already done with their own setup.
 func (m *Module) Init(p *sim.Proc) error {
 	m.BindProc(p)
+	m.helloSeen = make([]bool, m.Size)
+	m.sess = rpi.NewSessions(&m.Engine, p.Kernel(), m.Size, rpi.SessionConfig{
+		RedialBudget:    m.opts.RedialBudget,
+		DropReplayEvery: m.opts.DropReplayEvery,
+	})
 	l, err := m.stack.ListenOneToOneConfig(m.opts.Port, m.opts.SCTP)
 	if err != nil {
 		return err
@@ -118,24 +151,30 @@ func (m *Module) Init(p *sim.Proc) error {
 		return nil
 	}
 	accept := func() error {
-		for i := 0; i < m.Rank; i++ {
-			c, err := l.Accept(p)
-			if err != nil {
+		for m.hellos < m.Rank {
+			if err := m.Advance(p, true); err != nil {
 				return err
 			}
-			msg, err := c.RecvMsg(p)
-			if err != nil {
-				return err
-			}
-			env, derr := rpi.DecodeEnvelope(msg.Data)
-			if derr != nil || env.Kind != rpi.KindHello {
-				return fmt.Errorf("sctp1to1rpi: bad hello")
-			}
-			m.attach(int(env.Rank), c)
 		}
 		return nil
 	}
-	return rpi.MeshInit(p, m.barrier, m.Rank, m.Size, dial, accept)
+	wait := func(done func() bool) error {
+		m.LoopUntil(p, m.Size-1, done, func() bool { return m.pump(p) })
+		return m.Err()
+	}
+	return rpi.MeshInit(p, m.barrier, m.Rank, m.Size, dial, accept, m.Notify, wait)
+}
+
+// markHello records that lower rank r is confirmed for the bring-up
+// barrier: its hello arrived, or (if a session kill hit the bring-up)
+// its replacement association identified itself with KindReconnect —
+// hellos are unsessioned and never replayed, so the recovery handshake
+// stands in for a lost one.
+func (m *Module) markHello(r int) {
+	if r >= 0 && r < m.Rank && !m.helloSeen[r] {
+		m.helloSeen[r] = true
+		m.hellos++
+	}
 }
 
 // attach wires one association in. Accepted Conns share the listener's
@@ -148,60 +187,255 @@ func (m *Module) attach(rank int, c *sctp.Conn) {
 }
 
 func (m *Module) trySend(key rpi.MsgKey, ppid uint32, data []byte) error {
-	return m.peers[key.Rank].TrySendMsg(key.Stream, ppid, data)
+	c := m.peers[key.Rank]
+	if c == nil {
+		return sctp.ErrAborted
+	}
+	return c.TrySendMsg(key.Stream, ppid, data)
 }
 
 // Send implements rpi.RPI: same Option B/C writer lock as the
-// one-to-many module, keyed by (peer, stream).
+// one-to-many module, keyed by (peer, stream). The session layer
+// retains every message until acknowledged; the retained copy is the
+// buffered-send completion point, so onQueued fires here. While the
+// session is down the message is retention-only.
 func (m *Module) Send(dest int, env rpi.Envelope, body []byte, onQueued func()) {
-	key := rpi.MsgKey{Rank: dest, Stream: m.StreamFor(env.Context, env.Tag)}
+	up := m.sess.StampOut(dest, &env, body)
 	m.CountSend(len(body))
-	m.sender.Send(key, env, body, onQueued)
+	if onQueued != nil {
+		onQueued()
+	}
+	if !up {
+		return
+	}
+	key := rpi.MsgKey{Rank: dest, Stream: m.StreamFor(env.Context, env.Tag)}
+	m.sender.Send(key, env, body, nil)
 }
 
 // Advance implements rpi.RPI: one select()-style pass over all N-1
 // associations — the descriptor scan is back (poll cost linear in
 // Size-1, like the TCP module) even though each association is
-// message-oriented and multistreamed.
-func (m *Module) Advance(p *sim.Proc, block bool) {
-	m.Loop(p, block, m.Size-1, func() bool {
-		progress := false
-		for r, c := range m.peers {
-			if c == nil {
-				continue
-			}
-			for {
-				msg, err := c.TryRecvMsg()
-				if err != nil {
-					break
-				}
-				if m.handleInbound(p, r, msg) {
+// message-oriented and multistreamed. The pass also services pending
+// inbound reconnections and due redials.
+func (m *Module) Advance(p *sim.Proc, block bool) error {
+	m.Loop(p, block, m.Size-1, func() bool { return m.pump(p) })
+	return m.Err()
+}
+
+// pump is one progress pass: pending associations, per-peer reads,
+// dead-association detection, due redials, writer flush.
+func (m *Module) pump(p *sim.Proc) bool {
+	progress := false
+	if m.servicePending(p) {
+		progress = true
+	}
+	for r := range m.peers {
+		c := m.peers[r]
+		for c != nil && m.peers[r] == c {
+			msg, err := c.TryRecvMsg()
+			if err != nil {
+				if lost(err) {
+					m.onConnDeath(r)
 					progress = true
 				}
+				break
+			}
+			if m.handleInbound(p, r, msg) {
+				progress = true
 			}
 		}
-		if m.sender.FlushActive() {
+		// A down session redials here whether it went down this pass or
+		// a failed earlier attempt left the slot empty (backoff timers
+		// re-arm the notify that gets us back into this pass).
+		if r != m.Rank && m.peers[r] == nil && m.sess.RedialDue(r) {
+			m.redial(p, r)
 			progress = true
 		}
+	}
+	if m.sender.FlushActive() {
+		progress = true
+	}
+	return progress
+}
+
+// onConnDeath handles an abortive association loss: tear down per-peer
+// middleware state and either start the recovery episode or, if a
+// replacement association died before its handshake completed, charge
+// a failed redial attempt.
+func (m *Module) onConnDeath(r int) {
+	m.dropPeer(r)
+	if m.sess.MarkLost(r) {
+		m.sess.ScheduleRedial(r)
+	} else {
+		m.sess.AttemptFailed(r)
+	}
+}
+
+// dropPeer kills the association (idempotent when already dead) and
+// discards all per-peer sender/reassembly state; retained messages
+// replay on the replacement association.
+func (m *Module) dropPeer(r int) {
+	if c := m.peers[r]; c != nil {
+		c.Kill()
+		m.peers[r] = nil
+	}
+	m.sender.DropPeer(r)
+	m.recv.Drop(int64(r))
+}
+
+// redial runs one redial attempt: claim budget (terminal error when
+// exhausted), dial a fresh one-to-one socket blocking in process
+// context, and open the KindReconnect handshake on it.
+func (m *Module) redial(p *sim.Proc, r int) {
+	if err := m.sess.BeginAttempt(r); err != nil {
+		m.Fail(err)
+		return
+	}
+	c, err := m.stack.DialConfig(p, m.opts.SCTP, m.addrs[r], m.opts.Port, m.streams)
+	if err != nil {
+		m.sess.AttemptFailed(r)
+		return
+	}
+	m.sess.DialSucceeded(r)
+	m.attach(r, c)
+	m.sendHandshake(r, m.sess.ReconnectEnv(r))
+}
+
+// sendHandshake queues one recovery handshake envelope (stream 0,
+// unsessioned) through the shared writer.
+func (m *Module) sendHandshake(r int, env rpi.Envelope) {
+	m.sender.Send(rpi.MsgKey{Rank: r, Stream: 0}, env, nil, nil)
+}
+
+// replayGap queues the negotiated retention gap on the replacement
+// association, each message on its original TRC stream. Replays bypass
+// CountSend and the observer: the original send was already counted.
+func (m *Module) replayGap(r int, gap []rpi.Retained) {
+	for _, rt := range gap {
+		key := rpi.MsgKey{Rank: r, Stream: m.StreamFor(rt.Env.Context, rt.Env.Tag)}
+		m.sender.Send(key, rt.Env, rt.Body, nil)
+	}
+}
+
+// servicePending accepts inbound associations and reads each one's
+// first message, which must announce the dialing rank: a KindHello
+// during mesh bring-up (the pump-driven form of the accept loop) or a
+// KindReconnect opening session recovery. Valid reconnects are adopted
+// as the peer's replacement association (unless our own dial wins the
+// collision tie-break); anything else is aborted.
+func (m *Module) servicePending(p *sim.Proc) bool {
+	progress := false
+	for {
+		c, err := m.listener.TryAccept()
+		if err != nil {
+			break
+		}
+		c.SetNotify(m.Notify)
+		m.pending = append(m.pending, c)
+		progress = true
+	}
+	if len(m.pending) == 0 {
 		return progress
-	})
+	}
+	kept := m.pending[:0]
+	for _, c := range m.pending {
+		msg, err := c.TryRecvMsg()
+		if err != nil {
+			if errors.Is(err, transport.ErrWouldBlock) {
+				kept = append(kept, c)
+			}
+			continue // lost or closed before identifying itself: drop
+		}
+		progress = true
+		env, derr := rpi.DecodeEnvelope(msg.Data)
+		wire.PutBuf(msg.Data)
+		r := int(env.Rank)
+		if derr != nil || r < 0 || r >= m.Size || r == m.Rank {
+			c.Abort()
+			continue
+		}
+		if env.Kind == rpi.KindHello {
+			// Mesh bring-up: a lower rank announcing its dialed
+			// association. A hello for an occupied slot is stray.
+			if r >= m.Rank || m.peers[r] != nil {
+				c.Abort()
+				continue
+			}
+			m.attach(r, c)
+			m.markHello(r)
+			continue
+		}
+		if env.Kind != rpi.KindReconnect {
+			c.Abort()
+			continue
+		}
+		if m.peers[r] != nil && m.sess.Get(r).State != rpi.SessUp && r > m.Rank {
+			// Redial collision: both sides dialed, the lower rank's dial
+			// wins, and that is ours — reject theirs.
+			c.Abort()
+			continue
+		}
+		if m.peers[r] != nil {
+			// The peer noticed a loss we have not seen yet, or we lost
+			// the collision tie-break: drop ours silently, adopt theirs.
+			m.sess.MarkLost(r)
+			m.dropPeer(r)
+		}
+		m.attach(r, c)
+		ack, gap := m.sess.OnReconnect(r, env)
+		m.sendHandshake(r, ack)
+		m.replayGap(r, gap)
+		m.sess.Resume(r)
+		m.markHello(r)
+	}
+	m.pending = kept
+	return progress
 }
 
 // handleInbound feeds one data message into the per-(peer, stream)
-// reassembler. Association events surface as errors from TryRecvMsg,
-// so only data reaches here; the reassembly key uses the peer rank
-// since each rank owns a dedicated association.
+// reassembler and dispatches the result: recovery handshakes are
+// handled here, everything else passes receiver-side session
+// processing (retention pruning, duplicate suppression) before
+// delivery.
 func (m *Module) handleInbound(p *sim.Proc, rank int, msg *sctp.Message) bool {
 	key := rpi.RecvKey{ID: int64(rank), Stream: msg.Stream}
 	res, env, body := m.recv.Feed(key, msg.PPID, msg.Data)
 	switch res {
 	case rpi.FeedMessage:
+		switch env.Kind {
+		case rpi.KindReconnect:
+			ack, gap := m.sess.OnReconnect(rank, env)
+			m.sendHandshake(rank, ack)
+			m.replayGap(rank, gap)
+			m.sess.Resume(rank)
+			return true
+		case rpi.KindReconnectAck:
+			m.replayGap(rank, m.sess.OnReconnectAck(rank, env))
+			m.sess.Resume(rank)
+			return true
+		}
+		if !m.sess.Accept(rank, &env) {
+			if body != nil {
+				wire.PutBuf(body)
+			}
+			return true
+		}
 		m.Complete(p, env, body)
 		return true
 	case rpi.FeedHello:
 		return true // connection already identified at Init
 	default:
 		return false
+	}
+}
+
+// KillSession implements the chaos harness's session-kill hook: destroy
+// the association to peer silently (no ABORT chunk — as if the host
+// vanished), in kernel context. Detection and recovery run later from
+// the owning process's Advance.
+func (m *Module) KillSession(peer int) {
+	if c := m.peers[peer]; c != nil {
+		c.Kill()
 	}
 }
 
@@ -213,6 +447,29 @@ func (m *Module) Finalize(p *sim.Proc) {
 			c.Close()
 		}
 	}
+	for _, c := range m.pending {
+		c.Close()
+	}
+	if m.listener != nil {
+		m.listener.Close()
+	}
+}
+
+// Abort implements rpi.RPI: abortive teardown after a terminal error.
+// Associations are aborted (peers fail fast on the ABORT chunk) and
+// the listening socket is released so redials aimed at this rank are
+// refused with an out-of-the-blue ABORT.
+func (m *Module) Abort(p *sim.Proc) {
+	for r, c := range m.peers {
+		if c != nil {
+			c.Abort()
+			m.peers[r] = nil
+		}
+	}
+	for _, c := range m.pending {
+		c.Abort()
+	}
+	m.pending = nil
 	if m.listener != nil {
 		m.listener.Close()
 	}

@@ -18,9 +18,13 @@
 //     association for the Figure 12 head-of-line ablation.
 //
 // The progression machinery (counters, cost charging, the Advance
-// loop, the Option B/C writer lock, chunk reassembly) lives in the
-// shared rpi.Engine/rpi.MsgSender/rpi.Reassembler; this file is only
-// the one-to-many socket binding.
+// loop, the Option B/C writer lock, chunk reassembly, session
+// recovery) lives in the shared rpi.Engine/rpi.MsgSender/
+// rpi.Reassembler/rpi.Sessions; this file is only the one-to-many
+// socket binding. Because both endpoints keep fixed ports, a redial
+// from the same socket restarts the dead association in place on the
+// peer (RFC 4960 §5.2): the survivor sees NotifyRestart with the same
+// association id rather than a fresh association.
 package sctprpi
 
 import (
@@ -28,6 +32,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sctp"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // DefaultPort is the one-to-many socket port.
@@ -52,6 +57,11 @@ type Options struct {
 	// option the paper judged most concurrent but did not implement.
 	// Off by default (the paper shipped Option B).
 	OptionC bool
+
+	// RedialBudget and DropReplayEvery configure the session recovery
+	// layer (see rpi.SessionConfig).
+	RedialBudget    int
+	DropReplayEvery int
 }
 
 // Module is one process's SCTP RPI instance.
@@ -68,6 +78,8 @@ type Module struct {
 	streams     int
 	sender      *rpi.MsgSender
 	recv        *rpi.Reassembler
+	sess        *rpi.Sessions
+	helloSeen   []bool // peers confirmed during bring-up (distinct)
 	hellos      int
 }
 
@@ -111,6 +123,11 @@ func (m *Module) StreamFor(context, tag int32) uint16 {
 // Init implements rpi.RPI.
 func (m *Module) Init(p *sim.Proc) error {
 	m.BindProc(p)
+	m.helloSeen = make([]bool, m.Size)
+	m.sess = rpi.NewSessions(&m.Engine, p.Kernel(), m.Size, rpi.SessionConfig{
+		RedialBudget:    m.opts.RedialBudget,
+		DropReplayEvery: m.opts.DropReplayEvery,
+	})
 	sk, err := m.stack.SocketConfig(m.opts.Port, m.opts.SCTP)
 	if err != nil {
 		return err
@@ -132,59 +149,195 @@ func (m *Module) Init(p *sim.Proc) error {
 		m.rankByAssoc[id] = j
 		return sk.SendMsg(p, id, 0, 0, hello.Encode())
 	}
-	// The paper's §3.4.3 barrier: wait until a hello has arrived from
-	// every peer (acceptors learn the association→rank mapping from it
-	// and reply), then rendezvous globally so no process starts MPI
-	// traffic before all associations exist.
+	// The paper's §3.4.3 barrier: wait until every peer is confirmed —
+	// by its hello (acceptors learn the association→rank mapping from
+	// it and reply) or, if a session kill hit the bring-up, by a
+	// completed recovery handshake — then rendezvous globally so no
+	// process starts MPI traffic before all associations exist. The
+	// rendezvous itself keeps pumping (LoopUntil): a rank whose peer is
+	// still redialing must answer the recovery handshake.
 	accept := func() error {
 		for m.hellos < m.Size-1 {
-			m.Advance(p, true)
+			if err := m.Advance(p, true); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
-	return rpi.MeshInit(p, m.barrier, m.Rank, m.Size, dial, accept)
+	wait := func(done func() bool) error {
+		m.LoopUntil(p, 1, done, func() bool { return m.pump(p) })
+		return m.Err()
+	}
+	return rpi.MeshInit(p, m.barrier, m.Rank, m.Size, dial, accept, m.Notify, wait)
+}
+
+// markHello records that peer r is confirmed for the bring-up barrier:
+// its hello arrived, or a recovery handshake completed with it (the
+// hello's liveness-plus-mapping proof, for sessions killed mid-init —
+// hellos are unsessioned and never replayed, so the handshake must
+// stand in for a lost one).
+func (m *Module) markHello(r int) {
+	if r >= 0 && r < m.Size && r != m.Rank && !m.helloSeen[r] {
+		m.helloSeen[r] = true
+		m.hellos++
+	}
 }
 
 func (m *Module) trySend(key rpi.MsgKey, ppid uint32, data []byte) error {
-	return m.sock.TrySendMsg(m.assocByRank[key.Rank], key.Stream, ppid, data)
+	id := m.assocByRank[key.Rank]
+	if id == 0 {
+		return sctp.ErrAborted
+	}
+	return m.sock.TrySendMsg(id, key.Stream, ppid, data)
 }
 
 // Send implements rpi.RPI: pick the stream from the envelope's TRC and
 // queue behind any in-progress message on that (peer, stream). Under
 // Option C, bodiless control messages (ACKs) bypass the queue and are
 // interleaved between body chunks, distinguished on the wire by PPID.
+// The session layer retains every message until acknowledged; the
+// retained copy is the buffered-send completion point, so onQueued
+// fires here. While the session is down the message is retention-only.
 func (m *Module) Send(dest int, env rpi.Envelope, body []byte, onQueued func()) {
-	key := rpi.MsgKey{Rank: dest, Stream: m.StreamFor(env.Context, env.Tag)}
+	up := m.sess.StampOut(dest, &env, body)
 	m.CountSend(len(body))
-	m.sender.Send(key, env, body, onQueued)
+	if onQueued != nil {
+		onQueued()
+	}
+	if !up {
+		return
+	}
+	key := rpi.MsgKey{Rank: dest, Stream: m.StreamFor(env.Context, env.Tag)}
+	m.sender.Send(key, env, body, nil)
 }
 
 // Advance implements rpi.RPI: drain the one-to-many socket (no select;
 // messages arrive in network order and are demultiplexed on association
-// then stream), then flush writers. The poll cost covers a single
-// descriptor regardless of world size.
-func (m *Module) Advance(p *sim.Proc, block bool) {
-	m.Loop(p, block, 1, func() bool {
-		progress := false
-		for {
-			msg, err := m.sock.TryRecvMsg()
-			if err != nil {
-				break
-			}
-			if m.handleInbound(p, msg) {
-				progress = true
-			}
+// then stream), then flush writers and service due redials. The poll
+// cost covers a single descriptor regardless of world size.
+func (m *Module) Advance(p *sim.Proc, block bool) error {
+	m.Loop(p, block, 1, func() bool { return m.pump(p) })
+	return m.Err()
+}
+
+// pump is one progress pass: drain the socket, service due redials,
+// flush writers.
+func (m *Module) pump(p *sim.Proc) bool {
+	progress := false
+	for {
+		msg, err := m.sock.TryRecvMsg()
+		if err != nil {
+			break
 		}
-		if m.sender.FlushActive() {
+		if m.handleInbound(p, msg) {
 			progress = true
 		}
-		return progress
-	})
+	}
+	for r := 0; r < m.Size; r++ {
+		if r != m.Rank && m.assocByRank[r] == 0 && m.sess.RedialDue(r) {
+			m.redial(p, r)
+			progress = true
+		}
+	}
+	if m.sender.FlushActive() {
+		progress = true
+	}
+	return progress
+}
+
+// redial runs one redial attempt: claim budget (terminal error when
+// exhausted), reconnect from the same one-to-many socket blocking in
+// process context (on the peer this restarts the association in
+// place), and open the KindReconnect handshake.
+func (m *Module) redial(p *sim.Proc, r int) {
+	if err := m.sess.BeginAttempt(r); err != nil {
+		m.Fail(err)
+		return
+	}
+	id, err := m.sock.Connect(p, m.addrs[r], m.opts.Port, m.streams)
+	if err != nil {
+		m.sess.AttemptFailed(r)
+		return
+	}
+	m.sess.DialSucceeded(r)
+	m.assocByRank[r] = id
+	m.rankByAssoc[id] = r
+	m.sendHandshake(r, m.sess.ReconnectEnv(r))
+}
+
+// sendHandshake queues one recovery handshake envelope (stream 0,
+// unsessioned) through the shared writer.
+func (m *Module) sendHandshake(r int, env rpi.Envelope) {
+	m.sender.Send(rpi.MsgKey{Rank: r, Stream: 0}, env, nil, nil)
+}
+
+// replayGap queues the negotiated retention gap, each message on its
+// original TRC stream. Replays bypass CountSend and the observer: the
+// original send was already counted.
+func (m *Module) replayGap(r int, gap []rpi.Retained) {
+	for _, rt := range gap {
+		key := rpi.MsgKey{Rank: r, Stream: m.StreamFor(rt.Env.Context, rt.Env.Tag)}
+		m.sender.Send(key, rt.Env, rt.Body, nil)
+	}
+}
+
+// onAssocLost handles an abortive association loss (NotifyCommLost):
+// tear down per-peer state and either start the recovery episode or,
+// if a replacement association died before its handshake completed,
+// charge a failed redial attempt.
+func (m *Module) onAssocLost(id sctp.AssocID) {
+	r, ok := m.rankByAssoc[id]
+	if !ok {
+		return
+	}
+	delete(m.rankByAssoc, id)
+	m.assocByRank[r] = 0
+	m.sender.DropPeer(r)
+	m.recv.Drop(int64(id))
+	if m.sess.MarkLost(r) {
+		m.sess.ScheduleRedial(r)
+	} else {
+		m.sess.AttemptFailed(r)
+	}
+}
+
+// onAssocRestart handles an in-place association restart
+// (NotifyRestart, RFC 4960 §5.2): the peer redialed us after losing
+// its half of the association. Same association id, but all transfer
+// state reset — so partial reassembly and queued output are garbage.
+// The session goes Suspect and waits for the peer's KindReconnect (no
+// redial from this side: the peer brought the replacement session).
+func (m *Module) onAssocRestart(id sctp.AssocID) {
+	r, ok := m.rankByAssoc[id]
+	if !ok {
+		return
+	}
+	m.sender.DropPeer(r)
+	m.recv.Drop(int64(id))
+	m.sess.MarkLost(r)
+}
+
+// adoptAssoc binds rank r to association id, retiring any previous
+// association (an implicit loss if we had not noticed it yet).
+func (m *Module) adoptAssoc(r int, id sctp.AssocID) {
+	old := m.assocByRank[r]
+	if old == id {
+		return
+	}
+	if old != 0 {
+		m.sess.MarkLost(r)
+		m.sender.DropPeer(r)
+		m.recv.Drop(int64(old))
+		delete(m.rankByAssoc, old)
+		_ = m.sock.KillAssoc(old)
+	}
+	m.assocByRank[r] = id
+	m.rankByAssoc[id] = r
 }
 
 // handleInbound processes one socket message: notification, hello,
-// envelope, or body chunk. Returns whether middleware-visible progress
-// happened.
+// recovery handshake, envelope, or body chunk. Returns whether
+// middleware-visible progress happened.
 func (m *Module) handleInbound(p *sim.Proc, msg *sctp.Message) bool {
 	if msg.Notification != sctp.NotifyNone {
 		switch msg.Notification {
@@ -192,6 +345,12 @@ func (m *Module) handleInbound(p *sim.Proc, msg *sctp.Message) bool {
 			m.Counters().Add("assocs_up", 1)
 		case sctp.NotifyCommLost:
 			m.Counters().Add("assocs_lost", 1)
+			m.onAssocLost(msg.Assoc)
+			return true
+		case sctp.NotifyRestart:
+			m.Counters().Add("assocs_restarted", 1)
+			m.onAssocRestart(msg.Assoc)
+			return true
 		case sctp.NotifyShutdownComplete:
 			m.Counters().Add("assocs_closed", 1)
 		}
@@ -201,11 +360,53 @@ func (m *Module) handleInbound(p *sim.Proc, msg *sctp.Message) bool {
 	res, env, body := m.recv.Feed(key, msg.PPID, msg.Data)
 	switch res {
 	case rpi.FeedMessage:
+		// Every middleware envelope carries the sender's world rank, so
+		// an association the mapping does not know yet (a fresh inbound
+		// replacement, whose data can overtake its KindReconnect on
+		// another stream) still routes correctly.
+		r, known := m.rankByAssoc[msg.Assoc]
+		if !known {
+			r = int(env.Rank)
+			if r < 0 || r >= m.Size || r == m.Rank {
+				if body != nil {
+					wire.PutBuf(body)
+				}
+				return true
+			}
+		}
+		switch env.Kind {
+		case rpi.KindReconnect:
+			m.adoptAssoc(r, msg.Assoc)
+			ack, gap := m.sess.OnReconnect(r, env)
+			m.sendHandshake(r, ack)
+			m.replayGap(r, gap)
+			m.sess.Resume(r)
+			m.markHello(r)
+			return true
+		case rpi.KindReconnectAck:
+			m.adoptAssoc(r, msg.Assoc)
+			m.replayGap(r, m.sess.OnReconnectAck(r, env))
+			m.sess.Resume(r)
+			m.markHello(r)
+			return true
+		}
+		if !known {
+			m.adoptAssoc(r, msg.Assoc)
+		}
+		if !m.sess.Accept(r, &env) {
+			if body != nil {
+				wire.PutBuf(body)
+			}
+			return true
+		}
 		m.Complete(p, env, body)
 		return true
 	case rpi.FeedHello:
 		r := int(env.Rank)
-		if m.assocByRank[r] == 0 && r != m.Rank {
+		if r < 0 || r >= m.Size || r == m.Rank {
+			return true
+		}
+		if m.assocByRank[r] == 0 {
 			// We are the acceptor: learn the mapping and reply.
 			m.assocByRank[r] = msg.Assoc
 			m.rankByAssoc[msg.Assoc] = r
@@ -214,10 +415,20 @@ func (m *Module) handleInbound(p *sim.Proc, msg *sctp.Message) bool {
 				m.Counters().Add("send_errors", 1)
 			}
 		}
-		m.hellos++
+		m.markHello(r)
 		return true
 	default:
 		return false
+	}
+}
+
+// KillSession implements the chaos harness's session-kill hook: destroy
+// the association to peer silently (no ABORT chunk — as if the host
+// vanished), in kernel context. Detection and recovery run later from
+// the owning process's Advance.
+func (m *Module) KillSession(peer int) {
+	if id := m.assocByRank[peer]; id != 0 {
+		_ = m.sock.KillAssoc(id)
 	}
 }
 
@@ -227,4 +438,21 @@ func (m *Module) Finalize(p *sim.Proc) {
 	if m.sock != nil {
 		m.sock.Close()
 	}
+}
+
+// Abort implements rpi.RPI: abortive teardown after a terminal error.
+// Every association is aborted (peers fail fast on the ABORT chunk)
+// and the socket released, so redials aimed at this rank are refused
+// with an out-of-the-blue ABORT instead of hanging.
+func (m *Module) Abort(p *sim.Proc) {
+	if m.sock == nil {
+		return
+	}
+	for r, id := range m.assocByRank {
+		if id != 0 {
+			_ = m.sock.Abort(id, "job aborted")
+			m.assocByRank[r] = 0
+		}
+	}
+	m.sock.Close()
 }

@@ -40,6 +40,7 @@ type Stats struct {
 	BadTagDrops     int64
 	Failovers       int64
 	HeartbeatsSent  int64
+	Restarts        int64 // RFC 4960 §5.2 in-place association restarts
 }
 
 // path holds per-destination-address transport state: SCTP keeps
@@ -802,6 +803,14 @@ func (a *Assoc) armShutdownTimer(resend func()) {
 			a.fail(ErrTimeout, true)
 			return
 		}
+		// Back off the RTO per retransmission (RFC 4960 §6.3.3 E2),
+		// clamped to RTOMax — the same rule the INIT and T3 timers
+		// follow.
+		pt := a.paths[a.primary]
+		pt.rto *= 2
+		if pt.rto > a.cfg.RTOMax {
+			pt.rto = a.cfg.RTOMax
+		}
 		resend()
 	})
 }
@@ -867,6 +876,14 @@ func (a *Assoc) fireHeartbeat(i int) {
 				return
 			}
 			pt.hbOutstanding = false
+			// A missed heartbeat backs off the path RTO like any other
+			// retransmission timeout (RFC 4960 §8.3 / §6.3.3 E2), so
+			// successive probes of a dead path space out exponentially
+			// up to RTOMax.
+			pt.rto *= 2
+			if pt.rto > a.cfg.RTOMax {
+				pt.rto = a.cfg.RTOMax
+			}
 			a.pathError(i)
 		})
 	}

@@ -45,6 +45,11 @@ const (
 	flagUnordered     = 0x04 // U bit (not used by the MPI middleware)
 )
 
+// ABORT / SHUTDOWN-COMPLETE chunk flags.
+const (
+	abortTBit = 0x01 // T bit: verification tag is reflected, not ours (RFC 4960 §8.5.1)
+)
+
 // commonHeaderSize is the SCTP common header: src port, dst port,
 // verification tag, checksum.
 const commonHeaderSize = 12

@@ -215,8 +215,18 @@ func (a *Assoc) handleCookieAck() {
 // reuses our existing initiate tag and TSN so both handshakes converge
 // on one consistent association.
 func (a *Assoc) handleInitCollision(src, dst netsim.Addr, c *chunk) {
+	if a.state == aEstablished {
+		// RFC 4960 §5.2.2: an INIT on an established association means
+		// the peer's endpoint restarted (it lost all state — the INIT
+		// carries a fresh initiate tag). Answer with an INIT-ACK whose
+		// cookie holds a NEW local tag and TSN; the restart itself
+		// commits only when the signed COOKIE-ECHO returns (see
+		// handleCookieEchoOnAssoc), so a spoofed INIT cannot reset us.
+		a.handleRestartInit(src, dst, c)
+		return
+	}
 	if a.state != aCookieWait && a.state != aCookieEchoed {
-		return // duplicate INIT after establishment: ignore (no restart support)
+		return // INIT during shutdown: ignore
 	}
 	streams := int(c.OutStreams)
 	if streams > a.reqStreams {
@@ -255,11 +265,124 @@ func (a *Assoc) handleInitCollision(src, dst netsim.Addr, c *chunk) {
 	sk.sendControl(dst, src, a.peerPort, c.InitiateTag, initAck)
 }
 
+// handleRestartInit answers a restart INIT (RFC 4960 §5.2.2) on an
+// established association: INIT-ACK with a new local tag and TSN,
+// both committed to a signed cookie, state untouched until the echo.
+func (a *Assoc) handleRestartInit(src, dst netsim.Addr, c *chunk) {
+	sk := a.sock
+	localTag := sk.nonZeroTag()
+	localTSN := seqnum.V(sk.kernel().Rand().Uint32())
+	streams := int(c.OutStreams)
+	if streams > a.cfg.Streams {
+		streams = a.cfg.Streams
+	}
+	if streams <= 0 {
+		streams = 1
+	}
+	peerAddrs := c.Addrs
+	if len(peerAddrs) == 0 {
+		peerAddrs = []netsim.Addr{src}
+	}
+	cookie := &stateCookie{
+		PeerPort:   a.peerPort,
+		PeerTag:    c.InitiateTag,
+		LocalTag:   localTag,
+		PeerTSN:    c.InitialTSN,
+		LocalTSN:   localTSN,
+		OutStreams: uint16(streams),
+		InStreams:  uint16(streams),
+		PeerAddrs:  peerAddrs,
+		LocalAddrs: a.localAddrs,
+		IssuedAt:   sk.kernel().Now(),
+	}
+	initAck := &chunk{
+		Type:        ctInitAck,
+		InitiateTag: localTag,
+		ARwnd:       uint32(a.cfg.RcvBuf),
+		OutStreams:  uint16(streams),
+		InStreams:   uint16(streams),
+		InitialTSN:  localTSN,
+		Addrs:       a.localAddrs,
+		Cookie:      cookie.encode(sk.stack.secret),
+	}
+	sk.sendControl(dst, src, a.peerPort, c.InitiateTag, initAck)
+}
+
+// restartInPlace commits an RFC 4960 §5.2 association restart: same
+// Assoc and AssocID, but every piece of transfer state — queues,
+// TSNs, stream sequence numbers, congestion and path state — resets
+// as if freshly established, and the new tags from the validated
+// cookie are adopted. The application learns via NotifyRestart.
+func (a *Assoc) restartInPlace(ck *stateCookie) {
+	// Release everything the old incarnation buffered.
+	for key, pm := range a.partial {
+		pm.releaseFrags()
+		delete(a.partial, key)
+	}
+	for _, oc := range a.outQ {
+		oc.releaseBuf()
+	}
+	for _, oc := range a.rtxQ {
+		oc.releaseBuf()
+	}
+	for _, oc := range a.inflight {
+		oc.releaseBuf()
+	}
+	a.outQ, a.rtxQ, a.inflight = nil, nil, nil
+	a.sndUsed = 0
+	a.rcvRanges = nil
+	a.dupTSNs = nil
+	a.rcvUsed = 0
+	a.lastRwnd = 0
+	a.pktsNoSack = 0
+	a.sackNow = false
+	a.sackTimer.Stop()
+	a.lastDataSrc = 0
+	a.assocErrors = 0
+
+	// Adopt the restarted peer's identity and fresh sequence spaces.
+	a.myTag = ck.LocalTag
+	a.peerTag = ck.PeerTag
+	a.nextTSN = ck.LocalTSN
+	a.cumTSN = ck.PeerTSN.Add(^uint32(0))
+	a.peerRwnd = 4380 // until the peer advertises again
+	a.initStreams(int(ck.OutStreams), int(ck.InStreams))
+
+	// Fresh path state (timers included), as for a new association.
+	for _, pt := range a.paths {
+		pt.t3.Stop()
+		pt.hbTimer.Stop()
+	}
+	a.buildPaths()
+	a.startHeartbeats()
+
+	a.stats.Restarts++
+	if p := a.cfg.Probe; p != nil && p.Restart != nil {
+		p.Restart(a)
+	}
+	a.sock.enqueue(&Message{
+		Assoc:        a.id,
+		Peer:         a.peerAddrs[0],
+		Notification: NotifyRestart,
+	})
+	a.sndCond.Broadcast()
+}
+
 // handleCookieEchoOnAssoc processes a COOKIE-ECHO that arrives while
-// the association already exists: either our COOKIE-ACK was lost
-// (established case) or this is the closing leg of an INIT collision.
+// the association already exists: our COOKIE-ACK was lost (established
+// case), the peer restarted (§5.2 — the cookie carries tags that
+// differ from the current ones), or this is the closing leg of an INIT
+// collision.
 func (a *Assoc) handleCookieEchoOnAssoc(src, dst netsim.Addr, c *chunk) {
 	if a.state == aEstablished {
+		if ck, err := decodeCookie(c.Cookie, a.sock.stack.secret); err == nil &&
+			(ck.LocalTag != a.myTag || ck.PeerTag != a.peerTag) {
+			// A validated cookie with new tags: the peer restarted.
+			a.restartInPlace(ck)
+			pt := a.paths[a.primary]
+			a.sendChunks(pt.src, pt.addr, []*chunk{{Type: ctCookieAck}})
+			return
+		}
 		// Our COOKIE-ACK was lost; resend it.
 		a.sendChunks(dst, src, []*chunk{{Type: ctCookieAck}})
 		return

@@ -96,6 +96,22 @@ func (l *OneToOneListener) Accept(p *sim.Proc) (*Conn, error) {
 	}
 }
 
+// TryAccept is the nonblocking variant of Accept: it returns the next
+// inbound association as a Conn, ErrWouldBlock when none is pending,
+// or ErrClosed once the listener is closed.
+func (l *OneToOneListener) TryAccept() (*Conn, error) {
+	for i, m := range l.sock.rq {
+		if m.Notification == NotifyCommUp {
+			l.sock.rq = append(l.sock.rq[:i], l.sock.rq[i+1:]...)
+			return &Conn{sock: l.sock, assoc: m.Assoc, peer: m.Peer}, nil
+		}
+	}
+	if l.sock.closed {
+		return nil, ErrClosed
+	}
+	return nil, ErrWouldBlock
+}
+
 // Close stops the listener (and every association on it).
 func (l *OneToOneListener) Close() { l.sock.Close() }
 
@@ -229,4 +245,22 @@ func (c *Conn) NumStreams() int {
 // dedicated socket (Dial side), the socket goes with it.
 func (c *Conn) Close() {
 	c.sock.CloseAssoc(c.assoc)
+}
+
+// Kill destroys the association silently — no wire traffic, as if the
+// endpoint crashed. A dedicated dial-side socket is released with it.
+func (c *Conn) Kill() {
+	c.sock.KillAssoc(c.assoc)
+	if !c.sock.listening {
+		c.sock.Close()
+	}
+}
+
+// Abort tears the association down abortively, notifying the peer with
+// an ABORT chunk. A dedicated dial-side socket is released with it.
+func (c *Conn) Abort() {
+	c.sock.Abort(c.assoc, "aborted by application")
+	if !c.sock.listening {
+		c.sock.Close()
+	}
 }

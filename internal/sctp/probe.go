@@ -28,6 +28,12 @@ type Probe struct {
 
 	// Failover fires when the primary path changes (paper §3.5.1).
 	Failover func(a *Assoc, from, to netsim.Addr)
+
+	// Restart fires when an association restarts in place (RFC 4960
+	// §5.2): same *Assoc and AssocID, but all TSN/SSN transfer state
+	// has been reset. Oracles tracking per-association monotonic
+	// sequences must reset their expectations here.
+	Restart func(a *Assoc)
 }
 
 // probeDeliver reports an in-order delivery to the probe, if any.

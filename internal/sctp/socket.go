@@ -23,6 +23,12 @@ const (
 	NotifyCommUp
 	NotifyCommLost
 	NotifyShutdownComplete
+	// NotifyRestart reports an RFC 4960 §5.2 association restart: the
+	// peer's endpoint came back and re-handshook in place. The AssocID
+	// is unchanged but all transfer state (TSNs, SSNs, queues) has been
+	// reset; the application must discard per-association reassembly
+	// state and expect the peer to replay.
+	NotifyRestart
 )
 
 // Message is what RecvMsg returns: either user data (Notification ==
@@ -152,8 +158,12 @@ func (sk *Socket) handlePacket(src, dst netsim.Addr, pkt *packet) {
 			if c.Type == ctInit || c.Type == ctCookieEcho {
 				valid = true // handshake chunks carry their own proof
 			}
-			// ABORT and SHUTDOWN-COMPLETE may carry the peer's tag with
-			// the T-bit in real SCTP; we accept our tag only.
+			// ABORT may carry the peer's tag with the T-bit set (RFC
+			// 4960 §8.5.1): the reflected-tag response of an endpoint
+			// that has no association state for our packets.
+			if c.Type == ctAbort && c.Flags&abortTBit != 0 && pkt.VerificationTag == a.peerTag {
+				valid = true
+			}
 		}
 		if !valid {
 			a.stats.BadTagDrops++
@@ -176,6 +186,15 @@ func (sk *Socket) handlePacket(src, dst netsim.Addr, pkt *packet) {
 			// answer with SHUTDOWN-COMPLETE so it can finish.
 			sk.sendControl(dst, src, pkt.SrcPort, pkt.VerificationTag,
 				&chunk{Type: ctShutdownComplete})
+		case ctData:
+			// Out-of-the-blue DATA: our side of the association is gone
+			// (killed or aborted). RFC 4960 §8.4 rule 8: respond with an
+			// ABORT carrying the reflected verification tag and the
+			// T-bit, so the sender discovers the death immediately
+			// instead of retransmitting into a void.
+			sk.sendControl(dst, src, pkt.SrcPort, pkt.VerificationTag,
+				&chunk{Type: ctAbort, Flags: abortTBit, Reason: "no association"})
+			return
 		}
 	}
 }
@@ -314,6 +333,21 @@ func (sk *Socket) CloseAssoc(id AssocID) error {
 		return ErrNoAssoc
 	}
 	a.gracefulClose()
+	return nil
+}
+
+// KillAssoc tears an association down silently: no ABORT or any other
+// wire traffic, exactly as if the endpoint's host had crashed. The
+// local application gets a NotifyCommLost; the peer discovers the
+// death through its own timers or an out-of-the-blue ABORT when it
+// next transmits. This is the fault-injection entry point for session
+// recovery testing.
+func (sk *Socket) KillAssoc(id AssocID) error {
+	a := sk.byID[id]
+	if a == nil {
+		return ErrNoAssoc
+	}
+	a.fail(ErrAborted, false)
 	return nil
 }
 

@@ -58,6 +58,42 @@ func (s *Stack) ephemeralPort() uint16 {
 	return p
 }
 
+// respondOOTB answers an out-of-the-blue packet (no socket on the
+// destination port) with an ABORT: for INIT, the ABORT carries the
+// INIT's initiate tag (the only tag the sender will accept while in
+// COOKIE-WAIT); for DATA, the packet's verification tag is reflected
+// with the T-bit set.
+func (s *Stack) respondOOTB(src, dst netsim.Addr, pkt *packet) {
+	for _, c := range pkt.Chunks {
+		if c.Type == ctAbort {
+			return
+		}
+	}
+	for _, c := range pkt.Chunks {
+		var ab *chunk
+		switch c.Type {
+		case ctInit:
+			ab = &chunk{Type: ctAbort, Reason: "no endpoint"}
+		case ctData:
+			ab = &chunk{Type: ctAbort, Flags: abortTBit, Reason: "no endpoint"}
+		default:
+			continue
+		}
+		tag := pkt.VerificationTag
+		if c.Type == ctInit {
+			tag = c.InitiateTag
+		}
+		p := &packet{
+			SrcPort:         pkt.DstPort,
+			DstPort:         pkt.SrcPort,
+			VerificationTag: tag,
+			Chunks:          []*chunk{ab},
+		}
+		s.node.Send(netsim.NewPooledPacket(src, dst, netsim.ProtoSCTP, encodePacket(p)))
+		return
+	}
+}
+
 func (s *Stack) handlePacket(ipPkt *netsim.Packet, ifc *netsim.Iface) {
 	pkt, err := decodePacket(ipPkt.Payload, s.cfg.ChecksumVerify)
 	if err != nil {
@@ -74,9 +110,12 @@ func (s *Stack) handlePacket(ipPkt *netsim.Packet, ifc *netsim.Iface) {
 	}
 	sk, ok := s.socks[pkt.DstPort]
 	if !ok {
-		// No socket on this port. A real stack would send an ABORT with
-		// the peer's verification tag; we silently drop, which the
-		// sender's timers handle identically.
+		// No socket on this port (the endpoint aborted and released it):
+		// answer out-of-the-blue INIT and DATA with an ABORT per RFC
+		// 4960 §8.4, so a peer dialing or retransmitting into a dead
+		// endpoint fails fast instead of exhausting its timers. Packets
+		// that themselves carry an ABORT are never answered (rule 2).
+		s.respondOOTB(ipPkt.Dst, ipPkt.Src, pkt)
 		releasePacket(pkt)
 		return
 	}

@@ -126,6 +126,32 @@ func (c *Conn) abort() {
 	c.fail(ErrClosed)
 }
 
+// Kill tears the connection down silently — no RST or FIN, as if the
+// host crashed. The local error is abort-class (ErrKilled); the peer
+// discovers the death when it next transmits, because the stack
+// answers segments for a removed connection with a RST.
+func (c *Conn) Kill() {
+	if c.state == stateDone {
+		return
+	}
+	c.fail(ErrKilled)
+}
+
+// Reset aborts the connection immediately with a RST to the peer,
+// regardless of state — the abortive close used to reject a
+// superseded reconnection attempt.
+func (c *Conn) Reset() {
+	if c.state == stateDone {
+		return
+	}
+	c.sendSegment(&segment{
+		Flags: flagRST | flagACK,
+		Seq:   c.sndNxt,
+		Ack:   c.rcvNxt,
+	})
+	c.fail(ErrClosed)
+}
+
 // Err returns the terminal error, if any.
 func (c *Conn) Err() error { return c.err }
 

@@ -16,6 +16,7 @@ var (
 	ErrWouldBlock = transport.Wrap(transport.ErrWouldBlock, "tcp: operation would block")
 	ErrClosed     = transport.Wrap(transport.ErrClosed, "tcp: connection closed")
 	ErrReset      = transport.Wrap(transport.ErrAborted, "tcp: connection reset by peer")
+	ErrKilled     = transport.Wrap(transport.ErrAborted, "tcp: connection killed")
 	ErrTimeout    = transport.Wrap(transport.ErrTimeout, "tcp: connection timed out")
 	ErrMsgSize    = transport.Wrap(transport.ErrMsgSize, "tcp: message too large")
 )

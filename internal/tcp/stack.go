@@ -109,7 +109,13 @@ type Listener struct {
 	backlog []*Conn
 	cond    *sim.Cond
 	closed  bool
+	notify  func()
 }
+
+// SetNotify registers fn to fire (in kernel context) whenever a new
+// established connection is queued for accept, so a nonblocking caller
+// parked elsewhere can wake up and TryAccept it.
+func (l *Listener) SetNotify(fn func()) { l.notify = fn }
 
 // Listen starts listening on port with the stack's default config.
 func (s *Stack) Listen(port uint16) (*Listener, error) {
@@ -172,6 +178,9 @@ func (s *Stack) completeAccept(c *Conn) {
 	if l, ok := s.listeners[c.lport]; ok && !l.closed {
 		l.backlog = append(l.backlog, c)
 		l.cond.Broadcast()
+		if l.notify != nil {
+			l.notify()
+		}
 	}
 }
 

@@ -41,6 +41,14 @@ var (
 	// ErrNotConnected reports an operation addressed to a peer or
 	// association the endpoint does not have.
 	ErrNotConnected = errors.New("not connected")
+
+	// ErrSessionLost reports that a transport session (TCP connection
+	// or SCTP association) died underneath an RPI module and recovery
+	// could not restore it: the redial budget is exhausted or redialing
+	// failed terminally. Modules surface it from Advance so the
+	// middleware can abort the job with a diagnostic instead of
+	// hanging.
+	ErrSessionLost = errors.New("transport session lost")
 )
 
 // wrapped is a sentinel alias: its own message text, one canonical
@@ -83,4 +91,22 @@ type Endpoint interface {
 
 	// Close begins an orderly local teardown.
 	Close()
+}
+
+// Redialer is the optional recovery capability on the Endpoint
+// contract: an endpoint whose session can be re-established after
+// abortive death. Per-peer RPI endpoints (a TCP connection, an SCTP
+// one-to-one connection) satisfy it by dialing a replacement session;
+// the one-to-many SCTP socket satisfies it with an RFC 4960 §5.2
+// association restart, which reuses the same socket. A Redial attempt
+// may block in process context (the peer's handshake runs in kernel
+// context); it returns the replacement endpoint, or an error when the
+// attempt failed (callers apply backoff and a bounded retry budget).
+type Redialer interface {
+	Endpoint
+
+	// Redial attempts to establish a replacement session with the same
+	// peer. On success the returned Endpoint is the new session (it may
+	// be the receiver itself when the transport restarts in place).
+	Redial() (Endpoint, error)
 }

@@ -24,8 +24,12 @@ go test ./...
 echo "== go test -race (sweep runner) =="
 go test -race ./internal/bench/...
 
+echo "== go test -race (recovery conformance) =="
+go test -race -run 'TestConformance' ./internal/mpi/rpi/
+
 echo "== chaos corpus =="
 go run ./cmd/chaos -rpi all -seeds 50
 go run ./cmd/chaos -rpi all -seeds 25 -multihome
+go run ./cmd/chaos -rpi all -seeds 25 -kill
 
 echo "tier-1: OK"
