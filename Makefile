@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench paper chaos
+.PHONY: check fmt vet lint build test bench paper chaos
 
 # Tier-1 gate: formatting, vet, build, full test suite.
 check:
@@ -11,6 +11,12 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Repository-specific static analysis (internal/analysis): determinism,
+# nopreempt, seqnum, maporder, sentinel. Exits non-zero on any finding;
+# suppress with a justified `//simlint:allow <rule> <why>` comment.
+lint:
+	$(GO) run ./cmd/simlint
 
 build:
 	$(GO) build ./...

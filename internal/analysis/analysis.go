@@ -1,0 +1,182 @@
+// Package analysis is a small static-analysis driver built purely on
+// the standard library (go/parser + go/types + go/importer), with
+// codebase-specific rules that machine-check the simulator's
+// fragile-by-convention invariants:
+//
+//   - determinism: no wall-clock time or global math/rand in simulated
+//     packages — every timestamp and random draw must come from the
+//     kernel's virtual clock and seeded *rand.Rand, or runs stop being
+//     bit-identical from a seed.
+//   - nopreempt: no goroutines, sync primitives, or channel operations
+//     in simulated packages — processes are cooperatively scheduled and
+//     must block through sim.Cond/sim.WaitGroup so exactly one runs at
+//     any instant.
+//   - seqnum: no raw <, >, <=, >= (or builtin min/max) on RFC 1982
+//     serial numbers (seqnum.V / seqnum.S16) — magnitude comparison
+//     breaks at TSN/SSN/sequence wraparound; only the serial-order
+//     helpers are correct.
+//   - maporder: no ordering-sensitive effects (sends, event scheduling,
+//     appends to shared state) inside a range over a map — map
+//     iteration order is randomized and would leak nondeterminism into
+//     the wire.
+//   - sentinel: no == / != against module sentinel errors — the
+//     transport contract is errors.Is, which keeps working when errors
+//     are wrapped.
+//
+// A finding can be suppressed with a justified directive on (or one
+// line above) the offending line:
+//
+//	//simlint:allow <rule> <why>
+//
+// An empty justification is itself a diagnostic, so every suppression
+// carries a written reason.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding at a resolved source position.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// Reporter records one finding for the rule being run.
+type Reporter func(pos token.Pos, format string, args ...any)
+
+// Rule is one analyzer: a name (used in //simlint:allow directives), a
+// one-line rationale, and a check over a type-checked package.
+type Rule struct {
+	Name  string
+	Doc   string
+	Check func(p *Package, report Reporter)
+}
+
+// directiveRule is the pseudo-rule name under which malformed
+// //simlint:allow directives are reported. It cannot be suppressed.
+const directiveRule = "simlint"
+
+// allowKey identifies one (file, line, rule) suppression target.
+type allowKey struct {
+	file string
+	line int
+	rule string
+}
+
+// suppressions indexes valid //simlint:allow directives. A directive on
+// line L suppresses findings of its rule on line L (trailing comment)
+// and line L+1 (comment on its own line above the statement).
+type suppressions map[allowKey]bool
+
+func (s suppressions) allows(rule, file string, line int) bool {
+	return s[allowKey{file, line, rule}] || s[allowKey{file, line - 1, rule}]
+}
+
+// scanDirectives walks p's comments for //simlint:allow directives,
+// returning the suppression index plus diagnostics for malformed ones
+// (unknown rule, missing justification). A malformed directive never
+// suppresses anything.
+func scanDirectives(p *Package) (suppressions, []Diagnostic) {
+	sup := suppressions{}
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:  p.Fset.Position(pos),
+			Rule: directiveRule,
+			Msg:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//simlint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "simlint:allow needs a rule: //simlint:allow <rule> <why>")
+					continue
+				}
+				rule := fields[0]
+				if !knownRule(rule) {
+					report(c.Pos(), "simlint:allow names unknown rule %q (have: %s)",
+						rule, strings.Join(RuleNames(), ", "))
+					continue
+				}
+				if len(fields) == 1 {
+					report(c.Pos(), "simlint:allow %s is missing its justification: every suppression must say why the invariant holds anyway", rule)
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				sup[allowKey{pos.Filename, pos.Line, rule}] = true
+			}
+		}
+	}
+	return sup, diags
+}
+
+// Run applies rules to p and returns the surviving diagnostics sorted
+// by position, after honoring //simlint:allow directives. Malformed
+// directives are themselves reported (and suppress nothing).
+func Run(p *Package, rules []Rule) []Diagnostic {
+	sup, diags := scanDirectives(p)
+	for _, r := range rules {
+		rule := r
+		report := func(pos token.Pos, format string, args ...any) {
+			position := p.Fset.Position(pos)
+			if sup.allows(rule.Name, position.Filename, position.Line) {
+				return
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  position,
+				Rule: rule.Name,
+				Msg:  fmt.Sprintf(format, args...),
+			})
+		}
+		rule.Check(p, report)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	return diags
+}
+
+// qualifierPath resolves sel's qualifier to the import path of the
+// package it names, or "" when sel is not a package-qualified selector
+// (e.g. a field or method access).
+func qualifierPath(p *Package, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The golden tests drive each rule over a seeded fixture package under
+// testdata/src. Expected diagnostics are written in the fixtures as
+//
+//	expr // want "substring" ["substring" ...]
+//
+// matching any diagnostic on the same line whose message contains the
+// substring. A comment line
+//
+//	// wantnext "substring" ...
+//
+// expects the diagnostics on the following line; it exists for lines
+// that already carry a //simlint:allow directive as their trailing
+// comment. Every diagnostic must be wanted and every want must be
+// matched, so the fixtures pin both the positives and (by silence on
+// the Fine functions) the negatives.
+
+func newTestLoader(t *testing.T) *Loader {
+	t.Helper()
+	ld, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	return ld
+}
+
+func loadFixture(t *testing.T, ld *Loader, name string) *Package {
+	t.Helper()
+	p, err := ld.LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	return p
+}
+
+type expectation struct {
+	line    int
+	substr  string
+	matched bool
+}
+
+// parseWants parses the quoted substrings of one want clause.
+func parseWants(t *testing.T, line int, rest string) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			return out
+		}
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Fatalf("malformed want clause at line %d: %q", line, rest)
+		}
+		s, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("malformed want string at line %d: %q", line, q)
+		}
+		out = append(out, &expectation{line: line, substr: s})
+		rest = rest[len(q):]
+	}
+}
+
+func wantsOf(t *testing.T, p *Package) []*expectation {
+	t.Helper()
+	var exps []*expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				line := p.Fset.Position(c.Pos()).Line
+				if rest, ok := strings.CutPrefix(c.Text, "// wantnext "); ok {
+					exps = append(exps, parseWants(t, line+1, rest)...)
+				} else if rest, ok := strings.CutPrefix(c.Text, "// want "); ok {
+					exps = append(exps, parseWants(t, line, rest)...)
+				}
+			}
+		}
+	}
+	return exps
+}
+
+func checkFixture(t *testing.T, p *Package, rules []Rule) {
+	t.Helper()
+	exps := wantsOf(t, p)
+	if len(exps) == 0 && !strings.HasSuffix(p.Dir, "suppress") {
+		t.Fatalf("fixture %s has no want comments", p.ImportPath)
+	}
+	for _, d := range Run(p, rules) {
+		matched := false
+		for _, e := range exps {
+			if !e.matched && e.line == d.Pos.Line && strings.Contains(d.Msg, e.substr) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range exps {
+		if !e.matched {
+			t.Errorf("missing diagnostic: line %d wants a message containing %q", e.line, e.substr)
+		}
+	}
+}
+
+func TestGoldenFixtures(t *testing.T) {
+	ld := newTestLoader(t)
+	cases := []struct {
+		fixture string
+		rules   []Rule
+	}{
+		{"determinism", []Rule{Determinism()}},
+		// kernel_allowed.go plays the role of the real scheduler files:
+		// its goroutine and channel must be exempted by the allowlist.
+		{"nopreempt", []Rule{NoPreempt(ld.Module, map[string]bool{
+			"internal/analysis/testdata/src/nopreempt/kernel_allowed.go": true,
+		})}},
+		{"seqnumcmp", []Rule{SeqnumCmp()}},
+		{"maporder", []Rule{MapOrder()}},
+		{"sentinel", []Rule{Sentinel(ld.Module)}},
+		// The suppress fixture runs under determinism: justified allows
+		// must silence their time.Now findings, malformed ones must not.
+		{"suppress", []Rule{Determinism()}},
+	}
+	for _, c := range cases {
+		t.Run(c.fixture, func(t *testing.T) {
+			checkFixture(t, loadFixture(t, ld, c.fixture), c.rules)
+		})
+	}
+}
+
+// TestSeededFixturesFailFullRuleSet is the test-side twin of the
+// `simlint <fixture-dir>` gate: every seeded violation fixture must
+// produce at least one diagnostic under the full rule set, i.e. the
+// linter exits non-zero on each of them.
+func TestSeededFixturesFailFullRuleSet(t *testing.T) {
+	ld := newTestLoader(t)
+	for _, fixture := range []string{
+		"determinism", "nopreempt", "seqnumcmp", "maporder", "sentinel", "suppress",
+	} {
+		p := loadFixture(t, ld, fixture)
+		if n := len(Run(p, AllRules(ld.Module))); n == 0 {
+			t.Errorf("fixture %s: want at least one diagnostic under the full rule set, got 0", fixture)
+		}
+	}
+}
+
+// TestModuleTreeClean runs the exact sweep `make lint` runs and
+// requires zero findings, so a violation anywhere in the tree fails
+// plain `go test ./...` even when the lint target is skipped.
+func TestModuleTreeClean(t *testing.T) {
+	ld := newTestLoader(t)
+	dirs, err := ModuleDirs(ld.Root)
+	if err != nil {
+		t.Fatalf("ModuleDirs: %v", err)
+	}
+	for _, dir := range dirs {
+		p, err := ld.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		rel := strings.TrimPrefix(strings.TrimPrefix(p.ImportPath, ld.Module), "/")
+		for _, d := range Run(p, RulesFor(ld.Module, rel)) {
+			t.Errorf("tree not lint-clean: %s", d)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import "strings"
+
+// simulatedPkgs are the module-relative package paths whose code runs
+// inside a simulation kernel. Everything here must be deterministic and
+// cooperatively scheduled, so the determinism, nopreempt, and maporder
+// rules apply on top of the everywhere rules.
+var simulatedPkgs = []string{
+	"internal/sim",
+	"internal/netsim",
+	"internal/sctp",
+	"internal/tcp",
+	"internal/core",
+	"internal/chaos",
+	"internal/mpi", // and every internal/mpi/... backend, by prefix
+}
+
+// kernelAllowlist names the files allowed to use goroutines, channels,
+// and sync primitives: the cooperative scheduler itself, which is what
+// everything else blocks through. Keys are "<module-relative path>".
+var kernelAllowlist = map[string]bool{
+	"internal/sim/kernel.go": true,
+	"internal/sim/proc.go":   true,
+}
+
+// Simulated reports whether the module-relative package path rel is
+// part of the simulated world.
+func Simulated(rel string) bool {
+	for _, s := range simulatedPkgs {
+		if rel == s || strings.HasPrefix(rel, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// RuleNames lists every rule the suite knows, for directive validation
+// and -help output.
+func RuleNames() []string {
+	return []string{"determinism", "nopreempt", "seqnum", "maporder", "sentinel"}
+}
+
+func knownRule(name string) bool {
+	for _, n := range RuleNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// AllRules returns the full rule set for a module (used for simulated
+// packages and for linting testdata fixtures). module is the module
+// path from go.mod, needed by the sentinel rule to recognize
+// module-local sentinel errors.
+func AllRules(module string) []Rule {
+	return []Rule{
+		Determinism(),
+		NoPreempt(module, kernelAllowlist),
+		SeqnumCmp(),
+		MapOrder(),
+		Sentinel(module),
+	}
+}
+
+// RulesFor returns the rules that apply to the package with
+// module-relative path rel: seqnum and sentinel everywhere, plus the
+// simulation-world rules inside simulated packages.
+func RulesFor(module, rel string) []Rule {
+	if Simulated(rel) {
+		return AllRules(module)
+	}
+	return []Rule{SeqnumCmp(), Sentinel(module)}
+}

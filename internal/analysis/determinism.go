@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// bannedTime are the package time functions that read or wait on the
+// wall clock. Types and constants (time.Duration, time.Millisecond) are
+// fine: only the clock itself is off limits.
+var bannedTime = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// allowedRand are the math/rand identifiers that do not touch the
+// global source: explicitly seeded constructors and the types
+// themselves. Everything else (rand.Intn, rand.Shuffle, rand.Seed, ...)
+// draws from process-global state and breaks seed reproducibility.
+var allowedRand = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"Rand":      true,
+	"Source":    true,
+	"Source64":  true,
+	"Zipf":      true,
+}
+
+// Determinism forbids wall-clock time and the global math/rand source
+// in simulated packages. The paper's results are only credible because
+// a run is exactly reproducible from its seed; one time.Now or
+// rand.Intn silently breaks bit-identical replay (TestTraceHashGolden,
+// chaos shrinking).
+func Determinism() Rule {
+	return Rule{
+		Name: "determinism",
+		Doc:  "simulated code must take time from the kernel's virtual clock and randomness from its seeded *rand.Rand",
+		Check: func(p *Package, report Reporter) {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					switch qualifierPath(p, sel) {
+					case "time":
+						if bannedTime[sel.Sel.Name] {
+							report(sel.Pos(), "time.%s uses the wall clock; simulated code must use the kernel's virtual clock (sim.Kernel.Now / After)", sel.Sel.Name)
+						}
+					case "math/rand", "math/rand/v2":
+						if !allowedRand[sel.Sel.Name] {
+							report(sel.Pos(), "rand.%s draws from the global, wall-seeded source; use the kernel's seeded generator (sim.Kernel.Rand)", sel.Sel.Name)
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// effectCalls are method names whose invocation has externally visible,
+// order-sensitive consequences in this codebase: transmitting on the
+// simulated wire, scheduling kernel events, or waking processes. Doing
+// any of these from inside a map iteration leaks Go's randomized map
+// order into virtual-time behavior, breaking bit-identical replay.
+var effectCalls = map[string]string{
+	"Send":        "transmits on the wire",
+	"TrySend":     "transmits on the wire",
+	"SendMsg":     "transmits on the wire",
+	"TrySendMsg":  "transmits on the wire",
+	"SendTo":      "transmits on the wire",
+	"Write":       "writes to a transport",
+	"TryWrite":    "writes to a transport",
+	"Flush":       "flushes queued wire traffic",
+	"FlushKey":    "flushes queued wire traffic",
+	"FlushActive": "flushes queued wire traffic",
+	"Enqueue":     "queues for delivery",
+	"enqueue":     "queues for delivery",
+	"sendChunks":  "transmits on the wire",
+	"output":      "transmits on the wire",
+	"After":       "schedules a kernel event",
+	"At":          "schedules a kernel event",
+	"Spawn":       "schedules a kernel process",
+	"Signal":      "wakes a process",
+	"Broadcast":   "wakes processes",
+	"Abort":       "transmits an abort on the wire",
+	"Kill":        "kills a transport session",
+	"Reset":       "resets a connection on the wire",
+}
+
+// MapOrder flags ranging over a map when the loop body has
+// ordering-sensitive effects — wire sends, event scheduling, process
+// wakeups, or appends into shared state that later feeds the wire. Map
+// iteration order is deliberately randomized by the runtime, so any
+// such loop makes two runs with the same seed diverge. Iterate a sorted
+// key slice instead (collect keys, sort, then index), or keep map loops
+// to pure bookkeeping (delete, counting, in-place mutation).
+func MapOrder() Rule {
+	return Rule{
+		Name: "maporder",
+		Doc:  "no wire sends, event scheduling, wakeups, or shared-state appends inside a range over a map",
+		Check: func(p *Package, report Reporter) {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					rng, ok := n.(*ast.RangeStmt)
+					if !ok {
+						return true
+					}
+					t := p.Info.TypeOf(rng.X)
+					if t == nil {
+						return true
+					}
+					if _, ok := t.Underlying().(*types.Map); !ok {
+						return true
+					}
+					ast.Inspect(rng.Body, func(b ast.Node) bool {
+						switch b := b.(type) {
+						case *ast.SendStmt:
+							report(b.Pos(), "channel send inside a range over a map: map order is randomized, so delivery order would differ between runs")
+						case *ast.GoStmt:
+							report(b.Pos(), "goroutine spawned inside a range over a map: map order is randomized, so launch order would differ between runs")
+						case *ast.CallExpr:
+							sel, ok := b.Fun.(*ast.SelectorExpr)
+							if !ok {
+								return true
+							}
+							if what, bad := effectCalls[sel.Sel.Name]; bad {
+								report(b.Pos(), "%s %s inside a range over a map: map order is randomized, so the effect order would differ between runs; iterate sorted keys instead", sel.Sel.Name, what)
+							}
+						case *ast.AssignStmt:
+							// x.f = append(x.f, ...) grows shared state in
+							// map order; the appended order usually feeds
+							// the wire or a scheduler later.
+							for i, rhs := range b.Rhs {
+								call, ok := rhs.(*ast.CallExpr)
+								if !ok {
+									continue
+								}
+								id, ok := call.Fun.(*ast.Ident)
+								if !ok || id.Name != "append" {
+									continue
+								}
+								if _, ok := p.Info.Uses[id].(*types.Builtin); !ok {
+									continue
+								}
+								if i < len(b.Lhs) {
+									if _, ok := b.Lhs[i].(*ast.SelectorExpr); ok {
+										report(b.Pos(), "append to shared state inside a range over a map accumulates in randomized order; collect into a local, sort, then append")
+									}
+								}
+							}
+						}
+						return true
+					})
+					return true
+				})
+			}
+		},
+	}
+}

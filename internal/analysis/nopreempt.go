@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// NoPreempt forbids goroutines, channel operations, and sync primitives
+// in simulated packages, outside the kernel allowlist. The simulation
+// is cooperatively scheduled — exactly one process runs at any instant,
+// which is what lets protocol state be lock-free and runs replay
+// bit-identically. A stray goroutine or channel reintroduces the
+// scheduler's nondeterminism; blocking must go through sim.Cond,
+// sim.WaitGroup, or the kernel's timers.
+//
+// allow maps module-relative file paths (e.g. "internal/sim/kernel.go")
+// to an exemption: the scheduler implementation itself necessarily uses
+// goroutines and channels to build the cooperative world.
+func NoPreempt(module string, allow map[string]bool) Rule {
+	return Rule{
+		Name: "nopreempt",
+		Doc:  "simulated code is cooperatively scheduled: no go statements, channels, or sync primitives",
+		Check: func(p *Package, report Reporter) {
+			for _, f := range p.Files {
+				file := p.Fset.Position(f.Pos()).Filename
+				if allow[moduleRelFile(module, p, file)] {
+					continue
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.GoStmt:
+						report(n.Pos(), "go starts a preemptively scheduled goroutine; spawn a cooperative process instead (sim.Kernel.Spawn)")
+					case *ast.SendStmt:
+						report(n.Pos(), "channel send blocks outside the kernel's control; signal through sim.Cond instead")
+					case *ast.UnaryExpr:
+						if n.Op == token.ARROW {
+							report(n.Pos(), "channel receive blocks outside the kernel's control; wait on sim.Cond instead")
+						}
+					case *ast.SelectStmt:
+						report(n.Pos(), "select multiplexes real channels; simulated code waits on sim.Cond / kernel timers")
+					case *ast.RangeStmt:
+						if t := p.Info.TypeOf(n.X); t != nil {
+							if _, ok := t.Underlying().(*types.Chan); ok {
+								report(n.Pos(), "ranging over a channel blocks outside the kernel's control; wait on sim.Cond instead")
+							}
+						}
+					case *ast.CallExpr:
+						if id, ok := n.Fun.(*ast.Ident); ok {
+							if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+								switch b.Name() {
+								case "close":
+									report(n.Pos(), "close operates on a channel; simulated code must not use channels")
+								case "make":
+									if len(n.Args) > 0 {
+										if _, ok := n.Args[0].(*ast.ChanType); ok {
+											report(n.Pos(), "make(chan ...) creates a channel; simulated code must not use channels")
+										}
+									}
+								}
+							}
+						}
+					case *ast.SelectorExpr:
+						switch qualifierPath(p, n) {
+						case "sync":
+							report(n.Pos(), "sync.%s implies real concurrency; use sim.Cond / sim.WaitGroup (cooperative scheduling needs no locks)", n.Sel.Name)
+						case "sync/atomic":
+							report(n.Pos(), "atomic.%s implies cross-goroutine sharing; simulated state is single-threaded by construction", n.Sel.Name)
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// moduleRelFile maps an absolute file name to its module-relative slash
+// path using the package's import path, so the allowlist is stable no
+// matter where the tree is checked out.
+func moduleRelFile(module string, p *Package, file string) string {
+	rel := strings.TrimPrefix(p.ImportPath, module)
+	rel = strings.TrimPrefix(rel, "/")
+	base := filepath.Base(file)
+	if rel == "" {
+		return base
+	}
+	return rel + "/" + base
+}

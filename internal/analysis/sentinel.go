@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Sentinel flags == / != comparisons (and switch cases) against the
+// module's sentinel errors. The transport contract (DESIGN §2) is that
+// callers classify failures with errors.Is, which keeps working when a
+// layer wraps a sentinel with context; a raw == silently stops matching
+// the moment anyone adds a %w wrapper, which is exactly how
+// classification bugs slip into retry/redial paths. module is the
+// module path from go.mod: only sentinels declared inside this module
+// are flagged.
+func Sentinel(module string) Rule {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	isSentinel := func(p *Package, e ast.Expr) (string, bool) {
+		var id *ast.Ident
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			id = e
+		case *ast.SelectorExpr:
+			id = e.Sel
+		default:
+			return "", false
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return "", false
+		}
+		if path := v.Pkg().Path(); path != module && !strings.HasPrefix(path, module+"/") {
+			return "", false
+		}
+		// Package-level error variable named like a sentinel.
+		if v.Parent() != v.Pkg().Scope() {
+			return "", false
+		}
+		if !strings.HasPrefix(strings.ToLower(v.Name()), "err") {
+			return "", false
+		}
+		if !types.Implements(v.Type(), errIface) {
+			return "", false
+		}
+		return v.Name(), true
+	}
+	return Rule{
+		Name: "sentinel",
+		Doc:  "sentinel errors are classified with errors.Is, never == or switch/case",
+		Check: func(p *Package, report Reporter) {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.BinaryExpr:
+						if n.Op != token.EQL && n.Op != token.NEQ {
+							return true
+						}
+						for _, side := range []ast.Expr{n.X, n.Y} {
+							if name, ok := isSentinel(p, side); ok {
+								report(n.OpPos, "sentinel %s compared with %s; use errors.Is(err, %s) so wrapped errors still classify", name, n.Op, name)
+								return true
+							}
+						}
+					case *ast.SwitchStmt:
+						if n.Tag == nil {
+							return true
+						}
+						for _, stmt := range n.Body.List {
+							cc, ok := stmt.(*ast.CaseClause)
+							if !ok {
+								continue
+							}
+							for _, e := range cc.List {
+								if name, ok := isSentinel(p, e); ok {
+									report(e.Pos(), "switch case compares sentinel %s with ==; use if/else chains of errors.Is(err, %s)", name, name)
+								}
+							}
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// serialType reports whether t is one of the RFC 1982 serial-number
+// types (seqnum.V, seqnum.S16), returning its name. Matching is by
+// package name + type name so fixtures and the real tree both resolve.
+func serialType(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "seqnum" {
+		return "", false
+	}
+	switch obj.Name() {
+	case "V", "S16":
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+// SeqnumCmp flags magnitude comparisons on serial numbers. TCP
+// sequence numbers and SCTP TSN/SSN values wrap modulo 2^32 (2^16), so
+// a raw < or > inverts its answer once the two operands straddle the
+// wrap point — the classic gap-ack/wraparound bug class (RFC 1982; RFC
+// 4960 §1.3–§5). Only the serial-order helpers (Less, LessEq, Greater,
+// GreaterEq, InWindow, seqnum.Min/Max) compare correctly. == and != are
+// fine: serial equality is plain equality.
+func SeqnumCmp() Rule {
+	ops := map[token.Token]string{
+		token.LSS: "<",
+		token.GTR: ">",
+		token.LEQ: "<=",
+		token.GEQ: ">=",
+	}
+	return Rule{
+		Name: "seqnum",
+		Doc:  "serial numbers (seqnum.V/S16) must be compared with the RFC 1982 helpers, never raw </>/<=/>= or builtin min/max",
+		Check: func(p *Package, report Reporter) {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.BinaryExpr:
+						op, banned := ops[n.Op]
+						if !banned {
+							return true
+						}
+						for _, side := range []ast.Expr{n.X, n.Y} {
+							if name, ok := serialType(p.Info.TypeOf(side)); ok {
+								report(n.OpPos, "raw %s on seqnum.%s compares magnitude and inverts at wraparound; use the serial-order helpers (Less/LessEq/Greater/GreaterEq/InWindow)", op, name)
+								break
+							}
+						}
+					case *ast.CallExpr:
+						id, ok := n.Fun.(*ast.Ident)
+						if !ok {
+							return true
+						}
+						if b, ok := p.Info.Uses[id].(*types.Builtin); !ok || (b.Name() != "min" && b.Name() != "max") {
+							return true
+						}
+						for _, arg := range n.Args {
+							if name, ok := serialType(p.Info.TypeOf(arg)); ok {
+								report(n.Pos(), "builtin %s on seqnum.%s picks the numerically larger value, not the serial-order later one; use seqnum.Min/seqnum.Max", id.Name, name)
+								break
+							}
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+}

@@ -1,0 +1,30 @@
+// Package fixdeterminism seeds wall-clock and global-rand violations
+// for the determinism analyzer's golden test. Every flagged line
+// carries a want comment with the expected diagnostic substring.
+package fixdeterminism
+
+import (
+	"math/rand"
+	mrand "math/rand"
+	"time"
+)
+
+// virtualNow stands in for the sim kernel's virtual clock.
+func virtualNow() time.Duration { return 42 * time.Millisecond }
+
+func Violations() time.Duration {
+	t0 := time.Now()             // want "time.Now uses the wall clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep uses the wall clock"
+	d := time.Since(t0)          // want "time.Since uses the wall clock"
+	n := rand.Intn(8)            // want "rand.Intn draws from the global"
+	m := mrand.Int63()           // want "rand.Int63 draws from the global"
+	return d + virtualNow() + time.Duration(n) + time.Duration(m)
+}
+
+// Fine shows the approved forms: explicit seeding and pure time types.
+func Fine() int {
+	rng := rand.New(rand.NewSource(7))
+	var d time.Duration = 3 * time.Second
+	_ = d
+	return rng.Intn(10)
+}

@@ -1,0 +1,39 @@
+// Package fixmaporder seeds ordering-sensitive effects inside map
+// iteration for the maporder analyzer's golden test.
+package fixmaporder
+
+import "sort"
+
+type conn struct{}
+
+func (conn) Send(b []byte) {}
+
+type mod struct {
+	peers map[int]conn
+	order []int
+}
+
+func Violations(m *mod) {
+	for _, c := range m.peers {
+		c.Send(nil) // want "Send transmits on the wire inside a range over a map"
+	}
+	for r := range m.peers {
+		m.order = append(m.order, r) // want "append to shared state inside a range over a map"
+	}
+}
+
+// Fine shows the approved patterns: collect keys into a local, sort,
+// then effect in sorted order; and pure bookkeeping inside the range.
+func Fine(m *mod) {
+	keys := make([]int, 0, len(m.peers))
+	for r := range m.peers {
+		keys = append(keys, r)
+	}
+	sort.Ints(keys)
+	for _, r := range keys {
+		m.peers[r].Send(nil)
+	}
+	for r := range m.peers {
+		delete(m.peers, r)
+	}
+}

@@ -1,0 +1,11 @@
+// kernel_allowed.go is exempted via the allowlist the golden test
+// passes to NoPreempt, the way the real scheduler files
+// (internal/sim/kernel.go, proc.go) are exempted in production: no
+// diagnostics expected here despite the goroutine and channel.
+package fixnopreempt
+
+func Allowed() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

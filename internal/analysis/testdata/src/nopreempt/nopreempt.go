@@ -1,0 +1,20 @@
+// Package fixnopreempt seeds goroutine, channel, and sync-primitive
+// violations for the nopreempt analyzer's golden test.
+package fixnopreempt
+
+import "sync"
+
+func Violations() {
+	ch := make(chan int, 1) // want "creates a channel"
+	go func() {             // want "go starts a preemptively scheduled goroutine"
+		ch <- 1 // want "channel send blocks outside the kernel's control"
+	}()
+	<-ch           // want "channel receive blocks outside the kernel's control"
+	for range ch { // want "ranging over a channel"
+	}
+	close(ch)         // want "close operates on a channel"
+	var mu sync.Mutex // want "sync.Mutex implies real concurrency"
+	mu.Lock()
+	mu.Unlock()
+	select {} // want "select multiplexes real channels"
+}

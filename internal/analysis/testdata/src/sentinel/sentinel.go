@@ -1,0 +1,36 @@
+// Package fixsentinel seeds == / != / switch-case comparisons against
+// sentinel errors for the sentinel analyzer's golden test. Both a
+// canonical transport sentinel and a module-local one (the errBadCRC
+// pattern) must be caught.
+package fixsentinel
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+var errLocal = errors.New("fixture: local sentinel")
+
+func Violations(err error) int {
+	if err == transport.ErrWouldBlock { // want "sentinel ErrWouldBlock compared with =="
+		return 1
+	}
+	if err != errLocal { // want "sentinel errLocal compared with !="
+		return 2
+	}
+	switch err {
+	case transport.ErrClosed: // want "switch case compares sentinel ErrClosed"
+		return 3
+	}
+	return 0
+}
+
+// Fine shows the approved form: errors.Is classifies wrapped and bare
+// sentinels alike, and nil checks are untouched.
+func Fine(err error) bool {
+	wrapped := fmt.Errorf("context: %w", transport.ErrTimeout)
+	return errors.Is(err, transport.ErrWouldBlock) ||
+		errors.Is(wrapped, transport.ErrTimeout) || err == nil
+}

@@ -1,0 +1,19 @@
+// Package fixseqnum seeds raw magnitude comparisons on RFC 1982 serial
+// numbers for the seqnum analyzer's golden test.
+package fixseqnum
+
+import "repro/internal/seqnum"
+
+func Violations(a, b seqnum.V, s, t seqnum.S16) (bool, seqnum.V) {
+	x := a < b     // want "raw < on seqnum.V"
+	y := a >= b    // want "raw >= on seqnum.V"
+	z := s > t     // want "raw > on seqnum.S16"
+	w := max(a, b) // want "builtin max on seqnum.V"
+	return x || y || z, w
+}
+
+// Fine shows the approved forms: serial-order helpers and plain
+// equality (which needs no wraparound care).
+func Fine(a, b seqnum.V) bool {
+	return a.Less(b) || a == b || seqnum.Max(a, b) == b || a.InWindow(b, 16)
+}

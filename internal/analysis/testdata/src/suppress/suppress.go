@@ -1,0 +1,32 @@
+// Package fixsuppress proves the //simlint:allow mechanism: a
+// justified directive suppresses its finding (standalone-line or
+// trailing-comment form), an empty justification is itself an error
+// and suppresses nothing, a missing rule is rejected, and an unknown
+// rule name is rejected.
+package fixsuppress
+
+import "time"
+
+func Suppressed() time.Time {
+	//simlint:allow determinism fixture: this wall-clock read is the subject of the suppression-mechanism test
+	return time.Now()
+}
+
+func Trailing() time.Time {
+	return time.Now() //simlint:allow determinism fixture: trailing-comment form of the same test
+}
+
+func Unjustified() time.Time {
+	// wantnext "missing its justification" "time.Now uses the wall clock"
+	return time.Now() //simlint:allow determinism
+}
+
+func MissingRule() time.Time {
+	// wantnext "needs a rule" "time.Now uses the wall clock"
+	return time.Now() //simlint:allow
+}
+
+func UnknownRule() time.Time {
+	// wantnext "names unknown rule" "time.Now uses the wall clock"
+	return time.Now() //simlint:allow nosuchrule the rule name is misspelled on purpose
+}

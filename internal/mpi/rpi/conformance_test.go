@@ -113,7 +113,19 @@ func runWorld(t *testing.T, b backend, n int, loss float64,
 			t.Fatalf("%s rank %d: %v", b.name, r, err)
 		}
 	}
+	checkPooledLeaks(t, b)
 	return modules
+}
+
+// checkPooledLeaks asserts that every pooled wire buffer was released
+// by the time the kernel quiesced. A nonzero count means some path
+// (loss, retransmit, session kill) dropped a packet without Release,
+// which would slowly poison the buffer pool on long runs.
+func checkPooledLeaks(t *testing.T, b backend) {
+	t.Helper()
+	if n := netsim.LivePooledPackets(); n != 0 {
+		t.Fatalf("%s: %d pooled packet(s) still live at teardown; a delivery or drop path is missing a Release", b.name, n)
+	}
 }
 
 // runWorldMods is runWorld with the modules exposed to the per-rank
@@ -153,6 +165,7 @@ func runWorldMods(t *testing.T, b backend, n int, loss float64,
 			t.Fatalf("%s rank %d: %v", b.name, r, err)
 		}
 	}
+	checkPooledLeaks(t, b)
 }
 
 // kill destroys rank's transport session to peer, as the chaos

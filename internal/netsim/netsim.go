@@ -70,11 +70,14 @@ var livePooled int64
 // LivePooledPackets returns the number of pooled packets currently
 // holding a payload. Meaningful as a leak check only when a single
 // simulation is running in the process.
+//
+//simlint:allow nopreempt process-global leak counter shared by kernels running concurrently in parallel sweeps; it is observability only and never feeds back into virtual-time behavior
 func LivePooledPackets() int64 { return atomic.LoadInt64(&livePooled) }
 
 // NewPooledPacket wraps a payload obtained from wire.GetBuf in a packet
 // that returns it to the pool once the last reference is released.
 func NewPooledPacket(src, dst Addr, proto uint8, payload []byte) *Packet {
+	//simlint:allow nopreempt leak counter is shared across concurrently sweeping kernels; the value never influences simulation decisions
 	atomic.AddInt64(&livePooled, 1)
 	return &Packet{Src: src, Dst: dst, Proto: proto, Payload: payload, refs: 1}
 }
@@ -97,6 +100,7 @@ func (p *Packet) Release() {
 	if p.refs == 0 {
 		wire.PutBuf(p.Payload)
 		p.Payload = nil
+		//simlint:allow nopreempt leak counter is shared across concurrently sweeping kernels; the value never influences simulation decisions
 		atomic.AddInt64(&livePooled, -1)
 	}
 }

@@ -263,6 +263,7 @@ type packet struct {
 	slab             []chunk
 }
 
+//simlint:allow nopreempt the decoded-packet pool is shared by kernels running concurrently in parallel sweeps, so it must be a sync.Pool; every field is reset on reuse, so pool hit order cannot affect virtual-time behavior
 var packetPool = sync.Pool{New: func() any { return new(packet) }}
 
 // releasePacket resets a decoded packet and returns it to the pool.
@@ -330,7 +331,9 @@ func decodePacket(b []byte, verify bool) (*packet, error) {
 		b[10] = byte(sum >> 8)
 		b[11] = byte(sum)
 		if !ok {
-			return nil, errBadCRC
+			// Wrapped with packet context: classification must go
+			// through errors.Is (the transport error contract), not ==.
+			return nil, fmt.Errorf("%w in %d-byte packet", errBadCRC, len(b))
 		}
 	}
 	r := wire.NewReader(b)

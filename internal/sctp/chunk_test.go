@@ -2,6 +2,7 @@ package sctp
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -107,6 +108,28 @@ func TestCorruptChecksumRejected(t *testing.T) {
 	}
 	if _, err := decodePacket(b, false); err != nil {
 		t.Fatal("verification off should skip the checksum")
+	}
+}
+
+// TestBadCRCErrorIsWrapped pins the error-contract the sentinel lint
+// rule enforces: decodePacket wraps errBadCRC with context, so the
+// stack's checksum-vs-garbage accounting only works through errors.Is.
+// A == comparison would misclassify every CRC failure as a generic
+// decode error (inflating DecodeDrops, zeroing ChecksumDrops).
+func TestBadCRCErrorIsWrapped(t *testing.T) {
+	in := &packet{SrcPort: 1, DstPort: 2, VerificationTag: 3,
+		Chunks: []*chunk{{Type: ctCookieAck}}}
+	b := encodePacket(in)
+	b[8] ^= 0xff
+	_, err := decodePacket(b, true)
+	if err == nil {
+		t.Fatal("corrupted packet accepted")
+	}
+	if !errors.Is(err, errBadCRC) {
+		t.Fatalf("CRC failure %v does not errors.Is-match errBadCRC", err)
+	}
+	if err == errBadCRC { //simlint:allow sentinel this test pins that the bare sentinel is NOT returned, so == must be false
+		t.Fatal("decodePacket returned the bare sentinel; it must wrap it with context so callers are forced through errors.Is")
 	}
 }
 

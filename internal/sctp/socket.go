@@ -1,6 +1,8 @@
 package sctp
 
 import (
+	"errors"
+
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -223,7 +225,7 @@ func (sk *Socket) enqueue(m *Message) {
 func (sk *Socket) RecvMsg(p *sim.Proc) (*Message, error) {
 	for {
 		m, err := sk.TryRecvMsg()
-		if err != ErrWouldBlock {
+		if !errors.Is(err, transport.ErrWouldBlock) {
 			return m, err
 		}
 		sk.rcvCond.Wait(p)
@@ -270,7 +272,7 @@ func (sk *Socket) Writable() bool {
 func (sk *Socket) SendMsg(p *sim.Proc, id AssocID, stream uint16, ppid uint32, data []byte) error {
 	for {
 		err := sk.TrySendMsg(id, stream, ppid, data)
-		if err != ErrWouldBlock {
+		if !errors.Is(err, transport.ErrWouldBlock) {
 			return err
 		}
 		a := sk.byID[id]

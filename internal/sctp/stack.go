@@ -1,6 +1,7 @@
 package sctp
 
 import (
+	"errors"
 	"time"
 
 	"repro/internal/netsim"
@@ -101,7 +102,7 @@ func (s *Stack) handlePacket(ipPkt *netsim.Packet, ifc *netsim.Iface) {
 		// unparseable) is dropped here; the sender's T3 timer recovers,
 		// exactly as with loss. The paper's kernels computed the CRC but
 		// this is where it pays off under real corruption.
-		if err == errBadCRC {
+		if errors.Is(err, errBadCRC) {
 			s.Stats.ChecksumDrops++
 		} else {
 			s.Stats.DecodeDrops++

@@ -1,9 +1,11 @@
 package tcp
 
 import (
+	"errors"
 	"io"
 
 	"repro/internal/sim"
+	"repro/internal/transport"
 )
 
 // Read blocks until at least one byte is available, the peer half-closes
@@ -11,7 +13,7 @@ import (
 func (c *Conn) Read(p *sim.Proc, b []byte) (int, error) {
 	for {
 		n, err := c.TryRead(b)
-		if err != ErrWouldBlock {
+		if !errors.Is(err, transport.ErrWouldBlock) {
 			return n, err
 		}
 		c.readCond.Wait(p)
@@ -44,7 +46,7 @@ func (c *Conn) Write(p *sim.Proc, b []byte) (int, error) {
 	for len(b) > 0 {
 		n, err := c.TryWrite(b)
 		total += n
-		if err != nil && err != ErrWouldBlock {
+		if err != nil && !errors.Is(err, transport.ErrWouldBlock) {
 			return total, err
 		}
 		b = b[n:]
