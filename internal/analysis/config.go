@@ -13,7 +13,8 @@ var simulatedPkgs = []string{
 	"internal/tcp",
 	"internal/core",
 	"internal/chaos",
-	"internal/mpi", // and every internal/mpi/... backend, by prefix
+	"internal/mpi",       // and every internal/mpi/... backend, by prefix
+	"internal/transport", // readiness poller: single-threaded, no sync
 }
 
 // kernelAllowlist names the files allowed to use goroutines, channels,

@@ -38,6 +38,15 @@ func TestWriteBenchArtifacts(t *testing.T) {
 	kernel := bestOf(5, func() { runPingPong8(t, core.SCTP, 30<<10, 30) })
 	kernelTCP := bestOf(5, func() { runPingPong8(t, core.TCP, 30<<10, 30) })
 
+	// Rank scaling: the readiness-engine axis. Virtual-time metrics are
+	// deterministic, so each cell runs once; sub-linearity of the
+	// proactor column vs ranks is also asserted by
+	// TestRankScalingSubLinear on every test run.
+	scaling, err := RankScalingSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	writeJSON(t, "../../BENCH_kernel.json", map[string]any{
 		"benchmark":       "lossy 8-rank pairwise ping-pong, 30 KiB x 30 iters, 2% loss",
 		"sctp_wall_ns":    kernel.Nanoseconds(),
@@ -48,6 +57,11 @@ func TestWriteBenchArtifacts(t *testing.T) {
 		"go_version":      runtime.Version(),
 		"trace_hash":      goldenTraceHash,
 		"trace_identical": true, // enforced by TestTraceHashGolden
+		"rank_scaling": map[string]any{
+			"benchmark": "4 KiB ping-pong x 100 iters between 2 active peers inside an N-rank TCP mesh, virtual ns",
+			"models":    "proactor: 1µs/pass + 500ns/event; select ablation: 1µs/pass + 200ns/descriptor",
+			"points":    scaling,
+		},
 	})
 
 	// Sweep: the figure-8 size sweep serial vs parallel. On a 1-CPU

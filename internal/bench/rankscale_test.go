@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+// TestRankScalingSubLinear is the readiness-engine scaling claim in
+// miniature (the full 8/32/128 axis goes in BENCH_kernel.json): with 2
+// active peers, quadrupling the mesh must leave proactor progress cost
+// nearly unchanged, while the select ablation visibly pays for every
+// extra descriptor per pass.
+func TestRankScalingSubLinear(t *testing.T) {
+	small, err := RankScaling(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RankScaling(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Proactor: cost follows active peers, not mesh size. Allow 10%
+	// slack for incidental init-state differences.
+	if float64(big.ProactorNS) > 1.10*float64(small.ProactorNS) {
+		t.Errorf("proactor cost scaled with mesh: 8 ranks %d ns, 32 ranks %d ns",
+			small.ProactorNS, big.ProactorNS)
+	}
+	// Select ablation: each pass scans every descriptor, so the same
+	// workload must get measurably slower on the bigger mesh.
+	if big.SelectNS <= small.SelectNS {
+		t.Errorf("select ablation did not scale with mesh: 8 ranks %d ns, 32 ranks %d ns",
+			small.SelectNS, big.SelectNS)
+	}
+	// And the instrumentation behind the claim: passes scan nfds
+	// descriptors, events stay bounded by traffic.
+	if small.PollEvents == 0 || small.PollPasses == 0 || small.PollScanFDs == 0 {
+		t.Errorf("missing poll counters: %+v", small)
+	}
+	if big.PollScanFDs <= small.PollScanFDs {
+		t.Errorf("poll_scan_fds did not grow with mesh: 8 ranks %d, 32 ranks %d",
+			small.PollScanFDs, big.PollScanFDs)
+	}
+}

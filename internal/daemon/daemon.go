@@ -23,6 +23,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sctp"
 	"repro/internal/sim"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -140,7 +141,7 @@ func Start(stack *sctp.Stack) (*Daemon, error) {
 		ioLines: make(map[uint32][]string),
 		pending: make(map[uint64]*pendingReq),
 	}
-	sk.SetNotify(d.drain)
+	sk.SetNotify(func(transport.Ready) { d.drain() })
 	return d, nil
 }
 

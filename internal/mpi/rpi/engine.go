@@ -4,15 +4,17 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
 // Engine is the progression machinery shared by every RPI module, so a
 // module reduces to a transport binding (the paper's §3 thesis). It
 // owns the typed counters, the delivery callback, CostModel charging,
-// the transport-notify wake-up plumbing, and the canonical Advance
-// poll loop. Modules embed it and bind it to a transport by supplying
-// a pump function that moves bytes or messages.
+// the readiness poller, and the canonical Advance loop. Modules embed
+// it, register one poller source per endpoint they own, and supply an
+// onEvent handler that pumps exactly the endpoint a readiness edge
+// names — the proactor replacement for the old scan-every-peer pump.
 type Engine struct {
 	Rank int
 	Size int
@@ -22,7 +24,8 @@ type Engine struct {
 	ctrs    Counters
 	self    *sim.Proc
 	cond    *sim.Cond
-	dirty   bool
+	poller  *transport.Poller
+	kick    bool
 	err     error
 }
 
@@ -37,24 +40,38 @@ func (e *Engine) SetupEngine(rank, size int, cost CostModel) {
 func (e *Engine) BindProc(p *sim.Proc) {
 	e.self = p
 	e.cond = sim.NewCond(p.Kernel())
+	e.poller = transport.NewPoller(e.cond.Broadcast)
 }
 
 // SetDelivery implements RPI.
 func (e *Engine) SetDelivery(d Delivery) { e.deliver = d }
 
+// Proc returns the owning simulation process bound by BindProc.
+func (e *Engine) Proc() *sim.Proc { return e.self }
+
 // Counters implements RPI.
 func (e *Engine) Counters() Counters { return e.ctrs }
 
-// Notify is the transport event hook: pass it to the endpoint's
-// SetNotify. It records that socket state changed and wakes a blocked
-// Advance.
+// Poller returns the engine's readiness queue. Modules Register one
+// source per endpoint (tagged however suits them — peer rank, or a
+// module-local tag for listeners and pending connections) and hand
+// Hook(id) to the endpoint's SetNotify.
+func (e *Engine) Poller() *transport.Poller { return e.poller }
+
+// Notify is the generic progress kick for events that are not endpoint
+// readiness: timers (session redial backoff), barrier arrival, and any
+// other "re-examine module state" signal. It wakes a parked Drive and
+// makes the next pass run its tail with kicked=true.
 func (e *Engine) Notify() {
-	e.dirty = true
+	e.kick = true
 	e.cond.Broadcast()
 }
 
 // Fail records a terminal module error (session recovery exhausted).
-// The first error sticks; every subsequent Advance returns it.
+// The first error sticks; every subsequent Advance returns it. A pass
+// in flight stops dispatching queued readiness events immediately —
+// endpoints queued before the failure are dead with the module, and
+// pumping them would resurrect I/O on torn-down sessions.
 func (e *Engine) Fail(err error) {
 	if e.err == nil {
 		e.err = err
@@ -90,50 +107,97 @@ func (e *Engine) Complete(p *sim.Proc, env Envelope, body []byte) {
 	wire.PutBuf(body)
 }
 
-// Loop is the canonical Advance scaffold: charge one poll pass over
-// nfds descriptors (the select()/sctp_recvmsg syscall cost the paper
-// discusses), run pump to move transport work, and — when blocking
-// with no progress — park the process until a transport notify fires.
-func (e *Engine) Loop(p *sim.Proc, block bool, nfds int, pump func() bool) {
-	for {
-		e.dirty = false
-		if d := e.Cost.PollCost(nfds); d > 0 {
+// drivePass runs one poll pass: charge the pass cost, drain the ready
+// queue through onEvent (each dequeue charges the per-event cost), then
+// run the module's tail work. kicked tells the tail whether a generic
+// Notify arrived since the last pass — that is when time-driven module
+// state (redial backoff, rendezvous arrival) needs a sweep; endpoint
+// traffic never requires one.
+func (e *Engine) drivePass(p *sim.Proc, nfds int,
+	onEvent func(tag int, ev transport.Ready) bool,
+	tail func(kicked bool) bool) bool {
+	if d := e.Cost.PollCost(nfds); d > 0 {
+		p.Sleep(d)
+	}
+	e.ctrs.Add("poll_passes", 1)
+	e.ctrs.Add("poll_scan_fds", int64(nfds))
+	kicked := e.kick
+	e.kick = false
+	progress := false
+	for e.err == nil {
+		tag, ev, ok := e.poller.Next()
+		if !ok {
+			break
+		}
+		e.ctrs.Add("poll_events", 1)
+		if d := e.Cost.EventCost(); d > 0 {
 			p.Sleep(d)
 		}
-		progress := pump()
-		if progress || !block || e.err != nil {
-			return
+		if onEvent(tag, ev) {
+			progress = true
 		}
-		if e.dirty {
-			continue // socket state changed while we were scanning
+	}
+	// A kick raised by an event handler (ScheduleRedial after a loss)
+	// belongs to this pass: the tail must see it now, in the pass that
+	// drained the loss, not one poll charge later.
+	if e.kick {
+		kicked = true
+		e.kick = false
+	}
+	if e.err == nil && tail != nil && tail(kicked) {
+		progress = true
+	}
+	return progress
+}
+
+// Drive is the canonical Advance scaffold: run poll passes until one
+// makes progress (or, non-blocking, exactly one pass), parking the
+// process between passes when nothing is ready. nfds is the descriptor
+// count the pass cost is charged over — the select() ablation knob; the
+// work itself is proportional to ready events, not nfds.
+//
+// The park is guarded against the lost-wakeup window: a readiness edge
+// or Notify that lands between the pass returning no-progress and the
+// wait must start another pass, not be slept through.
+func (e *Engine) Drive(p *sim.Proc, block bool, nfds int,
+	onEvent func(tag int, ev transport.Ready) bool,
+	tail func(kicked bool) bool) error {
+	for {
+		progress := e.drivePass(p, nfds, onEvent, tail)
+		if e.err != nil {
+			return e.err
+		}
+		if progress || !block {
+			return nil
+		}
+		if e.poller.Pending() || e.kick {
+			continue // arrived while we were pumping: no park
 		}
 		e.cond.Wait(p)
-		// Loop around for another pass.
 	}
 }
 
-// LoopUntil is Loop with an external completion condition instead of a
-// progress requirement: it pumps until stop() holds (or the module
-// fails terminally), parking between transport events. MeshInit's
-// final rendezvous runs on it so a process waiting for slower peers
-// keeps serving inbound traffic — a peer recovering from a session
-// kill during bring-up needs its redial handshake answered even by
-// ranks already done with their own setup.
-func (e *Engine) LoopUntil(p *sim.Proc, nfds int, stop func() bool, pump func() bool) {
+// DriveUntil is Drive with an external completion condition instead of
+// a progress requirement: it pumps until stop() holds (or the module
+// fails terminally), parking between events. MeshInit's final
+// rendezvous runs on it so a process waiting for slower peers keeps
+// serving inbound traffic — a peer recovering from a session kill
+// during bring-up needs its redial handshake answered even by ranks
+// already done with their own setup.
+func (e *Engine) DriveUntil(p *sim.Proc, nfds int, stop func() bool,
+	onEvent func(tag int, ev transport.Ready) bool,
+	tail func(kicked bool) bool) error {
 	for !stop() && e.err == nil {
-		e.dirty = false
-		if d := e.Cost.PollCost(nfds); d > 0 {
-			p.Sleep(d)
-		}
-		pump()
+		e.drivePass(p, nfds, onEvent, tail)
 		if stop() || e.err != nil {
-			return
+			break
 		}
-		if e.dirty {
-			continue // socket state changed while we were scanning
+		if e.poller.Pending() || e.kick {
+			continue
 		}
 		e.cond.Wait(p)
 	}
+	return e.err
 }
 
 // MeshInit runs the connection bring-up shared by all modules: a
@@ -149,7 +213,7 @@ func (e *Engine) LoopUntil(p *sim.Proc, nfds int, stop func() bool, pump func() 
 // handshake needs the surviving side to keep pumping. wake is the
 // module's Notify hook (invoked when the last party arrives) and wait
 // drives the module until the passed check holds, typically via
-// Engine.LoopUntil with the module's Advance pump.
+// Engine.DriveUntil with the module's event handler.
 func MeshInit(p *sim.Proc, b *Barrier, rank, size int,
 	dial func(peer int, hello Envelope) error,
 	accept func() error,

@@ -1,0 +1,247 @@
+package rpi
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// TestDriveLostWakeupPost is the lost-wakeup regression: a readiness
+// edge posted after the pass concluded no-progress but before the park
+// must start another pass, not be slept through. The poller's wake
+// broadcast fires while the process is still running (nobody waiting),
+// so without the pre-park pending check the event would sit queued in
+// a deadlocked simulation.
+func TestDriveLostWakeupPost(t *testing.T) {
+	k := sim.New(1)
+	var e Engine
+	e.SetupEngine(0, 2, CostModel{})
+	events := 0
+	k.Spawn("drv", func(p *sim.Proc) {
+		e.BindProc(p)
+		src := e.Poller().Register(7)
+		posted := false
+		err := e.Drive(p, true, 1,
+			func(tag int, ev transport.Ready) bool {
+				if tag != 7 || !ev.Has(transport.ReadyRecv) {
+					t.Errorf("event (%d, %v), want (7, recv)", tag, ev)
+				}
+				events++
+				return true
+			},
+			func(kicked bool) bool {
+				if !posted {
+					posted = true
+					e.Poller().Post(src, transport.ReadyRecv)
+				}
+				return false
+			})
+		if err != nil {
+			t.Errorf("Drive: %v", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("run (lost wakeup deadlock?): %v", err)
+	}
+	if events != 1 {
+		t.Fatalf("dispatched %d events, want 1", events)
+	}
+}
+
+// TestDriveLostWakeupNotify is the same window for the generic kick: a
+// Notify raised by the tail itself (e.g. ScheduleRedial during loss
+// handling) must be seen by a follow-up pass with kicked=true.
+func TestDriveLostWakeupNotify(t *testing.T) {
+	k := sim.New(1)
+	var e Engine
+	e.SetupEngine(0, 2, CostModel{})
+	kickedPasses := 0
+	k.Spawn("drv", func(p *sim.Proc) {
+		e.BindProc(p)
+		err := e.Drive(p, true, 1,
+			func(int, transport.Ready) bool { return false },
+			func(kicked bool) bool {
+				if kicked {
+					kickedPasses++
+					return true
+				}
+				e.Notify()
+				return false
+			})
+		if err != nil {
+			t.Errorf("Drive: %v", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if kickedPasses != 1 {
+		t.Fatalf("kicked passes = %d, want 1", kickedPasses)
+	}
+}
+
+// TestDriveSameUnitKick verifies a kick raised by an event handler
+// reaches the same pass's tail — the old scan loop ran redials in the
+// pass that drained the loss, and recovery timing depends on it.
+func TestDriveSameUnitKick(t *testing.T) {
+	k := sim.New(1)
+	var e Engine
+	e.SetupEngine(0, 2, CostModel{})
+	var order []string
+	k.Spawn("drv", func(p *sim.Proc) {
+		e.BindProc(p)
+		src := e.Poller().Register(1)
+		e.Poller().Post(src, transport.ReadyErr)
+		err := e.Drive(p, true, 1,
+			func(tag int, ev transport.Ready) bool {
+				order = append(order, "event")
+				e.Notify() // what ScheduleRedial does on loss
+				return true
+			},
+			func(kicked bool) bool {
+				if kicked {
+					order = append(order, "tail-kicked")
+				}
+				return false
+			})
+		if err != nil {
+			t.Errorf("Drive: %v", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(order) != 2 || order[0] != "event" || order[1] != "tail-kicked" {
+		t.Fatalf("order = %v, want [event tail-kicked]", order)
+	}
+}
+
+// TestDriveParkAndTimerWake checks the blocking park: with nothing
+// ready, Drive must sleep in virtual time until a kernel-context post
+// (a transport notify) arrives, then dispatch it.
+func TestDriveParkAndTimerWake(t *testing.T) {
+	k := sim.New(1)
+	var e Engine
+	e.SetupEngine(0, 2, CostModel{})
+	var woke time.Duration
+	k.Spawn("drv", func(p *sim.Proc) {
+		e.BindProc(p)
+		src := e.Poller().Register(3)
+		hook := e.Poller().Hook(src)
+		p.Kernel().After(5*time.Millisecond, func() { hook(transport.ReadyRecv) })
+		err := e.Drive(p, true, 1,
+			func(tag int, ev transport.Ready) bool {
+				woke = p.Now()
+				return true
+			}, nil)
+		if err != nil {
+			t.Errorf("Drive: %v", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if woke != 5*time.Millisecond {
+		t.Fatalf("dispatched at %v, want 5ms", woke)
+	}
+}
+
+// TestDriveFailStopsDispatch is the Fail-ordering regression: when an
+// event handler records a terminal error, readiness events already
+// queued behind it must NOT be pumped — their endpoints are dead with
+// the module — and Drive returns the sticky error, as does every later
+// call.
+func TestDriveFailStopsDispatch(t *testing.T) {
+	k := sim.New(1)
+	var e Engine
+	e.SetupEngine(0, 2, CostModel{})
+	boom := errors.New("boom")
+	var seen []int
+	k.Spawn("drv", func(p *sim.Proc) {
+		e.BindProc(p)
+		a := e.Poller().Register(1)
+		b := e.Poller().Register(2)
+		e.Poller().Post(a, transport.ReadyErr)
+		e.Poller().Post(b, transport.ReadyRecv)
+		onEvent := func(tag int, ev transport.Ready) bool {
+			seen = append(seen, tag)
+			if tag == 1 {
+				e.Fail(boom)
+			}
+			return true
+		}
+		tail := func(bool) bool {
+			t.Error("tail ran after Fail")
+			return false
+		}
+		if err := e.Drive(p, true, 1, onEvent, tail); !errors.Is(err, boom) {
+			t.Errorf("Drive after Fail: %v, want boom", err)
+		}
+		if err := e.Drive(p, true, 1, onEvent, tail); !errors.Is(err, boom) {
+			t.Errorf("second Drive: %v, want sticky boom", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(seen) != 1 || seen[0] != 1 {
+		t.Fatalf("dispatched %v, want only the failing source [1]", seen)
+	}
+}
+
+// TestDriveNonBlockingSinglePass: non-blocking Advance semantics — one
+// pass, no park, even with nothing ready.
+func TestDriveNonBlockingSinglePass(t *testing.T) {
+	k := sim.New(1)
+	var e Engine
+	e.SetupEngine(0, 2, CostModel{PollBase: time.Microsecond})
+	k.Spawn("drv", func(p *sim.Proc) {
+		e.BindProc(p)
+		if err := e.Drive(p, false, 4, func(int, transport.Ready) bool { return true }, nil); err != nil {
+			t.Errorf("Drive: %v", err)
+		}
+		if got := p.Now(); got != time.Microsecond {
+			t.Errorf("poll charge %v, want 1µs", got)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := e.Counters()["poll_passes"]; got != 1 {
+		t.Fatalf("poll_passes = %d, want 1", got)
+	}
+	if got := e.Counters()["poll_scan_fds"]; got != 4 {
+		t.Fatalf("poll_scan_fds = %d, want 4", got)
+	}
+}
+
+// TestEventCostCharged: each dequeued readiness event charges the
+// per-event cost — the proactor's knob, scaling with active peers
+// rather than mesh size.
+func TestEventCostCharged(t *testing.T) {
+	k := sim.New(1)
+	var e Engine
+	e.SetupEngine(0, 2, CostModel{PollPerEvent: 3 * time.Microsecond})
+	k.Spawn("drv", func(p *sim.Proc) {
+		e.BindProc(p)
+		a := e.Poller().Register(1)
+		b := e.Poller().Register(2)
+		e.Poller().Post(a, transport.ReadyRecv)
+		e.Poller().Post(b, transport.ReadyRecv)
+		if err := e.Drive(p, true, 8, func(int, transport.Ready) bool { return true }, nil); err != nil {
+			t.Errorf("Drive: %v", err)
+		}
+		if got := p.Now(); got != 6*time.Microsecond {
+			t.Errorf("event charge %v, want 6µs", got)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := e.Counters()["poll_events"]; got != 2 {
+		t.Fatalf("poll_events = %d, want 2", got)
+	}
+}

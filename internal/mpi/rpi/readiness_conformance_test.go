@@ -1,0 +1,92 @@
+// Readiness conformance: the proactor contract every backend must
+// uphold. Events are edge-triggered — an endpoint is queued once per
+// edge and the module must drain it to would-block — so a lost edge is
+// a hang, and a session kill/redial must retire the dead endpoint's
+// registration and re-arm the replacement without dropping an edge.
+package rpi_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/mpi/rpi"
+)
+
+// Edge-triggered registrations must survive session kill/redial on
+// either side: the dying endpoint's hook is retired by its terminal
+// event, the redialed endpoint is re-registered (with a synthetic
+// readable edge for anything that landed before registration), and no
+// message is lost or reordered across any number of recovery cycles.
+func TestConformanceReadinessAcrossKillCycles(t *testing.T) {
+	for _, b := range backends() {
+		t.Run(b.name, func(t *testing.T) {
+			runWorldMods(t, b, 2, 0, func(mods []rpi.RPI, pr *mpi.Process, comm *mpi.Comm) error {
+				const rounds = 30
+				if comm.Rank() == 0 {
+					for i := 0; i < rounds; i++ {
+						if err := comm.Send(1, 0, pattern(700, byte(i))); err != nil {
+							return err
+						}
+						// Kill after every tenth send: buffered bytes die
+						// with the session and must be replayed into a
+						// fresh endpoint whose readiness hook was armed
+						// after the data could already be queued.
+						if i%10 == 9 {
+							kill(t, mods, 0, 1)
+						}
+					}
+					return nil
+				}
+				buf := make([]byte, 700)
+				for i := 0; i < rounds; i++ {
+					if i == 15 {
+						// Receiver-side kill mid-stream: the sender keeps
+						// writing into a session the receiver destroyed.
+						kill(t, mods, 1, 0)
+					}
+					if _, err := comm.Recv(0, 0, buf); err != nil {
+						return err
+					}
+					if err := checkPattern(buf, byte(i)); err != nil {
+						return fmt.Errorf("round %d: %w", i, err)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// A receiver parked in a blocking receive before any bytes exist must
+// be woken by the transport readiness edge alone — and must actually
+// park, not busy-poll, while the sender idles.
+func TestConformanceReadinessParkedWake(t *testing.T) {
+	for _, b := range backends() {
+		t.Run(b.name, func(t *testing.T) {
+			mods := runWorld(t, b, 2, 0, func(pr *mpi.Process, comm *mpi.Comm) error {
+				if comm.Rank() == 0 {
+					pr.P.Sleep(40 * time.Millisecond)
+					return comm.Send(1, 0, pattern(4096, 2))
+				}
+				buf := make([]byte, 4096)
+				if _, err := comm.Recv(0, 0, buf); err != nil {
+					return err
+				}
+				return checkPattern(buf, 2)
+			})
+			for r, m := range mods {
+				c := m.Counters()
+				if c["poll_events"] == 0 {
+					t.Errorf("rank %d: poll_events = 0; progress never consumed a readiness event", r)
+				}
+				// The whole exchange is a handful of edges. Thousands of
+				// passes would mean the blocking path regressed to a spin.
+				if got := c["poll_passes"]; got > 1000 {
+					t.Errorf("rank %d: poll_passes = %d; blocking progress is spinning instead of parking", r, got)
+				}
+			}
+		})
+	}
+}

@@ -175,6 +175,12 @@ type CostModel struct {
 	RecvPerKB  time.Duration // per 1024 body bytes received
 	PollBase   time.Duration // per Advance poll pass (select/recvmsg syscall)
 	PollPerFD  time.Duration // additional per polled descriptor (select scan)
+	// PollPerEvent charges each readiness event the proactor engine
+	// dequeues. Unlike PollPerFD it scales with *active* peers, not mesh
+	// size — the epoll-vs-select distinction the rank-scaling benchmark
+	// measures. Zero in the default models so the paper's figures keep
+	// their select-era charging.
+	PollPerEvent time.Duration
 }
 
 // SendCost returns the virtual CPU cost of sending n body bytes.
@@ -191,4 +197,10 @@ func (c CostModel) RecvCost(n int) time.Duration {
 // descriptors.
 func (c CostModel) PollCost(nfds int) time.Duration {
 	return c.PollBase + c.PollPerFD*time.Duration(nfds)
+}
+
+// EventCost returns the virtual CPU cost of dequeuing one readiness
+// event in the proactor loop.
+func (c CostModel) EventCost() time.Duration {
+	return c.PollPerEvent
 }

@@ -221,12 +221,15 @@ func (ss *Sessions) MarkLost(peer int) bool {
 }
 
 // ScheduleRedial moves a suspect session to Reconnecting with the
-// first attempt due immediately.
+// first attempt due immediately. The engine kick makes the proactor
+// loop's next tail sweep run the attempt: redial state is time-driven,
+// not endpoint readiness, so it rides the Notify channel.
 func (ss *Sessions) ScheduleRedial(peer int) {
 	s := ss.sess[peer]
 	s.State = SessReconnecting
 	s.dialing = false
 	s.nextAttempt = ss.k.Now()
+	ss.e.Notify()
 }
 
 // RedialDue reports whether a redial attempt should start now.

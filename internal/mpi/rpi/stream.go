@@ -105,41 +105,70 @@ func (f *StreamFramer) Reset() {
 	*f = StreamFramer{}
 }
 
+// beginMessage latches a decoded envelope and allocates the pooled
+// body buffer ownership of which passes to onMsg with the complete
+// message; the RPI engine recycles it after delivery.
+func (f *StreamFramer) beginMessage(env Envelope) {
+	f.env = env
+	f.envGot = 0
+	f.haveEnv = true
+	f.body = nil
+	if env.Kind.HasBody() && env.Length > 0 {
+		f.body = wire.GetBuf(env.Length)[:0]
+	}
+}
+
+// readEnvelope advances the envelope half of the state machine. The
+// fast path parses the envelope in place from the stream's contiguous
+// head region — no copy, no scratch buffer; with a bip-buffer receive
+// queue underneath, that is the overwhelmingly common case. Only an
+// envelope straddling the region boundary (or arriving in fragments)
+// is assembled byte-by-byte in envBuf. Returns true once f.haveEnv;
+// false when out of bytes or on a frame error (which it reports).
+func (f *StreamFramer) readEnvelope(src transport.ByteStream, progress *bool, onFrameError func()) bool {
+	if f.envGot == 0 {
+		if h, _ := src.Peek(); len(h) >= EnvelopeSize {
+			env, derr := DecodeEnvelope(h[:EnvelopeSize])
+			src.Discard(EnvelopeSize)
+			*progress = true
+			if derr != nil {
+				onFrameError()
+				return false
+			}
+			f.beginMessage(env)
+			return true
+		}
+	}
+	n, _ := src.TryRead(f.envBuf[f.envGot:])
+	if n == 0 {
+		// Would block, EOF (peer finalized), or reset.
+		return false
+	}
+	*progress = true
+	f.envGot += n
+	if f.envGot < EnvelopeSize {
+		return false // a short read means the stream is drained
+	}
+	env, derr := DecodeEnvelope(f.envBuf[:])
+	if derr != nil {
+		onFrameError()
+		return false
+	}
+	f.beginMessage(env)
+	return true
+}
+
 // Drain pulls every available byte through the framing state machine,
 // invoking onMsg for each complete message and onFrameError for an
 // undecodable envelope (which also abandons the read pass). It reports
 // whether anything arrived.
-func (f *StreamFramer) Drain(tryRead func([]byte) (int, error),
+func (f *StreamFramer) Drain(src transport.ByteStream,
 	onMsg func(Envelope, []byte), onFrameError func()) bool {
 	progress := false
 	for {
 		if !f.haveEnv {
-			n, err := tryRead(f.envBuf[f.envGot:])
-			if n > 0 {
-				progress = true
-			}
-			if n == 0 {
-				// Would block, EOF (peer finalized), or reset.
+			if !f.readEnvelope(src, &progress, onFrameError) {
 				return progress
-			}
-			_ = err
-			f.envGot += n
-			if f.envGot < EnvelopeSize {
-				continue
-			}
-			env, derr := DecodeEnvelope(f.envBuf[:])
-			if derr != nil {
-				onFrameError()
-				return progress
-			}
-			f.env = env
-			f.envGot = 0
-			f.haveEnv = true
-			f.body = nil
-			if env.Kind.HasBody() && env.Length > 0 {
-				// Pooled: ownership passes to onMsg with the complete
-				// message; the RPI engine recycles it after delivery.
-				f.body = wire.GetBuf(env.Length)[:0]
 			}
 		}
 		// Body bytes, if any.
@@ -155,7 +184,7 @@ func (f *StreamFramer) Drain(tryRead func([]byte) (int, error),
 			if need > 64<<10 {
 				need = 64 << 10
 			}
-			n, err := tryRead(f.body[len(f.body) : len(f.body)+need])
+			n, err := src.TryRead(f.body[len(f.body) : len(f.body)+need])
 			if n > 0 {
 				f.body = f.body[:len(f.body)+n]
 				progress = true

@@ -31,6 +31,13 @@ import (
 // DefaultPort is the mesh listener port.
 const DefaultPort = 7003
 
+// Poller source tags for non-peer endpoints; peer associations use the
+// peer's rank (>= 0) as their tag.
+const (
+	tagAccept  = -1 // the one-to-one listener
+	tagPending = -2 // all undecided inbound associations, coalesced
+)
+
 // Options configures the module.
 type Options struct {
 	Port         uint16
@@ -67,6 +74,9 @@ type Module struct {
 	pending   []*sctp.Conn // accepted, awaiting their first envelope
 	helloSeen []bool       // lower ranks confirmed during bring-up (distinct)
 	hellos    int
+
+	srcID   []int // rank → poller source id, -1 until first attach
+	pendSrc int   // shared source for undecided inbound associations
 }
 
 // New builds the module for one rank. addrs maps each world rank to
@@ -125,6 +135,11 @@ func (m *Module) StreamFor(context, tag int32) uint16 {
 func (m *Module) Init(p *sim.Proc) error {
 	m.BindProc(p)
 	m.helloSeen = make([]bool, m.Size)
+	m.srcID = make([]int, m.Size)
+	for i := range m.srcID {
+		m.srcID[i] = -1
+	}
+	m.pendSrc = m.Poller().Register(tagPending)
 	m.sess = rpi.NewSessions(&m.Engine, p.Kernel(), m.Size, rpi.SessionConfig{
 		RedialBudget:    m.opts.RedialBudget,
 		DropReplayEvery: m.opts.DropReplayEvery,
@@ -134,7 +149,8 @@ func (m *Module) Init(p *sim.Proc) error {
 		return err
 	}
 	m.listener = l
-	l.SetNotify(m.Notify)
+	lsrc := m.Poller().Register(tagAccept)
+	l.SetNotify(m.Poller().Hook(lsrc))
 	m.sender = rpi.NewMsgSender(
 		rpi.DeriveBodyChunk(m.opts.BodyChunk, l.Config().SndBuf),
 		m.opts.OptionC, m.Counters(), m.trySend)
@@ -159,8 +175,9 @@ func (m *Module) Init(p *sim.Proc) error {
 		return nil
 	}
 	wait := func(done func() bool) error {
-		m.LoopUntil(p, m.Size-1, done, func() bool { return m.pump(p) })
-		return m.Err()
+		return m.DriveUntil(p, m.Size-1, done,
+			func(tag int, ev transport.Ready) bool { return m.onEvent(p, tag, ev) },
+			m.tail)
 	}
 	return rpi.MeshInit(p, m.barrier, m.Rank, m.Size, dial, accept, m.Notify, wait)
 }
@@ -177,12 +194,20 @@ func (m *Module) markHello(r int) {
 	}
 }
 
-// attach wires one association in. Accepted Conns share the listener's
-// socket, so re-registering the same notify hook there is a no-op;
-// dialed Conns own a dedicated socket that needs it.
+// attach wires one association in. Conn.SetNotify registers
+// per-association on the underlying socket (shared listening socket or
+// dedicated dial-side socket alike), so each peer's readiness edges
+// carry its own rank tag. The synthetic post covers messages that
+// landed on the socket queue before this registration — edge-triggered
+// readiness produces no event for them.
 func (m *Module) attach(rank int, c *sctp.Conn) {
 	m.peers[rank] = c
-	c.SetNotify(m.Notify)
+	if m.srcID[rank] < 0 {
+		m.srcID[rank] = m.Poller().Register(rank)
+	}
+	id := m.srcID[rank]
+	c.SetNotify(m.Poller().Hook(id))
+	m.Poller().Post(id, transport.ReadyRecv)
 	m.Counters().Add("connections", 1)
 }
 
@@ -212,47 +237,67 @@ func (m *Module) Send(dest int, env rpi.Envelope, body []byte, onQueued func()) 
 	m.sender.Send(key, env, body, nil)
 }
 
-// Advance implements rpi.RPI: one select()-style pass over all N-1
-// associations — the descriptor scan is back (poll cost linear in
-// Size-1, like the TCP module) even though each association is
-// message-oriented and multistreamed. The pass also services pending
-// inbound reconnections and due redials.
+// Advance implements rpi.RPI: drain the readiness queue, pumping only
+// the associations whose state changed. The pass cost stays charged
+// over all Size-1 descriptors — the select() scan this ablation exists
+// to keep — but the work done is proportional to ready events.
 func (m *Module) Advance(p *sim.Proc, block bool) error {
-	m.Loop(p, block, m.Size-1, func() bool { return m.pump(p) })
-	return m.Err()
+	return m.Drive(p, block, m.Size-1,
+		func(tag int, ev transport.Ready) bool { return m.onEvent(p, tag, ev) },
+		m.tail)
 }
 
-// pump is one progress pass: pending associations, per-peer reads,
-// dead-association detection, due redials, writer flush.
-func (m *Module) pump(p *sim.Proc) bool {
-	progress := false
-	if m.servicePending(p) {
-		progress = true
+// onEvent dispatches one readiness edge to the endpoint its tag names.
+func (m *Module) onEvent(p *sim.Proc, tag int, ev transport.Ready) bool {
+	switch tag {
+	case tagAccept:
+		return m.acceptPending()
+	case tagPending:
+		return m.drainPending(p)
+	default:
+		return m.pumpPeer(p, tag)
 	}
-	for r := range m.peers {
-		c := m.peers[r]
-		for c != nil && m.peers[r] == c {
-			msg, err := c.TryRecvMsg()
-			if err != nil {
-				if lost(err) {
-					m.onConnDeath(r)
-					progress = true
-				}
-				break
-			}
-			if m.handleInbound(p, r, msg) {
+}
+
+// tail runs every pass: flush writers with queued work (the per-pass
+// flush the old scan loop did), and on a Notify kick service redial
+// attempts that came due.
+func (m *Module) tail(kicked bool) bool {
+	progress := false
+	if kicked {
+		for r := range m.peers {
+			if r != m.Rank && m.peers[r] == nil && m.sess.RedialDue(r) {
+				m.redial(m.Proc(), r)
 				progress = true
 			}
 		}
-		// A down session redials here whether it went down this pass or
-		// a failed earlier attempt left the slot empty (backoff timers
-		// re-arm the notify that gets us back into this pass).
-		if r != m.Rank && m.peers[r] == nil && m.sess.RedialDue(r) {
-			m.redial(p, r)
+	}
+	if m.sender.FlushActive() {
+		progress = true
+	}
+	return progress
+}
+
+// pumpPeer drains one peer association to would-block, detecting
+// abortive death and running a due redial for a downed slot.
+func (m *Module) pumpPeer(p *sim.Proc, r int) bool {
+	progress := false
+	c := m.peers[r]
+	for c != nil && m.peers[r] == c {
+		msg, err := c.TryRecvMsg()
+		if err != nil {
+			if lost(err) {
+				m.onConnDeath(r)
+				progress = true
+			}
+			break
+		}
+		if m.handleInbound(p, r, msg) {
 			progress = true
 		}
 	}
-	if m.sender.FlushActive() {
+	if r != m.Rank && m.peers[r] == nil && m.sess.RedialDue(r) {
+		m.redial(p, r)
 		progress = true
 	}
 	return progress
@@ -317,26 +362,33 @@ func (m *Module) replayGap(r int, gap []rpi.Retained) {
 	}
 }
 
-// servicePending accepts inbound associations and reads each one's
-// first message, which must announce the dialing rank: a KindHello
-// during mesh bring-up (the pump-driven form of the accept loop) or a
-// KindReconnect opening session recovery. Valid reconnects are adopted
-// as the peer's replacement association (unless our own dial wins the
-// collision tie-break); anything else is aborted.
-func (m *Module) servicePending(p *sim.Proc) bool {
+// acceptPending pulls every completed inbound association off the
+// listener onto the pending list. Undecided associations share one
+// coalesced poller source; the synthetic post covers a first message
+// that reached the socket queue before the hook registration.
+func (m *Module) acceptPending() bool {
 	progress := false
 	for {
 		c, err := m.listener.TryAccept()
 		if err != nil {
 			break
 		}
-		c.SetNotify(m.Notify)
+		c.SetNotify(m.Poller().Hook(m.pendSrc))
+		m.Poller().Post(m.pendSrc, transport.ReadyRecv)
 		m.pending = append(m.pending, c)
 		progress = true
 	}
-	if len(m.pending) == 0 {
-		return progress
-	}
+	return progress
+}
+
+// drainPending reads each undecided association's first message, which
+// must announce the dialing rank: a KindHello during mesh bring-up
+// (the pump-driven form of the accept loop) or a KindReconnect opening
+// session recovery. Valid reconnects are adopted as the peer's
+// replacement association (unless our own dial wins the collision
+// tie-break); anything else is aborted.
+func (m *Module) drainPending(p *sim.Proc) bool {
+	progress := false
 	kept := m.pending[:0]
 	for _, c := range m.pending {
 		msg, err := c.TryRecvMsg()

@@ -32,6 +32,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sctp"
 	"repro/internal/sim"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -139,7 +140,12 @@ func (m *Module) Init(p *sim.Proc) error {
 		m.opts.OptionC, m.Counters(), m.trySend)
 	m.recv = rpi.NewReassembler(m.Counters())
 	sk.Listen()
-	sk.SetNotify(m.Notify)
+	// One endpoint, one poller source: every association's readiness
+	// multiplexes onto the shared one-to-many socket, which is exactly
+	// the paper's no-select() point — the hook is registered before any
+	// Connect, so no message can arrive ahead of it.
+	src := m.Poller().Register(0)
+	sk.SetNotify(m.Poller().Hook(src))
 	dial := func(j int, hello rpi.Envelope) error {
 		id, err := sk.Connect(p, m.addrs[j], m.opts.Port, m.streams)
 		if err != nil {
@@ -154,7 +160,7 @@ func (m *Module) Init(p *sim.Proc) error {
 	// it and reply) or, if a session kill hit the bring-up, by a
 	// completed recovery handshake — then rendezvous globally so no
 	// process starts MPI traffic before all associations exist. The
-	// rendezvous itself keeps pumping (LoopUntil): a rank whose peer is
+	// rendezvous itself keeps pumping (DriveUntil): a rank whose peer is
 	// still redialing must answer the recovery handshake.
 	accept := func() error {
 		for m.hellos < m.Size-1 {
@@ -165,8 +171,9 @@ func (m *Module) Init(p *sim.Proc) error {
 		return nil
 	}
 	wait := func(done func() bool) error {
-		m.LoopUntil(p, 1, done, func() bool { return m.pump(p) })
-		return m.Err()
+		return m.DriveUntil(p, 1, done,
+			func(tag int, ev transport.Ready) bool { return m.onEvent(p, ev) },
+			m.tail)
 	}
 	return rpi.MeshInit(p, m.barrier, m.Rank, m.Size, dial, accept, m.Notify, wait)
 }
@@ -211,18 +218,20 @@ func (m *Module) Send(dest int, env rpi.Envelope, body []byte, onQueued func()) 
 	m.sender.Send(key, env, body, nil)
 }
 
-// Advance implements rpi.RPI: drain the one-to-many socket (no select;
-// messages arrive in network order and are demultiplexed on association
-// then stream), then flush writers and service due redials. The poll
-// cost covers a single descriptor regardless of world size.
+// Advance implements rpi.RPI: drain the one-to-many socket when its
+// readiness edge fires (no select; messages arrive in network order
+// and are demultiplexed on association then stream) and flush writers.
+// The poll cost covers a single descriptor regardless of world size.
 func (m *Module) Advance(p *sim.Proc, block bool) error {
-	m.Loop(p, block, 1, func() bool { return m.pump(p) })
-	return m.Err()
+	return m.Drive(p, block, 1,
+		func(tag int, ev transport.Ready) bool { return m.onEvent(p, ev) },
+		m.tail)
 }
 
-// pump is one progress pass: drain the socket, service due redials,
-// flush writers.
-func (m *Module) pump(p *sim.Proc) bool {
+// onEvent is the socket's readiness handler: edge-triggered, so it
+// drains the receive queue to would-block and flushes every writer
+// with queued work (a ReadySend edge means SACKs freed buffer space).
+func (m *Module) onEvent(p *sim.Proc, ev transport.Ready) bool {
 	progress := false
 	for {
 		msg, err := m.sock.TryRecvMsg()
@@ -233,14 +242,24 @@ func (m *Module) pump(p *sim.Proc) bool {
 			progress = true
 		}
 	}
-	for r := 0; r < m.Size; r++ {
-		if r != m.Rank && m.assocByRank[r] == 0 && m.sess.RedialDue(r) {
-			m.redial(p, r)
-			progress = true
-		}
-	}
 	if m.sender.FlushActive() {
 		progress = true
+	}
+	return progress
+}
+
+// tail services the time-driven recovery state on a Notify kick: redial
+// attempts that came due.
+func (m *Module) tail(kicked bool) bool {
+	if !kicked {
+		return false
+	}
+	progress := false
+	for r := 0; r < m.Size; r++ {
+		if r != m.Rank && m.assocByRank[r] == 0 && m.sess.RedialDue(r) {
+			m.redial(m.Proc(), r)
+			progress = true
+		}
 	}
 	return progress
 }

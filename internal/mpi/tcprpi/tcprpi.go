@@ -30,6 +30,13 @@ import (
 // DefaultPort is the mesh listener port.
 const DefaultPort = 7001
 
+// Poller source tags for non-peer endpoints; peer connections use the
+// peer's rank (>= 0) as their tag.
+const (
+	tagAccept  = -1 // the mesh listener
+	tagPending = -2 // all undecided inbound connections, coalesced
+)
+
 // Options configures the module.
 type Options struct {
 	Port uint16
@@ -56,6 +63,9 @@ type Module struct {
 	pending   []*pendingConn
 	helloSeen []bool // lower ranks confirmed during bring-up (distinct)
 	hellos    int
+
+	srcID   []int // rank → poller source id, -1 until first attach
+	pendSrc int   // shared source for undecided inbound connections
 }
 
 // peer is one mesh connection: the socket plus its framing reader and
@@ -119,6 +129,11 @@ func lost(err error) bool {
 func (m *Module) Init(p *sim.Proc) error {
 	m.BindProc(p)
 	m.helloSeen = make([]bool, m.Size)
+	m.srcID = make([]int, m.Size)
+	for i := range m.srcID {
+		m.srcID[i] = -1
+	}
+	m.pendSrc = m.Poller().Register(tagPending)
 	m.sess = rpi.NewSessions(&m.Engine, p.Kernel(), m.Size, rpi.SessionConfig{
 		RedialBudget:    m.opts.RedialBudget,
 		DropReplayEvery: m.opts.DropReplayEvery,
@@ -128,7 +143,8 @@ func (m *Module) Init(p *sim.Proc) error {
 		return err
 	}
 	m.listener = l
-	l.SetNotify(m.Notify)
+	lsrc := m.Poller().Register(tagAccept)
+	l.SetNotify(m.Poller().Hook(lsrc))
 	dial := func(j int, hello rpi.Envelope) error {
 		c, err := m.stack.ConnectConfig(p, m.opts.TCP, m.addrs[j], m.opts.Port)
 		if err != nil {
@@ -149,8 +165,9 @@ func (m *Module) Init(p *sim.Proc) error {
 		return nil
 	}
 	wait := func(done func() bool) error {
-		m.LoopUntil(p, m.Size-1, done, func() bool { return m.pump(p) })
-		return m.Err()
+		return m.DriveUntil(p, m.Size-1, done,
+			func(tag int, ev transport.Ready) bool { return m.onEvent(p, tag, ev) },
+			m.tail)
 	}
 	return rpi.MeshInit(p, m.barrier, m.Rank, m.Size, dial, accept, m.Notify, wait)
 }
@@ -169,8 +186,21 @@ func (m *Module) markHello(r int) {
 
 func (m *Module) attach(rank int, c *tcp.Conn) {
 	m.peers[rank] = &peer{conn: c}
-	c.SetNotify(m.Notify)
+	m.bindPeerConn(rank, c)
 	m.Counters().Add("connections", 1)
+}
+
+// bindPeerConn points peer r's poller source at conn and posts one
+// synthetic readable edge: readiness is edge-triggered, so bytes that
+// arrived before this registration produced no event and the first
+// pump must not depend on one.
+func (m *Module) bindPeerConn(r int, c *tcp.Conn) {
+	if m.srcID[r] < 0 {
+		m.srcID[r] = m.Poller().Register(r)
+	}
+	id := m.srcID[r]
+	c.SetNotify(m.Poller().Hook(id))
+	m.Poller().Post(id, transport.ReadyRecv)
 }
 
 // Send implements rpi.RPI. Every middleware message is stamped and
@@ -196,46 +226,71 @@ func (m *Module) sendError(error) { m.Counters().Add("send_errors", 1) }
 
 func (m *Module) frameError() { m.Counters().Add("frame_errors", 1) }
 
-// Advance implements rpi.RPI: one select()-style pass over all
-// sockets, reading every ready byte stream and flushing writers. The
-// poll cost is linear in the descriptor count — the select() scan the
-// paper discusses. The pass also services the recovery machinery:
-// pending inbound reconnections, dead-connection detection, and due
-// redials.
+// Advance implements rpi.RPI: drain the readiness queue, pumping only
+// the endpoints whose state actually changed. The pass cost stays
+// charged over all Size-1 descriptors — the select() scan ablation the
+// paper discusses — but the work done is proportional to ready events.
 func (m *Module) Advance(p *sim.Proc, block bool) error {
-	m.Loop(p, block, m.Size-1, func() bool { return m.pump(p) })
-	return m.Err()
+	return m.Drive(p, block, m.Size-1,
+		func(tag int, ev transport.Ready) bool { return m.onEvent(p, tag, ev) },
+		m.tail)
 }
 
-// pump is one progress pass: pending connections, per-peer reads and
-// writes, dead-connection detection, due redials.
-func (m *Module) pump(p *sim.Proc) bool {
-	progress := false
-	if m.servicePending(p) {
-		progress = true
+// onEvent dispatches one readiness edge to the endpoint its tag names.
+func (m *Module) onEvent(p *sim.Proc, tag int, ev transport.Ready) bool {
+	switch tag {
+	case tagAccept:
+		return m.acceptPending()
+	case tagPending:
+		return m.drainPending(p)
+	default:
+		return m.pumpPeer(p, tag)
 	}
+}
+
+// tail services the time-driven recovery state on a Notify kick: redial
+// attempts that came due (session scheduling and backoff timers kick,
+// endpoint traffic never needs this sweep).
+func (m *Module) tail(kicked bool) bool {
+	if !kicked {
+		return false
+	}
+	progress := false
 	for r, pe := range m.peers {
-		if pe == nil {
-			continue
-		}
-		if pe.conn != nil {
-			if pe.out.Pending() && pe.out.Flush(pe.conn.TryWrite, m.sendError) > 0 {
-				progress = true
-			}
-			if pe.in.Drain(pe.conn.TryRead, func(env rpi.Envelope, body []byte) {
-				m.inbound(p, r, env, body)
-			}, m.frameError) {
-				progress = true
-			}
-			if pe.conn != nil && lost(pe.conn.Err()) {
-				m.onConnDeath(r)
-				progress = true
-			}
-		}
-		if pe.conn == nil && m.sess.RedialDue(r) {
-			m.redial(p, r)
+		if pe != nil && pe.conn == nil && m.sess.RedialDue(r) {
+			m.redial(m.Proc(), r)
 			progress = true
 		}
+	}
+	return progress
+}
+
+// pumpPeer moves every ready byte on one peer connection: flush the
+// write queue, drain the framing reader, detect abortive death, and
+// run a due redial for a downed slot.
+func (m *Module) pumpPeer(p *sim.Proc, r int) bool {
+	pe := m.peers[r]
+	if pe == nil {
+		return false
+	}
+	progress := false
+	if pe.conn != nil {
+		if pe.out.Pending() && pe.out.Flush(pe.conn.TryWrite, m.sendError) > 0 {
+			progress = true
+		}
+		if pe.in.Drain(pe.conn, func(env rpi.Envelope, body []byte) {
+			m.inbound(p, r, env, body)
+		}, m.frameError) {
+			progress = true
+		}
+		if pe.conn != nil && lost(pe.conn.Err()) {
+			m.onConnDeath(r)
+			progress = true
+		}
+	}
+	if pe.conn == nil && m.sess.RedialDue(r) {
+		m.redial(p, r)
+		progress = true
 	}
 	return progress
 }
@@ -272,7 +327,7 @@ func (m *Module) redial(p *sim.Proc, r int) {
 		return
 	}
 	m.sess.DialSucceeded(r)
-	c.SetNotify(m.Notify)
+	m.bindPeerConn(r, c)
 	pe := m.peers[r]
 	pe.conn = c
 	pe.out.Reset()
@@ -323,27 +378,35 @@ func (m *Module) pushReplay(pe *peer, gap []rpi.Retained) {
 	}
 }
 
-// servicePending accepts inbound connections and drives each one until
-// its first envelope decides its fate: a valid KindReconnect is adopted
-// as the peer's replacement connection (unless our own dial wins the
-// collision tie-break), anything else is reset.
-func (m *Module) servicePending(p *sim.Proc) bool {
+// acceptPending pulls every completed inbound connection off the
+// listener backlog onto the pending list. All undecided connections
+// share one coalesced poller source; the synthetic post makes their
+// bytes that landed before hook registration (a hello piggybacked on
+// the handshake) visible to the edge-triggered drain.
+func (m *Module) acceptPending() bool {
 	progress := false
 	for {
 		c, err := m.listener.TryAccept()
 		if err != nil {
 			break
 		}
-		c.SetNotify(m.Notify)
+		c.SetNotify(m.Poller().Hook(m.pendSrc))
+		m.Poller().Post(m.pendSrc, transport.ReadyRecv)
 		m.pending = append(m.pending, &pendingConn{conn: c})
 		progress = true
 	}
-	if len(m.pending) == 0 {
-		return progress
-	}
+	return progress
+}
+
+// drainPending drives each undecided inbound connection until its
+// first envelope decides its fate: a valid KindReconnect is adopted as
+// the peer's replacement connection (unless our own dial wins the
+// collision tie-break), anything else is reset.
+func (m *Module) drainPending(p *sim.Proc) bool {
+	progress := false
 	kept := m.pending[:0]
 	for _, pc := range m.pending {
-		if pc.in.Drain(pc.conn.TryRead, func(env rpi.Envelope, body []byte) {
+		if pc.in.Drain(pc.conn, func(env rpi.Envelope, body []byte) {
 			m.pendingMsg(p, pc, env, body)
 		}, m.frameError) {
 			progress = true
@@ -437,6 +500,7 @@ func (m *Module) pendingMsg(p *sim.Proc, pc *pendingConn, env rpi.Envelope, body
 		pe.in.Reset()
 	}
 	pe.conn = pc.conn
+	m.bindPeerConn(r, pc.conn)
 	m.Counters().Add("connections", 1)
 	ack, gap := m.sess.OnReconnect(r, env)
 	pe.out.Push(ack, nil, nil)

@@ -68,8 +68,10 @@ func (s *Stack) ListenOneToOneConfig(port uint16, cfg Config) (*OneToOneListener
 }
 
 // SetNotify registers fn on the shared listening socket: it fires when
-// a new association or message arrives (see Socket.SetNotify).
-func (l *OneToOneListener) SetNotify(fn func()) { l.sock.SetNotify(fn) }
+// a new association or message arrives (see Socket.SetNotify). Events
+// for associations claimed by an accepted Conn's own SetNotify do not
+// reach this hook.
+func (l *OneToOneListener) SetNotify(fn func(transport.Ready)) { l.sock.SetNotify(fn) }
 
 // Config returns the listening socket's effective configuration
 // (defaults applied).
@@ -185,11 +187,11 @@ func (c *Conn) Writable() bool {
 	return a != nil && a.Established() && a.SndBufAvailable() > 0
 }
 
-// SetNotify registers fn on the underlying socket (see
-// Socket.SetNotify). Accepted Conns share the listening socket, so the
-// last registration wins there; an RPI that owns several accepted
-// Conns registers the same hook on each.
-func (c *Conn) SetNotify(fn func()) { c.sock.SetNotify(fn) }
+// SetNotify registers fn for this association's events. Accepted Conns
+// share the listening socket, so the registration is per-association
+// (Socket.SetAssocNotify): each Conn gets exactly its own edges, and
+// unclaimed associations keep waking the listener's socket-level hook.
+func (c *Conn) SetNotify(fn func(transport.Ready)) { c.sock.SetAssocNotify(c.assoc, fn) }
 
 // RecvMsg receives the next message for this association, leaving
 // messages belonging to other associations on the shared socket queue.

@@ -2,6 +2,7 @@ package sctp
 
 import (
 	"repro/internal/seqnum"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -352,7 +353,7 @@ func (a *Assoc) onT3(pi int) {
 	pt.flight = 0
 	a.probeCwnd(pt)
 	a.transmit()
-	a.sock.fireNotify()
+	a.sock.fireNotify(a.id, transport.ReadySend)
 }
 
 // processSackLikeCum applies the cumulative-ack information carried on
@@ -522,7 +523,7 @@ func (a *Assoc) processSack(c *chunk) {
 
 	if newlyAcked {
 		a.sndCond.Broadcast()
-		a.sock.fireNotify()
+		a.sock.fireNotify(a.id, transport.ReadySend)
 	}
 	a.transmit()
 }

@@ -63,9 +63,10 @@ type Socket struct {
 	assocs map[addrPort]*Assoc // by every peer (address, port)
 	byID   map[AssocID]*Assoc
 
-	rq      []*Message
-	rcvCond *sim.Cond
-	notify  func()
+	rq       []*Message
+	rcvCond  *sim.Cond
+	notify   func(transport.Ready)
+	notifyBy map[AssocID]func(transport.Ready)
 
 	// Stats aggregates across all associations on the socket.
 	Stats SocketStats
@@ -117,12 +118,46 @@ func (sk *Socket) Config() Config { return sk.cfg }
 func (sk *Socket) Listen() { sk.listening = true }
 
 // SetNotify registers fn to be invoked (in kernel context) whenever the
-// socket becomes readable/writable or an association changes state.
-func (sk *Socket) SetNotify(fn func()) { sk.notify = fn }
+// socket becomes readable/writable or an association changes state. The
+// hook is edge-triggered: one call may stand for many queued messages,
+// so consumers must drain until would-block. Events for associations
+// with a per-association hook (SetAssocNotify) do not reach fn.
+func (sk *Socket) SetNotify(fn func(transport.Ready)) { sk.notify = fn }
 
-func (sk *Socket) fireNotify() {
+// SetAssocNotify registers fn for events belonging to one association —
+// the routing a one-to-one Conn needs when it shares a listening
+// socket with its siblings. A nil fn unregisters; events fall back to
+// the socket-level hook.
+func (sk *Socket) SetAssocNotify(id AssocID, fn func(transport.Ready)) {
+	if fn == nil {
+		delete(sk.notifyBy, id)
+		return
+	}
+	if sk.notifyBy == nil {
+		sk.notifyBy = make(map[AssocID]func(transport.Ready))
+	}
+	sk.notifyBy[id] = fn
+}
+
+// fireNotify routes a readiness edge: per-association hook first, then
+// the socket-level hook. id 0 means "no association" (socket-scope
+// events such as Close); AssocIDs start at 1. A terminal event retires
+// the registration — the association state is already gone by the time
+// its CommLost/ShutdownComplete notification enqueues (teardown runs
+// first), so this routing is the registration's last duty.
+func (sk *Socket) fireNotify(id AssocID, ev transport.Ready) {
+	if ev == 0 {
+		return
+	}
+	if fn, ok := sk.notifyBy[id]; ok {
+		if ev.Has(transport.ReadyClosed) || ev.Has(transport.ReadyErr) {
+			delete(sk.notifyBy, id)
+		}
+		fn(ev)
+		return
+	}
 	if sk.notify != nil {
-		sk.notify()
+		sk.notify(ev)
 	}
 }
 
@@ -215,7 +250,14 @@ func (sk *Socket) enqueue(m *Message) {
 		sk.Stats.BytesRcvd += int64(len(m.Data))
 	}
 	sk.rcvCond.Broadcast()
-	sk.fireNotify()
+	ev := transport.ReadyRecv
+	switch m.Notification {
+	case NotifyCommLost:
+		ev = transport.ReadyErr
+	case NotifyShutdownComplete:
+		ev = transport.ReadyClosed
+	}
+	sk.fireNotify(m.Assoc, ev)
 }
 
 // RecvMsg blocks until a message or notification arrives, mirroring
@@ -378,7 +420,16 @@ func (sk *Socket) Close() {
 	}
 	sk.maybeRelease()
 	sk.rcvCond.Broadcast()
-	sk.fireNotify()
+	// Wake both scopes: the socket-level consumer and every Conn holding
+	// a per-association registration (deterministic order).
+	if sk.notify != nil {
+		sk.notify(transport.ReadyClosed)
+	}
+	for _, id := range sk.Assocs() {
+		if fn, ok := sk.notifyBy[id]; ok {
+			fn(transport.ReadyClosed)
+		}
+	}
 }
 
 func (sk *Socket) maybeRelease() {
@@ -394,6 +445,9 @@ func (sk *Socket) removeAssoc(a *Assoc) {
 			delete(sk.assocs, key)
 		}
 	}
+	// The notifyBy registration survives removal on purpose: the terminal
+	// notification enqueues after teardown and must still route to the
+	// association's hook (fireNotify retires it).
 	delete(sk.byID, a.id)
 	sk.Stats.AssocsClosed++
 	sk.maybeRelease()

@@ -40,6 +40,37 @@ func (c *Conn) TryRead(b []byte) (int, error) {
 	return 0, ErrWouldBlock
 }
 
+// Peek returns the contiguous head region of the in-order receive
+// queue without consuming it — the zero-copy read surface
+// (transport.ByteStream): framing code parses envelopes in place and
+// Discards what it used. No data means ErrWouldBlock, EOF, or the
+// terminal error, exactly as TryRead reports them.
+func (c *Conn) Peek() ([]byte, error) {
+	if h := c.rb.peek(); len(h) > 0 {
+		return h, nil
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.remoteFin {
+		return nil, io.EOF
+	}
+	if c.state == stateDone {
+		return nil, ErrClosed
+	}
+	return nil, ErrWouldBlock
+}
+
+// Discard consumes n bytes previously returned by Peek and lets the
+// freed window advertise.
+func (c *Conn) Discard(n int) {
+	if n <= 0 {
+		return
+	}
+	c.rb.discard(n)
+	c.maybeSendWindowUpdate()
+}
+
 // Write blocks until all of b has been queued on the connection.
 func (c *Conn) Write(p *sim.Proc, b []byte) (int, error) {
 	total := 0

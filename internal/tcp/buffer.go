@@ -1,6 +1,9 @@
 package tcp
 
-import "repro/internal/seqnum"
+import (
+	"repro/internal/seqnum"
+	"repro/internal/wire"
+)
 
 // sendBuffer holds unacknowledged and not-yet-sent outbound bytes. The
 // byte at offset 0 always corresponds to snd.una.
@@ -53,11 +56,22 @@ func (b *sendBuffer) ack(n int) {
 // out-of-order reassembly queue. Out-of-order bytes count against the
 // advertised window: this is precisely the transport-level head-of-line
 // pressure the paper describes for TCP (Figure 5).
+//
+// The in-order queue is a bip buffer (sonic's bip_buffer/mirrored_buffer
+// technique): the application peeks at a contiguous head region, parses
+// in place, and consumes what it used. A partial read never triggers a
+// copy or a compaction slide — the remaining bytes stay where the
+// segments delivered them. The queue's ceiling is above the advertised
+// window's limit because window accounting happens at delivery time:
+// in-order data is trimmed to the window before it lands here, but the
+// out-of-order queue (bounded separately by limit, plus one in-flight
+// window of trimmed delivery) drains into it without a window check
+// when a hole fills.
 type recvBuffer struct {
-	inorder []byte
-	ooo     []oooSeg // sorted by Seq, non-overlapping
-	oooLen  int
-	limit   int
+	in     *wire.BipBuffer // nil until the first byte arrives
+	ooo    []oooSeg        // sorted by Seq, non-overlapping
+	oooLen int
+	limit  int
 }
 
 type oooSeg struct {
@@ -65,7 +79,12 @@ type oooSeg struct {
 	Data []byte
 }
 
-func (b *recvBuffer) readable() int { return len(b.inorder) }
+func (b *recvBuffer) readable() int {
+	if b.in == nil {
+		return 0
+	}
+	return b.in.Len()
+}
 
 // window returns the receive window to advertise. As in BSD, the
 // reassembly (out-of-order) queue is not charged against the advertised
@@ -76,26 +95,60 @@ func (b *recvBuffer) readable() int { return len(b.inorder) }
 // capped by insertOOO, and once the hole fills they land in the
 // in-order queue and shrink the window until the application reads.
 func (b *recvBuffer) window() int {
-	w := b.limit - len(b.inorder)
+	w := b.limit - b.readable()
 	if w < 0 {
 		w = 0
 	}
 	return w
 }
 
-// read moves up to len(p) in-order bytes to p.
+// read moves up to len(p) in-order bytes to p, crossing the bip-buffer
+// region boundary if needed.
 func (b *recvBuffer) read(p []byte) int {
-	n := copy(p, b.inorder)
-	b.inorder = b.inorder[n:]
-	if cap(b.inorder) > 4*b.limit && len(b.inorder) < b.limit {
-		b.inorder = append([]byte(nil), b.inorder...)
+	total := 0
+	for b.in != nil && total < len(p) {
+		h := b.in.Head()
+		if len(h) == 0 {
+			break
+		}
+		n := copy(p[total:], h)
+		b.in.Consume(n)
+		total += n
 	}
-	return n
+	return total
 }
 
-// deliver appends in-order data for the application.
+// peek returns the contiguous in-order head region without consuming.
+func (b *recvBuffer) peek() []byte {
+	if b.in == nil {
+		return nil
+	}
+	return b.in.Head()
+}
+
+// discard consumes n previously peeked bytes.
+func (b *recvBuffer) discard(n int) {
+	for n > 0 {
+		h := b.in.Head()
+		if len(h) > n {
+			b.in.Consume(n)
+			return
+		}
+		b.in.Consume(len(h))
+		n -= len(h)
+	}
+}
+
+// deliver appends in-order data for the application. Delivery is
+// window-checked by the caller (in-order arrivals) or bounded by the
+// reassembly queue (extract), so the bip ceiling — limit for the window
+// plus 2*limit for a full reassembly drain — is never hit; see the
+// recvBuffer comment.
 func (b *recvBuffer) deliver(data []byte) {
-	b.inorder = append(b.inorder, data...)
+	if b.in == nil {
+		b.in = wire.NewBipBuffer(3 * b.limit)
+	}
+	b.in.Write(data)
 }
 
 // insertOOO stores an out-of-order segment [seq, seq+len(data)),

@@ -173,7 +173,7 @@ type Conn struct {
 	persistShift uint
 
 	readCond, writeCond, connCond *sim.Cond
-	notify                        func()
+	notify                        func(transport.Ready)
 
 	Stats Stats
 }
@@ -217,19 +217,22 @@ func (c *Conn) RemotePort() uint16 { return c.rport }
 // SetNoDelay enables or disables Nagle's algorithm.
 func (c *Conn) SetNoDelay(v bool) { c.noDelay = v }
 
-// SetNotify registers fn to be invoked (in kernel context) whenever the
-// connection's readability, writability, or state may have changed.
-// This is the event hook the RPI modules use instead of select().
-func (c *Conn) SetNotify(fn func()) { c.notify = fn }
+// SetNotify registers fn to be invoked (in kernel context) with the
+// readiness edges each inbound segment produced: ReadyRecv when in-order
+// bytes (or the peer's FIN) became readable, ReadySend when an ack freed
+// send-buffer space or the connection finished establishing, ReadyErr or
+// ReadyClosed on teardown. This is the edge-triggered event hook the RPI
+// modules feed into their readiness poller instead of select().
+func (c *Conn) SetNotify(fn func(transport.Ready)) { c.notify = fn }
 
 // Established reports whether the connection is fully open.
 func (c *Conn) Established() bool { return c.state == stateEstablished || c.state == stateFinWait }
 
 func (c *Conn) kernel() *sim.Kernel { return c.stack.kernel() }
 
-func (c *Conn) fireNotify() {
-	if c.notify != nil {
-		c.notify()
+func (c *Conn) fireNotify(ev transport.Ready) {
+	if c.notify != nil && ev != 0 {
+		c.notify(ev)
 	}
 }
 
@@ -250,7 +253,7 @@ func (c *Conn) fail(err error) {
 	c.readCond.Broadcast()
 	c.writeCond.Broadcast()
 	c.connCond.Broadcast()
-	c.fireNotify()
+	c.fireNotify(transport.ReadyErr)
 }
 
 func (c *Conn) stopTimers() {
@@ -277,15 +280,10 @@ func (c *Conn) handleSegment(seg *segment) {
 			c.establish(seg)
 			c.sendAckNow()
 			c.connCond.Broadcast()
-			c.fireNotify()
+			c.fireNotify(transport.ReadySend) // open for business: writable
 		}
 	case stateSynRcvd:
-		if seg.Flags&flagSYN != 0 {
-			// Duplicate SYN: re-send SYN-ACK.
-			c.sendSynAck()
-			return
-		}
-		if seg.Flags&flagACK != 0 && seg.Ack == c.iss.Add(1) {
+		if seg.Flags&flagACK != 0 && seg.Flags&flagSYN == 0 && seg.Ack == c.iss.Add(1) {
 			c.state = stateEstablished
 			c.sndUna = c.iss.Add(1)
 			c.peerWnd = seg.Wnd
@@ -294,13 +292,28 @@ func (c *Conn) handleSegment(seg *segment) {
 			c.retries = 0
 			c.stack.completeAccept(c)
 			c.connCond.Broadcast()
+			ev := transport.ReadySend
 			// Fall through to process any piggybacked data.
 			if len(seg.Data) > 0 {
+				before := c.rb.readable()
 				c.processData(seg)
+				if c.rb.readable() > before || c.remoteFin {
+					ev |= transport.ReadyRecv
+				}
 			}
-			c.fireNotify()
+			c.fireNotify(ev)
+		} else if seg.Flags&flagSYN != 0 {
+			// Duplicate SYN: re-send SYN-ACK.
+			c.sendSynAck()
 		}
 	case stateEstablished, stateFinWait:
+		// Compute the readiness edges this segment produces: readable if
+		// it grew the in-order queue or carried the peer's FIN, writable
+		// if its ack freed send-buffer space. A pure duplicate ACK yields
+		// no edge — and no wasted engine wake-up.
+		beforeRecv := c.rb.readable()
+		beforeFin := c.remoteFin
+		beforeSpace := c.sb.space()
 		if seg.Flags&flagACK != 0 {
 			c.processAck(seg)
 		}
@@ -308,7 +321,14 @@ func (c *Conn) handleSegment(seg *segment) {
 			c.processData(seg)
 		}
 		c.output()
-		c.fireNotify()
+		var ev transport.Ready
+		if c.rb.readable() > beforeRecv || (c.remoteFin && !beforeFin) {
+			ev |= transport.ReadyRecv
+		}
+		if c.state != stateDone && c.sb.space() > beforeSpace {
+			ev |= transport.ReadySend
+		}
+		c.fireNotify(ev)
 	}
 }
 
@@ -650,7 +670,7 @@ func (c *Conn) finish() {
 	c.readCond.Broadcast()
 	c.writeCond.Broadcast()
 	c.connCond.Broadcast()
-	c.fireNotify()
+	c.fireNotify(transport.ReadyClosed)
 }
 
 func (c *Conn) updateRTT(m time.Duration) {

@@ -3,6 +3,7 @@ package tcp
 import (
 	"repro/internal/netsim"
 	"repro/internal/seqnum"
+	"repro/internal/transport"
 )
 
 // output transmits as much buffered data as the congestion and peer
@@ -303,7 +304,7 @@ func (c *Conn) onRTO() {
 	c.probeCwnd()
 	c.retransmitHole(c.sndUna)
 	c.resetRTO()
-	c.fireNotify()
+	c.fireNotify(transport.ReadySend)
 }
 
 // startPersist arms the zero-window probe timer.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/transport"
 )
 
 // Stack is the per-node TCP instance. Create one per simulated host and
@@ -109,13 +110,13 @@ type Listener struct {
 	backlog []*Conn
 	cond    *sim.Cond
 	closed  bool
-	notify  func()
+	notify  func(transport.Ready)
 }
 
-// SetNotify registers fn to fire (in kernel context) whenever a new
-// established connection is queued for accept, so a nonblocking caller
-// parked elsewhere can wake up and TryAccept it.
-func (l *Listener) SetNotify(fn func()) { l.notify = fn }
+// SetNotify registers fn to fire (in kernel context, with ReadyRecv)
+// whenever a new established connection is queued for accept, so a
+// nonblocking caller parked elsewhere can wake up and TryAccept it.
+func (l *Listener) SetNotify(fn func(transport.Ready)) { l.notify = fn }
 
 // Listen starts listening on port with the stack's default config.
 func (s *Stack) Listen(port uint16) (*Listener, error) {
@@ -179,7 +180,7 @@ func (s *Stack) completeAccept(c *Conn) {
 		l.backlog = append(l.backlog, c)
 		l.cond.Broadcast()
 		if l.notify != nil {
-			l.notify()
+			l.notify(transport.ReadyRecv)
 		}
 	}
 }

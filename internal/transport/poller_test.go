@@ -1,0 +1,78 @@
+package transport
+
+import "testing"
+
+func TestPollerFIFOAndCoalesce(t *testing.T) {
+	wakes := 0
+	p := NewPoller(func() { wakes++ })
+	a := p.Register(0)
+	b := p.Register(1)
+
+	p.Post(a, ReadyRecv)
+	p.Post(b, ReadySend)
+	p.Post(a, ReadySend) // coalesces into a's pending mask, keeps position
+
+	if wakes != 3 {
+		t.Fatalf("wakes = %d, want 3 (one per post)", wakes)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (a coalesced)", p.Len())
+	}
+	tag, ev, ok := p.Next()
+	if !ok || tag != 0 || ev != ReadyRecv|ReadySend {
+		t.Fatalf("first = (%d, %v, %v), want (0, recv|send, true)", tag, ev, ok)
+	}
+	tag, ev, ok = p.Next()
+	if !ok || tag != 1 || ev != ReadySend {
+		t.Fatalf("second = (%d, %v, %v), want (1, send, true)", tag, ev, ok)
+	}
+	if _, _, ok := p.Next(); ok {
+		t.Fatal("queue should be empty")
+	}
+	if p.Pending() {
+		t.Fatal("Pending should be false after drain")
+	}
+}
+
+func TestPollerRepostAfterDrain(t *testing.T) {
+	p := NewPoller(nil)
+	a := p.Register(7)
+	p.Post(a, ReadyRecv)
+	p.Next()
+	// Edge-triggered re-arm: a drained source posts again cleanly.
+	p.Post(a, ReadyErr)
+	tag, ev, ok := p.Next()
+	if !ok || tag != 7 || ev != ReadyErr {
+		t.Fatalf("repost = (%d, %v, %v), want (7, err, true)", tag, ev, ok)
+	}
+}
+
+func TestPollerRetag(t *testing.T) {
+	p := NewPoller(nil)
+	a := p.Register(-2) // anonymous pending connection
+	p.Post(a, ReadyRecv)
+	p.Retag(a, 5) // identified as rank 5 while the event is still queued
+	tag, _, ok := p.Next()
+	if !ok || tag != 5 {
+		t.Fatalf("tag after retag = %d, want 5", tag)
+	}
+}
+
+func TestPollerZeroPostIgnored(t *testing.T) {
+	wakes := 0
+	p := NewPoller(func() { wakes++ })
+	a := p.Register(0)
+	p.Post(a, 0)
+	if wakes != 0 || p.Pending() {
+		t.Fatalf("empty post must not queue or wake (wakes=%d pending=%v)", wakes, p.Pending())
+	}
+}
+
+func TestReadyString(t *testing.T) {
+	if s := (ReadyRecv | ReadyErr).String(); s != "recv|err" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := Ready(0).String(); s != "none" {
+		t.Fatalf("String(0) = %q", s)
+	}
+}

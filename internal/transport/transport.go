@@ -84,13 +84,38 @@ type Endpoint interface {
 	// outbound data right now.
 	Writable() bool
 
-	// SetNotify registers fn to be invoked whenever the endpoint
-	// becomes readable/writable or changes state. fn runs in kernel
-	// context and must not block.
-	SetNotify(fn func())
+	// SetNotify registers fn to be invoked whenever the endpoint's
+	// readiness changes, with the edge that changed (readable,
+	// writable, closed, error). fn runs in kernel context and must not
+	// block. Events are edge-triggered: the stack reports transitions,
+	// not levels, so a consumer that is handed ReadyRecv must drain the
+	// endpoint until it would block or it will not hear about the bytes
+	// already buffered. Typically fn is a Poller.Hook, which queues the
+	// endpoint for the engine's proactor loop.
+	SetNotify(fn func(Ready))
 
 	// Close begins an orderly local teardown.
 	Close()
+}
+
+// ByteStream is the zero-copy read surface of a byte-oriented endpoint
+// (the TCP connection): framing code peeks at the contiguous in-order
+// region of the receive buffer, parses in place, and consumes what it
+// used — no intermediate copy, no compaction. TryRead remains for the
+// cases where the caller wants bytes moved into its own buffer (message
+// bodies landing directly in a pooled buffer).
+type ByteStream interface {
+	// Peek returns the contiguous head of the in-order receive queue
+	// without consuming it. An empty slice with a nil error never
+	// occurs: no data means ErrWouldBlock, EOF, or a terminal error,
+	// exactly as TryRead reports them.
+	Peek() ([]byte, error)
+
+	// Discard consumes n bytes previously returned by Peek.
+	Discard(n int)
+
+	// TryRead moves up to len(b) in-order bytes into b.
+	TryRead(b []byte) (int, error)
 }
 
 // Redialer is the optional recovery capability on the Endpoint

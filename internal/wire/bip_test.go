@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func bipDrain(b *BipBuffer) []byte {
+	var out []byte
+	for len(b.Head()) > 0 {
+		h := b.Head()
+		out = append(out, h...)
+		b.Consume(len(h))
+	}
+	return out
+}
+
+func TestBipBasicFIFO(t *testing.T) {
+	b := NewBipBuffer(1 << 10)
+	if n := b.Write([]byte("hello ")); n != 6 {
+		t.Fatalf("Write = %d", n)
+	}
+	b.Write([]byte("world"))
+	if b.Len() != 11 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if got := bipDrain(b); string(got) != "hello world" {
+		t.Fatalf("drained %q", got)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len after drain = %d", b.Len())
+	}
+}
+
+func TestBipWrapNeverMovesBytes(t *testing.T) {
+	b := NewBipBuffer(256)
+	// Fill to capacity, consume the front, then write into the freed
+	// space: the write must wrap into region B while the head region
+	// stays put.
+	big := bytes.Repeat([]byte{0xAA}, 256)
+	if n := b.Write(big); n != 256 {
+		t.Fatalf("fill = %d", n)
+	}
+	h := b.Head()
+	b.Consume(100)
+	if n := b.Write(bytes.Repeat([]byte{0xBB}, 60)); n != 60 {
+		t.Fatalf("wrapped write = %d", n)
+	}
+	// Head region must still alias the original allocation (no copy).
+	h2 := b.Head()
+	if &h[100] != &h2[0] {
+		t.Fatal("head region moved: bip buffer must not compact")
+	}
+	want := append(bytes.Repeat([]byte{0xAA}, 156), bytes.Repeat([]byte{0xBB}, 60)...)
+	if got := bipDrain(b); !bytes.Equal(got, want) {
+		t.Fatalf("drain mismatch: got %d bytes", len(got))
+	}
+}
+
+func TestBipFullAtCeiling(t *testing.T) {
+	b := NewBipBuffer(64)
+	if n := b.Write(make([]byte, 100)); n != 64 {
+		t.Fatalf("write past ceiling accepted %d, want 64", n)
+	}
+	if r := b.Claim(1); r != nil {
+		t.Fatal("Claim on a full buffer must return nil")
+	}
+	b.Consume(10)
+	if n := b.Write(make([]byte, 100)); n != 10 {
+		t.Fatalf("write after consume accepted %d, want 10", n)
+	}
+}
+
+func TestBipGrowPreservesOrder(t *testing.T) {
+	b := NewBipBuffer(1 << 16)
+	var want []byte
+	for i := 0; i < 100; i++ {
+		chunk := bytes.Repeat([]byte{byte(i)}, 37)
+		want = append(want, chunk...)
+		b.Write(chunk)
+	}
+	if got := bipDrain(b); !bytes.Equal(got, want) {
+		t.Fatal("grow reordered bytes")
+	}
+}
+
+func TestBipGrowWhileWrapped(t *testing.T) {
+	b := NewBipBuffer(1 << 12)
+	b.Write(make([]byte, 256)) // exactly the initial allocation
+	b.Consume(50)
+	b.Write(bytes.Repeat([]byte{1}, 50)) // wraps into region B, now full
+	// Next write cannot extend B (B meets head): must grow, not drop.
+	if n := b.Write(bytes.Repeat([]byte{2}, 100)); n != 100 {
+		t.Fatalf("grow-while-wrapped write = %d, want 100", n)
+	}
+	want := append(make([]byte, 206), bytes.Repeat([]byte{1}, 50)...)
+	want = append(want, bytes.Repeat([]byte{2}, 100)...)
+	if got := bipDrain(b); !bytes.Equal(got, want) {
+		t.Fatal("grow-while-wrapped reordered bytes")
+	}
+}
+
+func TestBipClaimCommitPartial(t *testing.T) {
+	b := NewBipBuffer(1 << 10)
+	r := b.Claim(16)
+	copy(r, "abcdef")
+	b.Commit(6) // commit less than claimed
+	if got := string(b.Head()); got != "abcdef" {
+		t.Fatalf("Head = %q", got)
+	}
+}
+
+func TestBipRandomizedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := NewBipBuffer(1 << 12)
+	var ref []byte // reference queue
+	var wrote, read byte
+	for step := 0; step < 20000; step++ {
+		if rng.Intn(2) == 0 {
+			n := rng.Intn(200) + 1
+			chunk := make([]byte, n)
+			for i := range chunk {
+				chunk[i] = wrote
+				wrote++
+			}
+			acc := b.Write(chunk)
+			ref = append(ref, chunk[:acc]...)
+			wrote = chunk[0] + byte(acc) // rewind identities past what was dropped
+		} else {
+			h := b.Head()
+			if len(h) == 0 {
+				continue
+			}
+			n := rng.Intn(len(h)) + 1
+			for i := 0; i < n; i++ {
+				if h[i] != ref[i] {
+					t.Fatalf("step %d: byte %d = %d, want %d", step, i, h[i], ref[i])
+				}
+				read++
+			}
+			b.Consume(n)
+			ref = ref[n:]
+		}
+		if b.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, ref = %d", step, b.Len(), len(ref))
+		}
+	}
+}

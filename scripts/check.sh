@@ -32,6 +32,12 @@ go test -race ./internal/bench/...
 echo "== go test -race (recovery conformance) =="
 go test -race -run 'TestConformance' ./internal/mpi/rpi/
 
+echo "== go test -race (readiness engine) =="
+go test -race -run 'TestDrive|TestEventCost|TestConformanceReadiness' ./internal/mpi/rpi/
+
+echo "== rank-scaling bench smoke =="
+go test -run TestRankScalingSubLinear ./internal/bench/
+
 echo "== go test -race (chaos harness) =="
 go test -race ./internal/chaos/...
 
