@@ -34,11 +34,13 @@ paper:
 	$(GO) run ./cmd/paper -exp all -quick
 
 # Fault-injection gate: a fixed 50-seed schedule corpus per backend with
-# the invariant oracles armed, plus a 25-seed multihomed corpus and a
+# the invariant oracles armed, plus a 25-seed multihomed corpus, a
 # 25-seed session-kill corpus (AssocKill-only schedules; the recovery
-# layer must complete every job). Fails (exit 1) with a shrunk repro if
-# any run violates an invariant.
+# layer must complete every job), and one 256-rank fat-tree seed per
+# backend so faults also land on shared switch ports at scale. Fails
+# (exit 1) with a shrunk repro if any run violates an invariant.
 chaos:
 	$(GO) run ./cmd/chaos -rpi all -seeds 50
 	$(GO) run ./cmd/chaos -rpi all -seeds 25 -multihome
 	$(GO) run ./cmd/chaos -rpi all -seeds 25 -kill
+	$(GO) run ./cmd/chaos -rpi all -seeds 1 -procs 256 -topo fattree -rounds 6

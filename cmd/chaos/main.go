@@ -30,6 +30,8 @@ func main() {
 		events    = flag.Int("events", 5, "fault events per generated schedule")
 		prefix    = flag.Int("prefix", 0, "keep only the first N events (<0: none, 0: all)")
 		procs     = flag.Int("procs", 4, "world size")
+		topology  = flag.String("topo", "", "fabric: fattree or leafspine (empty: full mesh)")
+		rounds    = flag.Int("rounds", 0, "ring-exchange rounds (0: default 30)")
 		multihome = flag.Bool("multihome", false, "three interfaces per node, heartbeats on")
 		kill      = flag.Bool("kill", false, "session-recovery corpus: generated schedules are AssocKill-only")
 		budget    = flag.Int("budget", 0, "redial budget per loss episode (0: default 8, <0: none)")
@@ -69,6 +71,8 @@ func main() {
 				Events:          *events,
 				Prefix:          *prefix,
 				Procs:           *procs,
+				Topology:        *topology,
+				Rounds:          *rounds,
 				Multihome:       *multihome,
 				AllowKill:       *kill,
 				RedialBudget:    *budget,

@@ -47,6 +47,17 @@ func TestWriteBenchArtifacts(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Collective completion time: tree vs naive on a generated
+	// fat-tree, and the 63-to-1 incast across all three backends.
+	collectives, err := CollectiveSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	incast, err := IncastSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	writeJSON(t, "../../BENCH_kernel.json", map[string]any{
 		"benchmark":       "lossy 8-rank pairwise ping-pong, 30 KiB x 30 iters, 2% loss",
 		"sctp_wall_ns":    kernel.Nanoseconds(),
@@ -61,6 +72,14 @@ func TestWriteBenchArtifacts(t *testing.T) {
 			"benchmark": "4 KiB ping-pong x 100 iters between 2 active peers inside an N-rank TCP mesh, virtual ns",
 			"models":    "proactor: 1µs/pass + 500ns/event; select ablation: 1µs/pass + 200ns/descriptor",
 			"points":    scaling,
+		},
+		"collectives": map[string]any{
+			"benchmark": "8 KiB Bcast and Allreduce over SCTP on a generated fat-tree, barrier-bracketed completion time, virtual ns",
+			"points":    collectives,
+		},
+		"incast": map[string]any{
+			"benchmark": "63-to-1 eager Gather of 16 KiB/rank on a fat-tree with 32 KiB drop-tail host queues, virtual ns",
+			"points":    incast,
 		},
 	})
 

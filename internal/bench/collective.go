@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/netsim/topo"
+)
+
+// CollectivePoint is one row of the collective completion-time table:
+// the same broadcast and allreduce measured under the tree family
+// (binomial / recursive-doubling / ring, O(log N) rounds) and under the
+// naive linear family (root loops over ranks, O(N)). Times are virtual
+// nanoseconds on a generated fat-tree, so rows are deterministic and
+// machine-independent.
+type CollectivePoint struct {
+	Ranks            int   `json:"ranks"`
+	TreeBcastNS      int64 `json:"tree_bcast_virtual_ns"`
+	NaiveBcastNS     int64 `json:"naive_bcast_virtual_ns"`
+	TreeAllreduceNS  int64 `json:"tree_allreduce_virtual_ns"`
+	NaiveAllreduceNS int64 `json:"naive_allreduce_virtual_ns"`
+}
+
+// collectiveBytes keeps the allreduce on the recursive-doubling path
+// (below the ring threshold), the regime where round count dominates
+// completion time.
+const collectiveBytes = 8 << 10
+
+// CollectiveRanks is the rank axis of the collective table. The
+// O(N)-vs-O(log N) separation is unambiguous by 256; the 1024-rank
+// regime is covered by the rank-scaling axis and the scale smoke test,
+// where world bring-up does not dwarf the measured phase.
+var CollectiveRanks = []int{8, 32, 128, 256}
+
+// collectiveCCT measures completion time of one 8 KiB Bcast and one
+// 8 KiB Allreduce under alg on an N-rank SCTP world over a generated
+// fat-tree. Each measured collective is bracketed by tree barriers
+// (identical cost in both columns), and time is taken at rank 0 from
+// the entry barrier's release to the exit barrier's release — i.e. true
+// completion across all ranks, not rank 0's local return.
+func collectiveCCT(ranks int, alg mpi.Alg) (bcastNS, allreduceNS int64, err error) {
+	var bcast, allreduce time.Duration
+	rep, err := core.Run(core.Options{
+		Transport: core.SCTP,
+		Procs:     ranks,
+		Seed:      1,
+		Topo:      &topo.Config{Kind: topo.FatTree},
+		Deadline:  120 * time.Second,
+	}, func(pr *mpi.Process, comm *mpi.Comm) error {
+		measure := func(out *time.Duration, op func() error) error {
+			comm.SetAlg(mpi.AlgTree) // brackets always use the log-time barrier
+			if err := comm.Barrier(); err != nil {
+				return err
+			}
+			t0 := pr.P.Now()
+			comm.SetAlg(alg)
+			if err := op(); err != nil {
+				return err
+			}
+			comm.SetAlg(mpi.AlgTree)
+			if err := comm.Barrier(); err != nil {
+				return err
+			}
+			if comm.Rank() == 0 {
+				*out = pr.P.Now() - t0
+			}
+			return nil
+		}
+		data := make([]byte, collectiveBytes)
+		if err := measure(&bcast, func() error { return comm.Bcast(0, data) }); err != nil {
+			return err
+		}
+		vec := make([]byte, collectiveBytes)
+		return measure(&allreduce, func() error { return comm.Allreduce(vec, mpi.OpSumI64) })
+	})
+	if err != nil {
+		return 0, 0, fmt.Errorf("collective cct %d ranks: %w", ranks, err)
+	}
+	if err := rep.FirstError(); err != nil {
+		return 0, 0, fmt.Errorf("collective cct %d ranks: %w", ranks, err)
+	}
+	return bcast.Nanoseconds(), allreduce.Nanoseconds(), nil
+}
+
+// CollectiveCCT measures one full row.
+func CollectiveCCT(ranks int) (CollectivePoint, error) {
+	pt := CollectivePoint{Ranks: ranks}
+	var err error
+	if pt.TreeBcastNS, pt.TreeAllreduceNS, err = collectiveCCT(ranks, mpi.AlgTree); err != nil {
+		return pt, err
+	}
+	if pt.NaiveBcastNS, pt.NaiveAllreduceNS, err = collectiveCCT(ranks, mpi.AlgNaive); err != nil {
+		return pt, err
+	}
+	return pt, nil
+}
+
+// CollectiveSweep runs the full table.
+func CollectiveSweep() ([]CollectivePoint, error) {
+	pts := make([]CollectivePoint, 0, len(CollectiveRanks))
+	for _, n := range CollectiveRanks {
+		pt, err := CollectiveCCT(n)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestCollectiveTreeScalesLog is the collective-scaling claim in
+// miniature (the full 8..256 table goes in BENCH_kernel.json): at 32
+// ranks the naive linear allreduce must already cost well over twice
+// the tree allreduce, and the gap must grow with rank count.
+func TestCollectiveTreeScalesLog(t *testing.T) {
+	small, err := CollectiveCCT(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := CollectiveCCT(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.NaiveAllreduceNS < 2*big.TreeAllreduceNS {
+		t.Errorf("32-rank naive allreduce (%d ns) not >= 2x tree (%d ns)",
+			big.NaiveAllreduceNS, big.TreeAllreduceNS)
+	}
+	gapSmall := float64(small.NaiveAllreduceNS) / float64(small.TreeAllreduceNS)
+	gapBig := float64(big.NaiveAllreduceNS) / float64(big.TreeAllreduceNS)
+	if gapBig <= gapSmall {
+		t.Errorf("naive/tree allreduce gap shrank with scale: 8 ranks %.2fx, 32 ranks %.2fx",
+			gapSmall, gapBig)
+	}
+	// Broadcast: binomial must beat the root loop at 32 ranks.
+	if big.NaiveBcastNS <= big.TreeBcastNS {
+		t.Errorf("32-rank naive bcast (%d ns) not slower than tree (%d ns)",
+			big.NaiveBcastNS, big.TreeBcastNS)
+	}
+}
+
+// TestIncastRecovers runs a small 15-to-1 fan-in per backend: the
+// drop-tail bottleneck must actually shed packets, and the transport
+// must still deliver every byte intact (verified inside Incast).
+func TestIncastRecovers(t *testing.T) {
+	for _, tr := range []core.Transport{core.TCP, core.SCTP, core.SCTPOneToOne} {
+		pt, err := Incast(tr, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.QueueDrops == 0 {
+			t.Errorf("%s: incast produced no queue drops; bottleneck not exercised", pt.Transport)
+		}
+		if pt.CompletionNS <= 0 {
+			t.Errorf("%s: no completion time recorded", pt.Transport)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/netsim"
+	"repro/internal/netsim/topo"
+)
+
+// IncastPoint records an N-to-1 fan-in (every rank eagerly gathers to
+// rank 0) on a fat-tree whose edge-to-host ports carry a tight drop-
+// tail queue: the receiver's last-hop port is the bottleneck, sheds
+// packets, and the transport's loss recovery determines how fast the
+// gather completes. One point per RPI backend.
+type IncastPoint struct {
+	Transport    string `json:"transport"`
+	Senders      int    `json:"senders"`
+	BytesPerRank int    `json:"bytes_per_rank"`
+	CompletionNS int64  `json:"completion_virtual_ns"`
+	QueueDrops   int64  `json:"queue_drops"`
+	PacketsSent  int64  `json:"packets_sent"`
+}
+
+// incastBytes is per-sender payload, kept under the eager limit so all
+// senders blast concurrently — the worst case for the shared port.
+const incastBytes = 16 << 10
+
+// Incast runs an (ranks-1)-to-1 gather over tr on a fat-tree with a
+// 32 KiB drop-tail queue at every host port, and reports completion
+// time plus contention counters.
+func Incast(tr core.Transport, ranks int) (IncastPoint, error) {
+	pt := IncastPoint{Transport: tr.String(), Senders: ranks - 1, BytesPerRank: incastBytes}
+	hostLP := netsim.DefaultLinkParams()
+	hostLP.Delay = 5 * time.Microsecond
+	hostLP.QueueBytes = 32 << 10
+	var cct time.Duration
+	rep, err := core.Run(core.Options{
+		Transport: tr,
+		Procs:     ranks,
+		Seed:      1,
+		Topo:      &topo.Config{Kind: topo.FatTree, HostLink: &hostLP},
+		Deadline:  120 * time.Second,
+	}, func(pr *mpi.Process, comm *mpi.Comm) error {
+		if err := comm.Barrier(); err != nil {
+			return err
+		}
+		t0 := pr.P.Now()
+		send := make([]byte, incastBytes)
+		for i := range send {
+			send[i] = byte(comm.Rank())
+		}
+		var recv []byte
+		if comm.Rank() == 0 {
+			recv = make([]byte, ranks*incastBytes)
+		}
+		if err := comm.Gather(0, send, recv); err != nil {
+			return err
+		}
+		if err := comm.Barrier(); err != nil {
+			return err
+		}
+		if comm.Rank() == 0 {
+			cct = pr.P.Now() - t0
+			for r := 0; r < ranks; r++ {
+				for i := 0; i < incastBytes; i++ {
+					if recv[r*incastBytes+i] != byte(r) {
+						return fmt.Errorf("incast: rank %d byte %d corrupted", r, i)
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return pt, fmt.Errorf("incast %s: %w", pt.Transport, err)
+	}
+	if err := rep.FirstError(); err != nil {
+		return pt, fmt.Errorf("incast %s: %w", pt.Transport, err)
+	}
+	pt.CompletionNS = cct.Nanoseconds()
+	pt.QueueDrops = rep.NetStats.PacketsQueued
+	pt.PacketsSent = rep.NetStats.PacketsSent
+	return pt, nil
+}
+
+// IncastRanks is the world size of the incast benchmark (63-to-1).
+const IncastRanks = 64
+
+// IncastSweep runs the incast scenario once per RPI backend.
+func IncastSweep() ([]IncastPoint, error) {
+	pts := make([]IncastPoint, 0, 3)
+	for _, tr := range []core.Transport{core.TCP, core.SCTP, core.SCTPOneToOne} {
+		pt, err := Incast(tr, IncastRanks)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}

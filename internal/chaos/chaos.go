@@ -11,6 +11,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/mpi/rpi"
 	"repro/internal/netsim"
+	"repro/internal/netsim/topo"
 	"repro/internal/sctp"
 )
 
@@ -36,6 +37,12 @@ type Spec struct {
 	Procs     int  // world size (default 4)
 	Multihome bool // three interfaces per node, heartbeats on
 	LossRate  float64
+
+	// Topology, when non-empty ("fattree" or "leafspine"), replaces the
+	// full-mesh testbed with a generated multi-hop fabric sized to
+	// Procs, so faults land on a network with shared switch ports and
+	// real queueing. Mutually exclusive with Multihome.
+	Topology string
 
 	Rounds    int // ring-exchange rounds (default 10)
 	MsgSize   int // short-protocol payload (default 4 KiB)
@@ -162,6 +169,12 @@ func (r *Result) Repro() string {
 	if s.Multihome {
 		cmd += " -multihome"
 	}
+	if s.Topology != "" {
+		cmd += fmt.Sprintf(" -topo %s", s.Topology)
+	}
+	if s.Rounds != 0 && s.Rounds != 30 {
+		cmd += fmt.Sprintf(" -rounds %d", s.Rounds)
+	}
 	if s.AllowKill {
 		cmd += " -kill"
 	}
@@ -236,6 +249,15 @@ func Run(spec Spec) *Result {
 		lp := netsim.DefaultLinkParams()
 		lp.Delay = spec.LinkDelay
 		opts.Link = &lp
+	}
+	if spec.Topology != "" {
+		kind, err := topo.ParseKind(spec.Topology)
+		if err != nil {
+			res := &Result{Spec: spec, Schedule: sched}
+			res.Violations = append(res.Violations, fmt.Sprintf("setup: %v", err))
+			return res
+		}
+		opts.Topo = &topo.Config{Kind: kind}
 	}
 
 	var clock func() time.Duration

@@ -248,6 +248,30 @@ func TestKillCorpusQuick(t *testing.T) {
 	}
 }
 
+// TestTopologyCorpusQuick is the fabric slice of the chaos gate in
+// miniature (the full 256-rank fat-tree seed runs in `make chaos`):
+// every backend must survive a generated fault schedule on a 32-rank
+// fat-tree with exactly-once and monotonicity oracles armed. Faults
+// land on shared switch ports, so loss bursts and downed interfaces
+// hit many flows at once.
+func TestTopologyCorpusQuick(t *testing.T) {
+	for _, tr := range allTransports {
+		spec := Spec{Transport: tr, Seed: 2, Procs: 32, Topology: "fattree", Rounds: 6}
+		if res := Run(spec); res.Failed() {
+			t.Errorf("%v fattree:\n%s", tr, res)
+		}
+	}
+	// Leaf-spine takes one SCTP seed to keep the suite bounded.
+	spec := Spec{Transport: core.SCTP, Seed: 5, Procs: 32, Topology: "leafspine", Rounds: 6}
+	if res := Run(spec); res.Failed() {
+		t.Errorf("sctp leafspine:\n%s", res)
+	}
+	// An unknown fabric must fail setup, not panic.
+	if res := Run(Spec{Transport: core.TCP, Topology: "torus"}); !res.Failed() {
+		t.Error("unknown topology did not fail setup")
+	}
+}
+
 // TestOracleCatchesDroppedReplay mutation-tests the recovery oracle: a
 // session layer that silently drops one replayed message must trip the
 // exactly-once completeness check, and the failure must shrink to the

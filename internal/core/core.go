@@ -24,6 +24,7 @@ import (
 	"repro/internal/mpi/sctprpi"
 	"repro/internal/mpi/tcprpi"
 	"repro/internal/netsim"
+	"repro/internal/netsim/topo"
 	"repro/internal/sctp"
 	"repro/internal/sim"
 	"repro/internal/tcp"
@@ -93,7 +94,16 @@ type Options struct {
 	Seed      int64     // simulation seed (default 1)
 
 	LossRate float64            // Dummynet-style Bernoulli loss on every link
-	Link     *netsim.LinkParams // topology override (default: 1 Gb/s LAN)
+	Link     *netsim.LinkParams // link-parameter override (default: 1 Gb/s LAN)
+
+	// Topo, when non-nil, replaces the full-mesh testbed with a
+	// generated multi-hop topology (fat-tree or leaf-spine) sized to
+	// Procs: packets traverse switch ports with per-hop serialization
+	// and queueing, so N-to-1 incast contention is expressible. Mutually
+	// exclusive with IfacesPerNode > 1 (no multihoming on fabrics). A
+	// Link override styles both host and fabric ports unless the config
+	// sets them explicitly.
+	Topo *topo.Config
 
 	BufSize    int // socket snd/rcv buffer (default 220 KiB, the paper's setting)
 	EagerLimit int // short/long threshold (default 64 KiB)
@@ -390,7 +400,30 @@ func NewCluster(opts Options) (*Cluster, error) {
 		lp = *opts.Link
 	}
 	lp.LossRate = opts.LossRate
-	net, nodes := netsim.Cluster(k, opts.Procs, opts.IfacesPerNode, lp)
+	var net *netsim.Network
+	var nodes []*netsim.Node
+	if opts.Topo != nil {
+		if opts.IfacesPerNode > 1 {
+			return nil, fmt.Errorf("core: Topo is mutually exclusive with IfacesPerNode > 1")
+		}
+		cfg := *opts.Topo
+		if opts.Link != nil && cfg.HostLink == nil {
+			cfg.HostLink = &lp
+		}
+		if opts.Link != nil && cfg.FabricLink == nil {
+			cfg.FabricLink = &lp
+		}
+		tn, err := topo.Build(k, opts.Procs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		net, nodes = tn.Network, tn.Hosts
+		if opts.LossRate > 0 {
+			net.SetLoss(opts.LossRate)
+		}
+	} else {
+		net, nodes = netsim.Cluster(k, opts.Procs, opts.IfacesPerNode, lp)
+	}
 
 	barrier := rpi.NewBarrier(k, opts.Procs)
 	report := &Report{

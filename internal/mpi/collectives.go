@@ -10,14 +10,41 @@ import (
 // Internal collective tags. Collectives run on the communicator's
 // collective context (ctx+1), so they can never match user traffic.
 const (
-	tagBarrier  = 1
-	tagBcast    = 2
-	tagReduce   = 3
-	tagGather   = 4
-	tagScatter  = 5
-	tagGatherA  = 6
-	tagAlltoall = 7
+	tagBarrier   = 1
+	tagBcast     = 2
+	tagReduce    = 3
+	tagGather    = 4
+	tagScatter   = 5
+	tagGatherA   = 6
+	tagAlltoall  = 7
+	tagAllreduce = 12 // 8..11 belong to the variable-count collectives
 )
+
+// Alg selects a communicator's collective algorithm family.
+type Alg int
+
+// Collective algorithm families.
+const (
+	// AlgTree is the scalable default: binomial-tree broadcast and
+	// reduce, dissemination barrier, and an allreduce that picks ring
+	// (bandwidth-optimal) or recursive doubling (latency-optimal) by
+	// message size — O(log N) rounds where the naive family is O(N).
+	AlgTree Alg = iota
+	// AlgNaive is the linear root-loops-over-ranks ablation (LAM's
+	// basic algorithms): every collective serializes through a root.
+	// Kept selectable for the O(N)-vs-O(log N) benchmark tables and as
+	// the reference implementation the conformance tests compare
+	// against.
+	AlgNaive
+)
+
+// SetAlg switches the communicator's collective algorithms. It must be
+// called symmetrically on every rank (like any collective property).
+// New communicators default to AlgTree; Dup and Split inherit.
+func (c *Comm) SetAlg(a Alg) { c.alg = a }
+
+// AlgValue returns the communicator's collective algorithm family.
+func (c *Comm) AlgValue() Alg { return c.alg }
 
 // Op folds src into acc (acc op= src). Implementations must be
 // element-wise over the encoded representation.
@@ -42,22 +69,33 @@ func (c *Comm) cisend(dest, tag int, data []byte) (*Request, error) {
 	return c.pr.isend(w, tag, c.ctx+1, data, false), nil
 }
 
-func (c *Comm) crecv(src, tag int, buf []byte) (Status, error) {
+func (c *Comm) cirecv(src, tag int, buf []byte) (*Request, error) {
 	w, err := c.worldOf(src)
+	if err != nil {
+		return nil, err
+	}
+	return c.pr.irecv(w, tag, c.ctx+1, buf), nil
+}
+
+func (c *Comm) crecv(src, tag int, buf []byte) (Status, error) {
+	req, err := c.cirecv(src, tag, buf)
 	if err != nil {
 		return Status{}, err
 	}
-	req := c.pr.irecv(w, tag, c.ctx+1, buf)
 	st, err := c.pr.Wait(req)
 	return c.fixStatus(st), err
 }
 
 // Barrier blocks until every process in the communicator has entered
-// it (dissemination algorithm, log2(n) rounds).
+// it (dissemination algorithm, log2(n) rounds; linear fan-in/fan-out
+// through rank 0 under AlgNaive).
 func (c *Comm) Barrier() error {
 	n := c.Size()
 	if n == 1 {
 		return nil
+	}
+	if c.alg == AlgNaive {
+		return c.naiveBarrier()
 	}
 	me := c.Rank()
 	var tok [1]byte
@@ -78,13 +116,16 @@ func (c *Comm) Barrier() error {
 	return nil
 }
 
-// Bcast broadcasts root's data to every process (binomial tree). Every
-// caller passes a data slice of the same length; non-root slices are
-// overwritten.
+// Bcast broadcasts root's data to every process (binomial tree, or a
+// linear root loop under AlgNaive). Every caller passes a data slice of
+// the same length; non-root slices are overwritten.
 func (c *Comm) Bcast(root int, data []byte) error {
 	n := c.Size()
 	if n == 1 {
 		return nil
+	}
+	if c.alg == AlgNaive {
+		return c.naiveBcast(root, data)
 	}
 	rel := (c.Rank() - root + n) % n
 	// Receive from the parent: the node that differs in our lowest set
@@ -115,12 +156,16 @@ func (c *Comm) Bcast(root int, data []byte) error {
 }
 
 // Reduce folds everyone's data into root's acc using op (binomial
-// tree). data is each caller's contribution; on root, the result is
-// left in data. op must be associative and commutative.
+// tree, or a linear root loop under AlgNaive). data is each caller's
+// contribution; on root, the result is left in data. op must be
+// associative and commutative.
 func (c *Comm) Reduce(root int, data []byte, op Op) error {
 	n := c.Size()
 	if n == 1 {
 		return nil
+	}
+	if c.alg == AlgNaive {
+		return c.naiveReduce(root, data, op)
 	}
 	rel := (c.Rank() - root + n) % n
 	tmp := make([]byte, len(data))
@@ -142,13 +187,225 @@ func (c *Comm) Reduce(root int, data []byte, op Op) error {
 	return nil
 }
 
-// Allreduce is Reduce to rank 0 followed by Bcast, as LAM implements
-// it.
+// ringMinBytes is the payload size above which Allreduce switches from
+// recursive doubling (log2(n) rounds of full-length exchanges) to the
+// bandwidth-optimal ring (2(n-1) rounds moving len/n bytes each).
+const ringMinBytes = 32 << 10
+
+// Allreduce folds everyone's data with op and leaves the result at
+// every rank. Under AlgTree it runs recursive doubling for short
+// payloads and a ring reduce-scatter + allgather for long 8-byte-
+// aligned ones; under AlgNaive it is a linear reduce to rank 0
+// followed by a linear broadcast (LAM's basic algorithm). op must be
+// associative and commutative; note that ring and recursive doubling
+// apply op in different orders, so floating-point sums may differ in
+// the last ulp between sizes.
 func (c *Comm) Allreduce(data []byte, op Op) error {
-	if err := c.Reduce(0, data, op); err != nil {
+	n := c.Size()
+	if n == 1 {
+		return nil
+	}
+	if c.alg == AlgNaive {
+		if err := c.naiveReduce(0, data, op); err != nil {
+			return err
+		}
+		return c.naiveBcast(0, data)
+	}
+	if n > 2 && len(data) >= ringMinBytes && len(data)%8 == 0 && len(data)/8 >= n {
+		return c.ringAllreduce(data, op)
+	}
+	return c.rdAllreduce(data, op)
+}
+
+// exchange swaps data with peer on the allreduce tag: post the send,
+// block on the receive, then wait for the send before the caller
+// mutates data.
+func (c *Comm) exchange(peer int, data, tmp []byte) error {
+	sreq, err := c.cisend(peer, tagAllreduce, data)
+	if err != nil {
 		return err
 	}
-	return c.Bcast(0, data)
+	if _, err := c.crecv(peer, tagAllreduce, tmp); err != nil {
+		return err
+	}
+	_, err = c.pr.Wait(sreq)
+	return err
+}
+
+// rdAllreduce is recursive doubling with the MPICH fold for non-power-
+// of-two sizes: the first 2*rem ranks pair up so rem of them sit out,
+// the surviving pof2 ranks run log2(pof2) butterfly exchanges, and the
+// folded ranks get the result back at the end.
+func (c *Comm) rdAllreduce(data []byte, op Op) error {
+	n := c.Size()
+	me := c.Rank()
+	pof2 := 1
+	for pof2*2 <= n {
+		pof2 *= 2
+	}
+	rem := n - pof2
+	tmp := make([]byte, len(data))
+	newrank := -1
+	switch {
+	case me < 2*rem && me%2 == 0:
+		// Donate to the odd neighbor and sit out the butterfly.
+		if err := c.csend(me+1, tagAllreduce, data); err != nil {
+			return err
+		}
+	case me < 2*rem:
+		if _, err := c.crecv(me-1, tagAllreduce, tmp); err != nil {
+			return err
+		}
+		op(data, tmp)
+		newrank = me / 2
+	default:
+		newrank = me - rem
+	}
+	if newrank >= 0 {
+		for mask := 1; mask < pof2; mask <<= 1 {
+			np := newrank ^ mask
+			peer := np + rem
+			if np < rem {
+				peer = np*2 + 1
+			}
+			if err := c.exchange(peer, data, tmp); err != nil {
+				return err
+			}
+			op(data, tmp)
+		}
+	}
+	// Return the result to the ranks that folded out.
+	if me < 2*rem {
+		if me%2 == 0 {
+			_, err := c.crecv(me+1, tagAllreduce, data)
+			return err
+		}
+		return c.csend(me-1, tagAllreduce, data)
+	}
+	return nil
+}
+
+// ringAllreduce is the bandwidth-optimal reduce-scatter + allgather
+// ring: each of the 2(n-1) steps moves one len/n chunk to the right
+// neighbor, so every byte crosses each link at most twice regardless
+// of n. Requires len%8 == 0 (chunks stay element-aligned for the
+// 8-byte ops) and len/8 >= n.
+func (c *Comm) ringAllreduce(data []byte, op Op) error {
+	n := c.Size()
+	me := c.Rank()
+	words := len(data) / 8
+	chunk := func(i int) (int, int) { return i * words / n * 8, (i + 1) * words / n * 8 }
+	left := (me - 1 + n) % n
+	right := (me + 1) % n
+	_, maxEnd := chunk(0)
+	for i := 1; i < n; i++ {
+		lo, hi := chunk(i)
+		if hi-lo > maxEnd {
+			maxEnd = hi - lo
+		}
+	}
+	tmp := make([]byte, maxEnd)
+	// Reduce-scatter: after step s, rank me holds the partial fold of
+	// s+1 contributions in chunk (me-s-1+n)%n; after n-1 steps it owns
+	// the fully reduced chunk (me+1)%n.
+	for s := 0; s < n-1; s++ {
+		sc := (me - s + n) % n
+		rc := (me - s - 1 + n) % n
+		slo, shi := chunk(sc)
+		rlo, rhi := chunk(rc)
+		sreq, err := c.cisend(right, tagAllreduce, data[slo:shi])
+		if err != nil {
+			return err
+		}
+		if _, err := c.crecv(left, tagAllreduce, tmp[:rhi-rlo]); err != nil {
+			return err
+		}
+		if _, err := c.pr.Wait(sreq); err != nil {
+			return err
+		}
+		op(data[rlo:rhi], tmp[:rhi-rlo])
+	}
+	// Allgather: circulate the reduced chunks around the ring.
+	for s := 0; s < n-1; s++ {
+		sc := (me + 1 - s + 2*n) % n
+		rc := (me - s + n) % n
+		slo, shi := chunk(sc)
+		rlo, rhi := chunk(rc)
+		sreq, err := c.cisend(right, tagAllreduce, data[slo:shi])
+		if err != nil {
+			return err
+		}
+		if _, err := c.crecv(left, tagAllreduce, data[rlo:rhi]); err != nil {
+			return err
+		}
+		if _, err := c.pr.Wait(sreq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- naive (linear) ablations ---------------------------------------
+//
+// These are the O(N) root-serialized algorithms the tree family
+// replaces. They stay selectable via SetAlg(AlgNaive) so benchmarks can
+// quantify the O(N) vs O(log N) gap and conformance tests have an
+// independent reference implementation.
+
+func (c *Comm) naiveBarrier() error {
+	n := c.Size()
+	var tok [1]byte
+	if c.Rank() != 0 {
+		if err := c.csend(0, tagBarrier, tok[:]); err != nil {
+			return err
+		}
+		_, err := c.crecv(0, tagBarrier, tok[:])
+		return err
+	}
+	for r := 1; r < n; r++ {
+		if _, err := c.crecv(r, tagBarrier, tok[:]); err != nil {
+			return err
+		}
+	}
+	for r := 1; r < n; r++ {
+		if err := c.csend(r, tagBarrier, tok[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Comm) naiveBcast(root int, data []byte) error {
+	if c.Rank() != root {
+		_, err := c.crecv(root, tagBcast, data)
+		return err
+	}
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		if err := c.csend(r, tagBcast, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Comm) naiveReduce(root int, data []byte, op Op) error {
+	if c.Rank() != root {
+		return c.csend(root, tagReduce, data)
+	}
+	tmp := make([]byte, len(data))
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		if _, err := c.crecv(r, tagReduce, tmp); err != nil {
+			return err
+		}
+		op(data, tmp)
+	}
+	return nil
 }
 
 // Gather collects equal-size contributions into recv on root
@@ -159,15 +416,21 @@ func (c *Comm) Gather(root int, send []byte, recv []byte) error {
 	}
 	m := len(send)
 	copy(recv[root*m:], send)
+	// Post every receive before waiting on any: the n-1 inbound
+	// transfers land as they arrive instead of serializing in rank
+	// order through the root.
+	reqs := make([]*Request, 0, c.Size()-1)
 	for r := 0; r < c.Size(); r++ {
 		if r == root {
 			continue
 		}
-		if _, err := c.crecv(r, tagGather, recv[r*m:(r+1)*m]); err != nil {
+		req, err := c.cirecv(r, tagGather, recv[r*m:(r+1)*m])
+		if err != nil {
 			return err
 		}
+		reqs = append(reqs, req)
 	}
-	return nil
+	return c.pr.WaitAll(reqs...)
 }
 
 // Scatter distributes equal-size slices of send (on root) to every
@@ -203,40 +466,61 @@ func (c *Comm) Allgather(send []byte, recv []byte) error {
 }
 
 // Alltoall sends the r-th equal-size slice of send to rank r and
-// receives into the r-th slice of recv, using a phased pairwise
-// exchange.
+// receives into the r-th slice of recv. All n-1 receives are posted
+// before any send (staggered by distance from me, so no two ranks hit
+// the same destination in lockstep), letting every transfer overlap
+// instead of running n-1 pairwise phases back to back.
 func (c *Comm) Alltoall(send []byte, recv []byte) error {
 	n := c.Size()
 	m := len(send) / n
 	me := c.Rank()
 	copy(recv[me*m:(me+1)*m], send[me*m:(me+1)*m])
+	reqs := make([]*Request, 0, 2*(n-1))
 	for phase := 1; phase < n; phase++ {
-		dst := (me + phase) % n
 		src := (me - phase + n) % n
-		if _, err := c.SendRecvColl(dst, send[dst*m:(dst+1)*m], src, recv[src*m:(src+1)*m]); err != nil {
+		req, err := c.cirecv(src, tagAlltoall, recv[src*m:(src+1)*m])
+		if err != nil {
 			return err
 		}
+		reqs = append(reqs, req)
 	}
-	return nil
+	for phase := 1; phase < n; phase++ {
+		dst := (me + phase) % n
+		req, err := c.cisend(dst, tagAlltoall, send[dst*m:(dst+1)*m])
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	return c.pr.WaitAll(reqs...)
 }
 
 // Alltoallv is Alltoall with per-rank counts: sendCounts[r] bytes go to
-// rank r from offset sendOffs[r]; symmetric for receive.
+// rank r from offset sendOffs[r]; symmetric for receive. Like Alltoall,
+// every receive is posted before any send.
 func (c *Comm) Alltoallv(send []byte, sendCounts, sendOffs []int, recv []byte, recvCounts, recvOffs []int) error {
 	n := c.Size()
 	me := c.Rank()
 	copy(recv[recvOffs[me]:recvOffs[me]+recvCounts[me]],
 		send[sendOffs[me]:sendOffs[me]+sendCounts[me]])
+	reqs := make([]*Request, 0, 2*(n-1))
 	for phase := 1; phase < n; phase++ {
-		dst := (me + phase) % n
 		src := (me - phase + n) % n
-		sslice := send[sendOffs[dst] : sendOffs[dst]+sendCounts[dst]]
-		rslice := recv[recvOffs[src] : recvOffs[src]+recvCounts[src]]
-		if _, err := c.SendRecvColl(dst, sslice, src, rslice); err != nil {
+		req, err := c.cirecv(src, tagAlltoall, recv[recvOffs[src]:recvOffs[src]+recvCounts[src]])
+		if err != nil {
 			return err
 		}
+		reqs = append(reqs, req)
 	}
-	return nil
+	for phase := 1; phase < n; phase++ {
+		dst := (me + phase) % n
+		req, err := c.cisend(dst, tagAlltoall, send[sendOffs[dst]:sendOffs[dst]+sendCounts[dst]])
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	return c.pr.WaitAll(reqs...)
 }
 
 // SendRecvColl is SendRecv on the collective context.

@@ -1,0 +1,163 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// Conformance: the tree/ring/recursive-doubling collectives must
+// produce bit-identical buffers to the naive linear reference across
+// awkward communicator sizes (powers of two, odd, prime, and large).
+// Operators are chosen to be order-independent at the bit level
+// (int64 sum, float64 max), since the tree and ring algorithms apply
+// op in a different order than the linear loop.
+
+var conformanceRanks = []int{2, 3, 8, 17, 64}
+
+// rankPattern gives rank r a deterministic, rank-distinguishing int64
+// vector.
+func rankPattern(r, words int) []int64 {
+	v := make([]int64, words)
+	for i := range v {
+		v[i] = int64(r+1)*1_000_003 + int64(i)*7 + int64((r*31+i)%13)
+	}
+	return v
+}
+
+// collect runs body on an n-rank loopback world under alg and returns
+// each rank's resulting buffer.
+func collect(t *testing.T, n int, alg Alg, body func(comm *Comm) ([]byte, error)) [][]byte {
+	t.Helper()
+	res := make([][]byte, n)
+	run(t, n, func(pr *Process, comm *Comm) error {
+		comm.SetAlg(alg)
+		out, err := body(comm)
+		res[comm.Rank()] = out
+		return err
+	})
+	return res
+}
+
+func compareAlgs(t *testing.T, n int, name string, body func(comm *Comm) ([]byte, error)) {
+	t.Helper()
+	tree := collect(t, n, AlgTree, body)
+	naive := collect(t, n, AlgNaive, body)
+	for r := 0; r < n; r++ {
+		if !bytes.Equal(tree[r], naive[r]) {
+			t.Fatalf("n=%d %s: rank %d tree result differs from naive", n, name, r)
+		}
+	}
+}
+
+func TestTreeMatchesNaiveBcast(t *testing.T) {
+	for _, n := range conformanceRanks {
+		root := (n - 1) / 2
+		compareAlgs(t, n, "bcast", func(comm *Comm) ([]byte, error) {
+			data := make([]byte, 96)
+			if comm.Rank() == root {
+				copy(data, I64Bytes(rankPattern(root, 12)))
+			}
+			err := comm.Bcast(root, data)
+			return data, err
+		})
+	}
+}
+
+func TestTreeMatchesNaiveReduce(t *testing.T) {
+	for _, n := range conformanceRanks {
+		root := n - 1
+		compareAlgs(t, n, "reduce", func(comm *Comm) ([]byte, error) {
+			data := I64Bytes(rankPattern(comm.Rank(), 16))
+			if err := comm.Reduce(root, data, OpSumI64); err != nil {
+				return nil, err
+			}
+			if comm.Rank() != root {
+				return nil, nil // only the root's buffer is defined
+			}
+			return data, nil
+		})
+	}
+}
+
+func TestTreeMatchesNaiveAllreduce(t *testing.T) {
+	// Small payload exercises recursive doubling; the large one crosses
+	// ringMinBytes with len/8 >= 64 so every n > 2 takes the ring.
+	sizes := []int{16, (32 << 10) / 8}
+	for _, n := range conformanceRanks {
+		for _, words := range sizes {
+			name := fmt.Sprintf("allreduce-sum-%dw", words)
+			compareAlgs(t, n, name, func(comm *Comm) ([]byte, error) {
+				data := I64Bytes(rankPattern(comm.Rank(), words))
+				err := comm.Allreduce(data, OpSumI64)
+				return data, err
+			})
+			name = fmt.Sprintf("allreduce-max-%dw", words)
+			compareAlgs(t, n, name, func(comm *Comm) ([]byte, error) {
+				v := make([]float64, words)
+				for i := range v {
+					v[i] = float64((comm.Rank()*17+i*3)%101) - 50
+				}
+				data := F64Bytes(v)
+				err := comm.Allreduce(data, OpMaxF64)
+				return data, err
+			})
+		}
+	}
+}
+
+// TestRingAllreduceUnevenChunks hits the ring path with a word count
+// that does not divide evenly by n, so chunk sizes differ across the
+// ring.
+func TestRingAllreduceUnevenChunks(t *testing.T) {
+	n := 17
+	words := (32<<10)/8 + 5 // 4101 words across 17 ranks
+	compareAlgs(t, n, "allreduce-uneven", func(comm *Comm) ([]byte, error) {
+		data := I64Bytes(rankPattern(comm.Rank(), words))
+		err := comm.Allreduce(data, OpSumI64)
+		return data, err
+	})
+}
+
+// TestNaiveBarrier checks the linear barrier actually synchronizes:
+// every rank observes all other ranks' entry flags set once released.
+func TestNaiveBarrier(t *testing.T) {
+	for _, n := range conformanceRanks {
+		entered := make([]bool, n)
+		run(t, n, func(pr *Process, comm *Comm) error {
+			comm.SetAlg(AlgNaive)
+			entered[comm.Rank()] = true
+			if err := comm.Barrier(); err != nil {
+				return err
+			}
+			for r, ok := range entered {
+				if !ok {
+					return fmt.Errorf("rank %d passed barrier before rank %d entered", comm.Rank(), r)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// TestAlgInheritance: Dup and Split must carry the algorithm family.
+func TestAlgInheritance(t *testing.T) {
+	run(t, 4, func(pr *Process, comm *Comm) error {
+		comm.SetAlg(AlgNaive)
+		d, err := comm.Dup()
+		if err != nil {
+			return err
+		}
+		if d.AlgValue() != AlgNaive {
+			return fmt.Errorf("Dup dropped AlgNaive")
+		}
+		s, err := d.Split(comm.Rank()%2, comm.Rank())
+		if err != nil {
+			return err
+		}
+		if s.AlgValue() != AlgNaive {
+			return fmt.Errorf("Split dropped AlgNaive")
+		}
+		return nil
+	})
+}

@@ -24,15 +24,19 @@ func (c *Comm) Gatherv(root int, send []byte, recv []byte, counts, offs []int) e
 		return c.csend(root, tagGatherv, send)
 	}
 	copy(recv[offs[root]:offs[root]+counts[root]], send)
+	// Post every receive up front (see Gather).
+	reqs := make([]*Request, 0, c.Size()-1)
 	for r := 0; r < c.Size(); r++ {
 		if r == root {
 			continue
 		}
-		if _, err := c.crecv(r, tagGatherv, recv[offs[r]:offs[r]+counts[r]]); err != nil {
+		req, err := c.cirecv(r, tagGatherv, recv[offs[r]:offs[r]+counts[r]])
+		if err != nil {
 			return err
 		}
+		reqs = append(reqs, req)
 	}
-	return nil
+	return c.pr.WaitAll(reqs...)
 }
 
 // Scatterv distributes variable-size slices: rank r receives counts[r]

@@ -16,6 +16,7 @@ type Comm struct {
 	ctx    int32 // point-to-point context; ctx+1 is the collective context
 	group  []int // group[commRank] = worldRank
 	myrank int   // this process's comm rank
+	alg    Alg   // collective algorithm family (AlgTree default)
 }
 
 // Rank returns the calling process's rank within the communicator.
@@ -188,7 +189,7 @@ func (c *Comm) Dup() (*Comm, error) {
 	ctx := c.pr.nextCtx
 	c.pr.nextCtx += 2
 	group := append([]int(nil), c.group...)
-	return &Comm{pr: c.pr, ctx: ctx, group: group, myrank: c.myrank}, nil
+	return &Comm{pr: c.pr, ctx: ctx, group: group, myrank: c.myrank, alg: c.alg}, nil
 }
 
 // Split partitions the communicator by color, ordering each new group
@@ -238,5 +239,5 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	}
 	// Distinct colors share a context id; their groups are disjoint, so
 	// matching cannot cross groups.
-	return &Comm{pr: c.pr, ctx: ctx + int32(color)*2, group: group, myrank: myrank}, nil
+	return &Comm{pr: c.pr, ctx: ctx + int32(color)*2, group: group, myrank: myrank, alg: c.alg}, nil
 }

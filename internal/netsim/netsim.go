@@ -31,9 +31,12 @@ const IPHeaderSize = 20
 // Addr is an IPv4-style address.
 type Addr uint32
 
-// MakeAddr builds the address 10.subnet.0.host.
+// MakeAddr builds the address 10.subnet.host/16: the host occupies the
+// low 16 bits so generated topologies can address up to 65535 hosts
+// per subnet. Hosts below 256 produce exactly the historical
+// 10.subnet.0.host addresses.
 func MakeAddr(subnet, host int) Addr {
-	return Addr(10<<24 | uint32(subnet&0xff)<<16 | uint32(host&0xff))
+	return Addr(10<<24 | uint32(subnet&0xff)<<16 | uint32(host&0xffff))
 }
 
 // Subnet returns the subnet component of an address built by MakeAddr.
@@ -166,6 +169,8 @@ type Network struct {
 	routes  map[Addr]*Iface
 	pipes   map[pipeKey]*Pipe
 	perPair map[pipeKey]LinkParams
+	ports   []*Port
+	router  Router
 	Stats   Stats
 	Trace   func(ev string, pkt *Packet)
 }
@@ -210,6 +215,9 @@ func (n *Network) SetLoss(rate float64) {
 	for _, p := range n.pipes {
 		p.params.LossRate = rate
 	}
+	for _, p := range n.ports {
+		p.params.LossRate = rate
+	}
 }
 
 // SetLinkParamsBetween installs a per-pair override for packets from src
@@ -235,6 +243,9 @@ func (n *Network) UpdateLinkParams(mutate func(lp *LinkParams)) {
 		n.perPair[key] = lp
 	}
 	for _, p := range n.pipes {
+		mutate(&p.params)
+	}
+	for _, p := range n.ports {
 		mutate(&p.params)
 	}
 }
@@ -312,6 +323,17 @@ func (n *Network) send(src *Iface, pkt *Packet) {
 	n.Stats.BytesSent += int64(pkt.WireSize())
 	if n.Trace != nil {
 		n.Trace("send", pkt)
+	}
+	if n.router != nil {
+		if path := n.router.Route(pkt.Src, pkt.Dst); path == nil {
+			n.Stats.PacketsNoRoute++
+			pkt.Release()
+			return
+		} else if len(path) > 0 {
+			n.sendRouted(src, pkt, path)
+			return
+		}
+		// Empty path: the router defers to the direct pipe below.
 	}
 	dst := n.routes[pkt.Dst]
 	if dst == nil {
@@ -421,6 +443,163 @@ type Pipe struct {
 	CorruptHits  int64
 }
 
+// Params returns the pipe's current link parameters.
+func (p *Pipe) Params() LinkParams { return p.params }
+
+// Port is one directed hop in a generated multi-hop topology: a switch
+// egress (or host NIC) with its own serialization rate, propagation
+// delay, and drop-tail queue, shared by every flow routed through it.
+// Contention — the incast pathology — emerges from the shared busyUntil
+// the same way it does on a mesh pipe.
+type Port struct {
+	Pipe
+	name string
+}
+
+// Name returns the port's topology-assigned name (for diagnostics).
+func (p *Port) Name() string { return p.name }
+
+// NewPort registers a directed port with the given parameters. Ports
+// participate in UpdateLinkParams and SetLoss like pipes do, so the
+// chaos scheduler's link mutations reach generated topologies.
+func (n *Network) NewPort(name string, lp LinkParams) *Port {
+	p := &Port{Pipe: Pipe{params: lp}, name: name}
+	n.ports = append(n.ports, p)
+	return p
+}
+
+// Router supplies the hop sequence for a packet in a generated
+// topology. Returning nil means "no route" (the packet is dropped and
+// counted); returning an empty path falls back to the direct per-pair
+// pipe, which keeps self-sends and loopback traffic on the mesh path.
+type Router interface {
+	Route(src, dst Addr) []*Port
+}
+
+// SetRouter installs a multi-hop router. With no router (the default)
+// the network is the original full mesh of lazy per-pair pipes, and
+// the send path is byte-for-byte the historical one.
+func (n *Network) SetRouter(r Router) { n.router = r }
+
+// RouterValue returns the installed router, or nil on a mesh network.
+func (n *Network) RouterValue() Router { return n.router }
+
+// sendRouted is the multi-hop twin of send: the packet traverses each
+// port in order, store-and-forward, paying serialization + queueing +
+// propagation per hop and taking loss/duplication/corruption draws only
+// on hops configured with nonzero rates. Per-pair admin blocks
+// (partition injection) still apply end to end, checked before any RNG
+// draw.
+func (n *Network) sendRouted(src *Iface, pkt *Packet, path []*Port) {
+	dst := n.routes[pkt.Dst]
+	if dst == nil {
+		n.Stats.PacketsNoRoute++
+		pkt.Release()
+		return
+	}
+	if src.down || dst.down {
+		n.Stats.PacketsDown++
+		if n.Trace != nil {
+			n.Trace("drop-down", pkt)
+		}
+		pkt.Release()
+		return
+	}
+	if lp, ok := n.perPair[pipeKey{pkt.Src, pkt.Dst}]; ok && lp.Down {
+		n.Stats.PacketsBlocked++
+		if n.Trace != nil {
+			n.Trace("drop-blocked", pkt)
+		}
+		pkt.Release()
+		return
+	}
+	n.hop(path, 0, pkt, dst)
+}
+
+// hop runs one store-and-forward stage and schedules the next.
+func (n *Network) hop(path []*Port, i int, pkt *Packet, dst *Iface) {
+	p := path[i]
+	if p.params.Down {
+		n.Stats.PacketsBlocked++
+		p.BlockedDrops++
+		if n.Trace != nil {
+			n.Trace("drop-blocked", pkt)
+		}
+		pkt.Release()
+		return
+	}
+	now := n.K.Now()
+	txTime := time.Duration(0)
+	if p.params.Bandwidth > 0 {
+		txTime = time.Duration(int64(pkt.WireSize()) * 8 * int64(time.Second) / p.params.Bandwidth)
+	}
+	start := now
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	if p.params.QueueBytes > 0 && p.params.Bandwidth > 0 {
+		backlogBytes := int64(p.busyUntil-now) * p.params.Bandwidth / (8 * int64(time.Second))
+		if backlogBytes > int64(p.params.QueueBytes) {
+			n.Stats.PacketsQueued++
+			p.QueueDrops++
+			if n.Trace != nil {
+				n.Trace("drop-queue", pkt)
+			}
+			pkt.Release()
+			return
+		}
+	}
+	p.busyUntil = start + txTime
+	if p.params.LossRate > 0 && n.K.Rand().Float64() < p.params.LossRate {
+		n.Stats.PacketsLost++
+		p.LossDrops++
+		if n.Trace != nil {
+			n.Trace("drop-loss", pkt)
+		}
+		pkt.Release()
+		return
+	}
+	copies := 1
+	if p.params.DupRate > 0 && n.K.Rand().Float64() < p.params.DupRate {
+		copies = 2
+		n.Stats.PacketsDuped++
+		pkt.Retain() // both copies continue independently; each releases one ref
+	}
+	if p.params.CorruptRate > 0 && len(pkt.Payload) > 0 &&
+		n.K.Rand().Float64() < p.params.CorruptRate {
+		bit := n.K.Rand().Int63n(int64(len(pkt.Payload)) * 8)
+		pkt.Payload[bit/8] ^= 1 << uint(bit%8)
+		n.Stats.PacketsCorrupted++
+		p.CorruptHits++
+		if n.Trace != nil {
+			n.Trace("corrupt", pkt)
+		}
+	}
+	last := i == len(path)-1
+	for c := 0; c < copies; c++ {
+		arrive := p.busyUntil - now + p.params.Delay
+		if p.params.Jitter > 0 {
+			arrive += time.Duration(n.K.Rand().Int63n(int64(p.params.Jitter)))
+		}
+		n.K.After(arrive, func() {
+			if last {
+				if dst.down {
+					n.Stats.PacketsDown++
+					pkt.Release()
+					return
+				}
+				if n.Trace != nil {
+					n.Trace("recv", pkt)
+				}
+				dst.node.deliver(pkt, dst)
+				pkt.Release()
+				return
+			}
+			n.hop(path, i+1, pkt, dst)
+		})
+	}
+}
+
 // Handler receives packets demultiplexed to a protocol on a node.
 type Handler func(pkt *Packet, ifc *Iface)
 
@@ -480,8 +659,21 @@ func (nd *Node) Owns(addr Addr) bool {
 	return false
 }
 
-// MTU returns the payload MTU for packets sent from src to dst.
+// MTU returns the payload MTU for packets sent from src to dst: the
+// minimum along the routed path in a generated topology, the per-pair
+// pipe's otherwise.
 func (nd *Node) MTU(src, dst Addr) int {
+	if nd.net.router != nil {
+		if path := nd.net.router.Route(src, dst); len(path) > 0 {
+			m := path[0].params.mtu()
+			for _, p := range path[1:] {
+				if pm := p.params.mtu(); pm < m {
+					m = pm
+				}
+			}
+			return m
+		}
+	}
 	return nd.net.pipe(src, dst).params.mtu()
 }
 

@@ -1,0 +1,112 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// leafSpine routes over a two-tier Clos: host h under leaf h/hostsPerLeaf,
+// every leaf wired to every spine. Cross-leaf traffic takes 4 hops
+// (host NIC, leaf uplink, spine downlink, leaf downlink); the spine is
+// a deterministic ECMP hash of the flow.
+type leafSpine struct {
+	hosts, perLeaf int
+
+	hostUp    []*netsim.Port   // host NIC -> leaf
+	hostDown  []*netsim.Port   // leaf -> host
+	leafUp    [][]*netsim.Port // [leaf][spine]
+	spineDown [][]*netsim.Port // [spine][leaf]
+
+	arena []*netsim.Port
+}
+
+func buildLeafSpine(k *sim.Kernel, hosts int, cfg Config, hostLP, fabricLP netsim.LinkParams) (*Net, error) {
+	perLeaf := cfg.HostsPerLeaf
+	if perLeaf == 0 {
+		perLeaf = 16
+	}
+	leaves := cfg.Leaves
+	if leaves == 0 {
+		leaves = (hosts + perLeaf - 1) / perLeaf
+		if leaves < 2 {
+			leaves = 2
+		}
+	}
+	spines := cfg.Spines
+	if spines == 0 {
+		spines = leaves / 2
+		if spines < 2 {
+			spines = 2
+		}
+	}
+	if perLeaf < 1 || leaves < 1 || spines < 1 {
+		return nil, fmt.Errorf("topo: leaf-spine needs positive dimensions (leaves=%d spines=%d hostsPerLeaf=%d)", leaves, spines, perLeaf)
+	}
+	if hosts > leaves*perLeaf {
+		return nil, fmt.Errorf("topo: %d hosts exceed %d leaves x %d hosts/leaf", hosts, leaves, perLeaf)
+	}
+	net := netsim.NewNetwork(k)
+	nodes, hostUp := newHosts(net, hosts, hostLP)
+	ls := &leafSpine{hosts: hosts, perLeaf: perLeaf, hostUp: hostUp}
+	ls.hostDown = make([]*netsim.Port, hosts)
+	for h := 0; h < hosts; h++ {
+		ls.hostDown[h] = net.NewPort(fmt.Sprintf("l%d-h%d", h/perLeaf, h), hostLP)
+	}
+	ls.leafUp = make([][]*netsim.Port, leaves)
+	ls.spineDown = make([][]*netsim.Port, spines)
+	for s := 0; s < spines; s++ {
+		ls.spineDown[s] = make([]*netsim.Port, leaves)
+	}
+	for l := 0; l < leaves; l++ {
+		ls.leafUp[l] = make([]*netsim.Port, spines)
+		for s := 0; s < spines; s++ {
+			ls.leafUp[l][s] = net.NewPort(fmt.Sprintf("l%d-s%d", l, s), fabricLP)
+			ls.spineDown[s][l] = net.NewPort(fmt.Sprintf("s%d-l%d", s, l), fabricLP)
+		}
+	}
+	net.SetRouter(ls)
+	return &Net{
+		Network:  net,
+		Hosts:    nodes,
+		Kind:     LeafSpine,
+		Switches: leaves + spines,
+		Ports:    2*hosts + 2*leaves*spines,
+		MaxHops:  4,
+	}, nil
+}
+
+func (ls *leafSpine) path(n int) []*netsim.Port {
+	if len(ls.arena) < n {
+		ls.arena = make([]*netsim.Port, 4096)
+	}
+	p := ls.arena[:n:n]
+	ls.arena = ls.arena[n:]
+	return p
+}
+
+func (ls *leafSpine) Route(src, dst netsim.Addr) []*netsim.Port {
+	hs := hostIndex(src, ls.hosts)
+	hd := hostIndex(dst, ls.hosts)
+	if hs < 0 || hd < 0 {
+		return nil
+	}
+	if hs == hd {
+		return []*netsim.Port{}
+	}
+	leafS, leafD := hs/ls.perLeaf, hd/ls.perLeaf
+	if leafS == leafD {
+		p := ls.path(2)
+		p[0] = ls.hostUp[hs]
+		p[1] = ls.hostDown[hd]
+		return p
+	}
+	s := pathHash(hs, hd, 0) % len(ls.spineDown)
+	p := ls.path(4)
+	p[0] = ls.hostUp[hs]
+	p[1] = ls.leafUp[leafS][s]
+	p[2] = ls.spineDown[s][leafD]
+	p[3] = ls.hostDown[hd]
+	return p
+}

@@ -1,0 +1,245 @@
+package topo
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func TestFatTreeStructure(t *testing.T) {
+	k := sim.New(1)
+	n, err := Build(k, 16, Config{Kind: FatTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 hosts auto-size to radix 4: 4 pods x (2 edge + 2 agg) + 4 cores.
+	if n.Switches != 20 {
+		t.Fatalf("k=4 fat-tree has %d switches, want 20", n.Switches)
+	}
+	if len(n.Hosts) != 16 {
+		t.Fatalf("hosts = %d, want 16", len(n.Hosts))
+	}
+	if n.MaxHops != 6 {
+		t.Fatalf("max hops = %d, want 6", n.MaxHops)
+	}
+	// 1024 hosts need radix 16 (16^3/4 = 1024).
+	big, err := Build(sim.New(1), 1024, Config{Kind: FatTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big.Hosts) != 1024 {
+		t.Fatalf("hosts = %d, want 1024", len(big.Hosts))
+	}
+	if big.Switches != 2*16*8+64 {
+		t.Fatalf("k=16 fat-tree has %d switches, want %d", big.Switches, 2*16*8+64)
+	}
+	if _, err := Build(sim.New(1), 17, Config{Kind: FatTree, K: 4}); err == nil {
+		t.Fatal("17 hosts on a k=4 tree must fail")
+	}
+	if _, err := Build(sim.New(1), 8, Config{Kind: FatTree, K: 3}); err == nil {
+		t.Fatal("odd radix must fail")
+	}
+}
+
+func TestFatTreeRouteShape(t *testing.T) {
+	k := sim.New(1)
+	n, err := Build(k, 16, Config{Kind: FatTree, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := func(h int) netsim.Addr { return n.Hosts[h].Addr() }
+	r := routerOf(t, n)
+	cases := []struct {
+		src, dst, hops int
+	}{
+		{0, 1, 2},  // same edge
+		{0, 2, 4},  // same pod, different edge
+		{0, 4, 6},  // different pod
+		{3, 15, 6}, // far corner
+	}
+	for _, c := range cases {
+		p := r.Route(ft(c.src), ft(c.dst))
+		if len(p) != c.hops {
+			t.Fatalf("route %d->%d has %d hops, want %d", c.src, c.dst, len(p), c.hops)
+		}
+		// Deterministic ECMP: the same flow always takes the same path.
+		q := r.Route(ft(c.src), ft(c.dst))
+		for i := range p {
+			if p[i] != q[i] {
+				t.Fatalf("route %d->%d not deterministic at hop %d", c.src, c.dst, i)
+			}
+		}
+	}
+	if p := r.Route(ft(5), ft(5)); p == nil || len(p) != 0 {
+		t.Fatal("self route must defer to the direct pipe (empty non-nil path)")
+	}
+	if p := r.Route(netsim.MakeAddr(3, 9), ft(0)); p != nil {
+		t.Fatal("foreign source must have no route")
+	}
+}
+
+func routerOf(t *testing.T, n *Net) netsim.Router {
+	t.Helper()
+	return n.Network.RouterValue()
+}
+
+// TestFatTreeDelivery sends one packet across pods and checks
+// store-and-forward arithmetic: each hop charges serialization plus
+// propagation.
+func TestFatTreeDelivery(t *testing.T) {
+	k := sim.New(1)
+	n, err := Build(k, 16, Config{Kind: FatTree, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := n.Hosts[0], n.Hosts[12]
+	var got []byte
+	var at time.Duration
+	dst.Handle(netsim.ProtoTCP, func(pkt *netsim.Packet, ifc *netsim.Iface) {
+		got = append([]byte(nil), pkt.Payload...)
+		at = k.Now()
+	})
+	payload := make([]byte, 1000)
+	payload[0] = 0xAB
+	k.After(0, func() {
+		src.Send(&netsim.Packet{Src: src.Addr(), Dst: dst.Addr(), Proto: netsim.ProtoTCP, Payload: payload})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got[0] != 0xAB {
+		t.Fatal("packet not delivered")
+	}
+	// 6 hops x (tx + 5 µs): tx = 1020 B * 8 / 1 Gb/s = 8.16 µs.
+	tx := time.Duration(int64(1020) * 8 * int64(time.Second) / 1e9)
+	want := 6 * (tx + 5*time.Microsecond)
+	if at != want {
+		t.Fatalf("cross-pod delivery at %v, want %v", at, want)
+	}
+	if n.Network.Stats.PacketsSent != 1 {
+		t.Fatalf("PacketsSent = %d, want 1 (hops are not packet sends)", n.Network.Stats.PacketsSent)
+	}
+}
+
+// TestFatTreeIncast drives an N-to-1 fan-in and checks the receiver's
+// edge-to-host port serializes the aggregate: total time ~= N x tx, and
+// a tight queue bound sheds packets at that port.
+func TestFatTreeIncast(t *testing.T) {
+	k := sim.New(1)
+	n, err := Build(k, 16, Config{Kind: FatTree, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := 0
+	n.Hosts[0].Handle(netsim.ProtoTCP, func(pkt *netsim.Packet, ifc *netsim.Iface) { recv++ })
+	senders := 15
+	size := 1000
+	k.After(0, func() {
+		for s := 1; s <= senders; s++ {
+			src := n.Hosts[s]
+			src.Send(&netsim.Packet{Src: src.Addr(), Dst: n.Hosts[0].Addr(), Proto: netsim.ProtoTCP, Payload: make([]byte, size)})
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recv != senders {
+		t.Fatalf("received %d packets, want %d", recv, senders)
+	}
+	tx := time.Duration(int64(size+20) * 8 * int64(time.Second) / 1e9)
+	// The last arrival must be gated by the shared down-port draining
+	// all 15 transmissions, not by path latency.
+	if k.Now() < time.Duration(senders)*tx {
+		t.Fatalf("incast drained in %v, faster than the bottleneck port allows (%v)", k.Now(), time.Duration(senders)*tx)
+	}
+
+	// Same fan-in with a queue bound of ~4 packets must shed load at
+	// exactly one place: the receiver's edge-to-host port.
+	k2 := sim.New(1)
+	lp := defaultLink()
+	lp.QueueBytes = 4 * (size + 20)
+	n2, err := Build(k2, 16, Config{Kind: FatTree, K: 4, HostLink: &lp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv2 := 0
+	n2.Hosts[0].Handle(netsim.ProtoTCP, func(pkt *netsim.Packet, ifc *netsim.Iface) { recv2++ })
+	k2.After(0, func() {
+		for s := 1; s <= senders; s++ {
+			src := n2.Hosts[s]
+			src.Send(&netsim.Packet{Src: src.Addr(), Dst: n2.Hosts[0].Addr(), Proto: netsim.ProtoTCP, Payload: make([]byte, size)})
+		}
+	})
+	if err := k2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n2.Network.Stats.PacketsQueued == 0 {
+		t.Fatal("tight queue bound produced no incast drops")
+	}
+	if recv2+int(n2.Network.Stats.PacketsQueued) != senders {
+		t.Fatalf("delivered %d + dropped %d != sent %d", recv2, n2.Network.Stats.PacketsQueued, senders)
+	}
+}
+
+func TestLeafSpine(t *testing.T) {
+	k := sim.New(1)
+	n, err := Build(k, 48, Config{Kind: LeafSpine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 48 hosts / 16 per leaf = 3 leaves, spines = max(2, 3/2) = 2... spines=1? leaves/2=1 -> min 2.
+	if n.Switches != 3+2 {
+		t.Fatalf("leaf-spine has %d switches, want 5", n.Switches)
+	}
+	r := n.Network.RouterValue()
+	same := r.Route(n.Hosts[0].Addr(), n.Hosts[1].Addr())
+	if len(same) != 2 {
+		t.Fatalf("same-leaf route has %d hops, want 2", len(same))
+	}
+	cross := r.Route(n.Hosts[0].Addr(), n.Hosts[40].Addr())
+	if len(cross) != 4 {
+		t.Fatalf("cross-leaf route has %d hops, want 4", len(cross))
+	}
+	var got bool
+	n.Hosts[40].Handle(netsim.ProtoSCTP, func(pkt *netsim.Packet, ifc *netsim.Iface) { got = true })
+	k.After(0, func() {
+		src := n.Hosts[0]
+		src.Send(&netsim.Packet{Src: src.Addr(), Dst: n.Hosts[40].Addr(), Proto: netsim.ProtoSCTP, Payload: []byte{1}})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("leaf-spine packet not delivered")
+	}
+}
+
+// TestTopoDeterminism runs the same incast twice and checks the event
+// outcome is bit-identical (no RNG draws, no map iteration in routing).
+func TestTopoDeterminism(t *testing.T) {
+	run := func() (time.Duration, int64) {
+		k := sim.New(7)
+		n, err := Build(k, 64, Config{Kind: FatTree})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Hosts[0].Handle(netsim.ProtoTCP, func(pkt *netsim.Packet, ifc *netsim.Iface) {})
+		k.After(0, func() {
+			for s := 1; s < 64; s++ {
+				src := n.Hosts[s]
+				src.Send(&netsim.Packet{Src: src.Addr(), Dst: n.Hosts[0].Addr(), Proto: netsim.ProtoTCP, Payload: make([]byte, 512)})
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return k.Now(), n.Network.Stats.BytesSent
+	}
+	t1, b1 := run()
+	t2, b2 := run()
+	if t1 != t2 || b1 != b2 {
+		t.Fatalf("two identical runs diverged: %v/%d vs %v/%d", t1, b1, t2, b2)
+	}
+}

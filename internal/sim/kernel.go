@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -20,27 +19,31 @@ import (
 
 // Kernel is a discrete-event scheduler with virtual time.
 type Kernel struct {
-	now     time.Duration
-	seq     uint64
-	events  eventHeap
-	run     procRing
-	free    []*event // recycled event structs
-	procs   map[*Proc]struct{}
-	yield   chan struct{}
-	rng     *rand.Rand
-	running bool
-	stopped bool
-	nprocs  int
+	now      time.Duration
+	seq      uint64
+	sched    timerWheel
+	run      procRing
+	free     []*event // recycled event structs
+	arena    []event  // current allocation block (see allocEvent)
+	arenaPos int
+	procs    map[*Proc]struct{}
+	yield    chan struct{}
+	rng      *rand.Rand
+	running  bool
+	stopped  bool
+	nprocs   int
 }
 
 // New returns a kernel whose random source is seeded with seed.
 // The same seed always produces the same run.
 func New(seed int64) *Kernel {
-	return &Kernel{
+	k := &Kernel{
 		procs: make(map[*Proc]struct{}),
 		yield: make(chan struct{}),
 		rng:   rand.New(rand.NewSource(seed)),
 	}
+	k.sched.init()
+	return k
 }
 
 // Now returns the current virtual time.
@@ -50,9 +53,9 @@ func (k *Kernel) Now() time.Duration { return k.now }
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
 // PendingEvents returns the number of events currently scheduled. With
-// timers removed from the heap on Stop, this stays proportional to the
-// genuinely outstanding work, not to cancellation churn.
-func (k *Kernel) PendingEvents() int { return k.events.Len() }
+// timers removed from the schedule on Stop, this stays proportional to
+// the genuinely outstanding work, not to cancellation churn.
+func (k *Kernel) PendingEvents() int { return k.sched.Len() }
 
 // Timer is a cancellable scheduled callback. The zero Timer is inert:
 // Stop and Active return false. Timers are values; event structs behind
@@ -68,21 +71,27 @@ type Timer struct {
 // reports whether the call prevented the callback from running.
 func (t Timer) Stop() bool {
 	ev := t.ev
-	if ev == nil || ev.gen != t.gen || ev.index < 0 {
+	if ev == nil || ev.gen != t.gen || ev.where == locNone {
 		return false
 	}
-	heap.Remove(&ev.k.events, ev.index)
+	ev.k.sched.remove(ev)
 	ev.k.recycle(ev)
 	return true
 }
 
 // Active reports whether the timer is still pending.
 func (t Timer) Active() bool {
-	return t.ev != nil && t.ev.gen == t.gen && t.ev.index >= 0
+	return t.ev != nil && t.ev.gen == t.gen && t.ev.where != locNone
 }
 
-// allocEvent takes an event from the free list (or allocates one) and
-// stamps it with the next sequence number.
+// arenaBlock is the number of event structs carved out of one arena
+// allocation. Blocks stay reachable through the events pointing into
+// them; the steady state cycles through the free list and never
+// allocates.
+const arenaBlock = 256
+
+// allocEvent takes an event from the free list (or the current arena
+// block) and stamps it with the next sequence number.
 func (k *Kernel) allocEvent(when time.Duration, fn func()) *event {
 	var ev *event
 	if n := len(k.free); n > 0 {
@@ -90,7 +99,13 @@ func (k *Kernel) allocEvent(when time.Duration, fn func()) *event {
 		k.free[n-1] = nil
 		k.free = k.free[:n-1]
 	} else {
-		ev = &event{k: k}
+		if k.arenaPos == len(k.arena) {
+			k.arena = make([]event, arenaBlock)
+			k.arenaPos = 0
+		}
+		ev = &k.arena[k.arenaPos]
+		k.arenaPos++
+		ev.k = k
 	}
 	ev.when = when
 	ev.seq = k.seq
@@ -104,6 +119,7 @@ func (k *Kernel) allocEvent(when time.Duration, fn func()) *event {
 func (k *Kernel) recycle(ev *event) {
 	ev.fn = nil
 	ev.gen++
+	ev.where = locNone
 	ev.index = -1
 	k.free = append(k.free, ev)
 }
@@ -115,7 +131,7 @@ func (k *Kernel) After(d time.Duration, fn func()) Timer {
 		d = 0
 	}
 	ev := k.allocEvent(k.now+d, fn)
-	heap.Push(&k.events, ev)
+	k.sched.insert(ev)
 	return Timer{ev: ev, gen: ev.gen}
 }
 
@@ -194,13 +210,13 @@ func (k *Kernel) Run() error {
 		if k.stopped {
 			return nil
 		}
-		if k.events.Len() == 0 {
+		ev := k.sched.pop()
+		if ev == nil {
 			if len(k.procs) > 0 {
 				return &DeadlockError{Time: k.now, Blocked: k.blockedNames()}
 			}
 			return nil
 		}
-		ev := heap.Pop(&k.events).(*event)
 		k.now = ev.when
 		fn := ev.fn
 		k.recycle(ev)
@@ -219,7 +235,10 @@ func (k *Kernel) RunFor(d time.Duration) error {
 		return err
 	}
 	if k.now < deadline {
+		// Quiesced early: the schedule is empty, so the jump cannot
+		// strand events behind the wheel's current tick.
 		k.now = deadline
+		k.sched.syncNow(deadline)
 	}
 	return nil
 }
@@ -288,7 +307,9 @@ type event struct {
 	seq   uint64
 	fn    func()
 	gen   uint64 // bumped on recycle; stale Timers compare unequal
-	index int    // heap position, -1 when not scheduled
+	index int    // position within the holding container, -1 when popped
+	slot  int32  // wheel slot when where is locL0/locL1
+	where int8   // which schedule container holds the event (loc*)
 	k     *Kernel
 }
 

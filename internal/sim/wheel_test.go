@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestWheelStopAfterCascade stops a timer after a level-1 cascade has
+// re-bucketed its event into level 0: the removal must come out of the
+// wheel slot (swap-remove path), not the heap path, and the callback
+// must never run.
+func TestWheelStopAfterCascade(t *testing.T) {
+	k := New(1)
+	fired := false
+	// 3 ms and 2.5 ms are both past the level-0 horizon (~2.1 ms), so
+	// both events start in the same level-1 slot.
+	victim := k.After(3*time.Millisecond, func() { fired = true })
+	if victim.ev.where != locL1 {
+		t.Fatalf("victim scheduled in container %d, want locL1", victim.ev.where)
+	}
+	stopped := false
+	k.After(2500*time.Microsecond, func() {
+		// Reaching this callback required cascading the shared level-1
+		// slot; the victim must have landed in level 0.
+		if victim.ev.where != locL0 {
+			t.Fatalf("victim in container %d after cascade, want locL0", victim.ev.where)
+		}
+		stopped = victim.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !stopped {
+		t.Fatal("Stop after cascade returned false")
+	}
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if victim.Active() {
+		t.Fatal("stopped timer still active")
+	}
+	if k.PendingEvents() != 0 {
+		t.Fatalf("PendingEvents = %d after Stop, want 0", k.PendingEvents())
+	}
+}
+
+// TestWheelZeroDelayAfter checks that zero-delay events scheduled from
+// inside a callback run at the same virtual instant, after everything
+// already scheduled for that instant, in FIFO order.
+func TestWheelZeroDelayAfter(t *testing.T) {
+	k := New(1)
+	var order []int
+	at := 700 * time.Microsecond // level-0 territory
+	k.After(at, func() {
+		order = append(order, 1)
+		k.After(0, func() {
+			order = append(order, 3)
+			if k.Now() != at {
+				t.Fatalf("zero-delay fired at %v, want %v", k.Now(), at)
+			}
+			k.After(0, func() { order = append(order, 5) })
+		})
+		k.After(0, func() { order = append(order, 4) })
+	})
+	k.After(at, func() { order = append(order, 2) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("execution order %v, want 1..5", order)
+		}
+	}
+}
+
+// TestWheelFarFuturePromotion parks an event beyond the wheel horizon
+// (~537 ms) and checks it is promoted and fires at exactly its due
+// time, interleaved correctly with near-future work.
+func TestWheelFarFuturePromotion(t *testing.T) {
+	k := New(1)
+	var order []string
+	far := k.After(10*time.Minute, func() { order = append(order, "far") })
+	if far.ev.where != locFar {
+		t.Fatalf("10-minute timer in container %d, want locFar", far.ev.where)
+	}
+	k.After(time.Millisecond, func() { order = append(order, "near") })
+	// A second far event in a different level-2 epoch must survive the
+	// first promotion round untouched.
+	k.After(20*time.Minute, func() {
+		order = append(order, "farther")
+		if k.Now() != 20*time.Minute {
+			t.Fatalf("farther fired at %v", k.Now())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "near" || order[1] != "far" || order[2] != "farther" {
+		t.Fatalf("execution order %v", order)
+	}
+	if k.Now() != 20*time.Minute {
+		t.Fatalf("final time %v, want 20m", k.Now())
+	}
+}
+
+// TestWheelStaleTimerAfterReuse recycles a fired timer's event into a
+// new wheel slot and checks the stale handle neither stops nor reports
+// the new event.
+func TestWheelStaleTimerAfterReuse(t *testing.T) {
+	k := New(1)
+	var stale Timer
+	fired := 0
+	stale = k.After(100*time.Microsecond, func() {})
+	k.After(200*time.Microsecond, func() {
+		// Both earlier events have fired and been recycled (LIFO free
+		// list: this callback's own event is on top). Burn one alloc so
+		// the next reuses the stale handle's event for a new pending
+		// timer in a different container.
+		k.After(0, func() {})
+		fresh := k.After(5*time.Minute, func() { fired++ })
+		if fresh.ev != stale.ev {
+			t.Skip("free list did not reuse the event; pooling changed")
+		}
+		if stale.Active() {
+			t.Fatal("stale handle reports active")
+		}
+		if stale.Stop() {
+			t.Fatal("stale handle stopped the reused event")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("reused event fired %d times, want 1", fired)
+	}
+}
+
+// TestWheelOrderingFuzz schedules thousands of timers across every
+// container (ready, both wheel levels, overflow) with ties and random
+// cancellations, and checks the kernel fires them in exactly (when,
+// seq) order — the single-heap contract the golden trace hash relies
+// on.
+func TestWheelOrderingFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	horizons := []time.Duration{
+		50 * time.Microsecond,  // ready/level-0 ties
+		2 * time.Millisecond,   // level-0
+		400 * time.Millisecond, // level-1
+		3 * time.Second,        // overflow
+	}
+	type expect struct {
+		when time.Duration
+		seq  int
+	}
+	k := New(1)
+	var fired []expect
+	var want []expect
+	timers := make([]Timer, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		h := horizons[rng.Intn(len(horizons))]
+		d := time.Duration(rng.Int63n(int64(h)))
+		if rng.Intn(10) == 0 {
+			d = h // exact ties across insertions
+		}
+		seq := i
+		when := d
+		timers = append(timers, k.After(d, func() {
+			fired = append(fired, expect{when, seq})
+		}))
+		want = append(want, expect{when, seq})
+	}
+	// Cancel a third of them before running.
+	cancelled := make(map[int]bool)
+	for i := 0; i < 700; i++ {
+		j := rng.Intn(len(timers))
+		if timers[j].Stop() {
+			cancelled[j] = true
+		}
+	}
+	kept := want[:0]
+	for i, e := range want {
+		if !cancelled[i] {
+			kept = append(kept, e)
+		}
+	}
+	sort.SliceStable(kept, func(i, j int) bool {
+		if kept[i].when != kept[j].when {
+			return kept[i].when < kept[j].when
+		}
+		return kept[i].seq < kept[j].seq
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != len(kept) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(kept))
+	}
+	for i := range fired {
+		if fired[i] != kept[i] {
+			t.Fatalf("event %d fired as %+v, want %+v", i, fired[i], kept[i])
+		}
+	}
+	if k.PendingEvents() != 0 {
+		t.Fatalf("PendingEvents = %d at quiescence", k.PendingEvents())
+	}
+}
+
+// TestAfterNoAllocSteadyState pins the arena contract: once the free
+// list and container capacities are warm, scheduling and firing events
+// allocates nothing.
+func TestAfterNoAllocSteadyState(t *testing.T) {
+	k := New(1)
+	cycle := func() {
+		for i := 0; i < 64; i++ {
+			k.After(time.Duration(i)*37*time.Microsecond, func() {})
+		}
+		k.After(3*time.Millisecond, func() {})   // level-1
+		k.After(800*time.Millisecond, func() {}) // overflow
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the free list and every wheel slot: virtual time advances
+	// each cycle, so the burst straddling the level-0 epoch boundary
+	// lands in a rotating level-1 slot; enough laps grow them all.
+	for i := 0; i < 1024; i++ {
+		cycle()
+	}
+	if n := testing.AllocsPerRun(50, cycle); n > 0 {
+		t.Fatalf("steady-state event cycle allocates %.1f times per run, want 0", n)
+	}
+}

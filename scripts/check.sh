@@ -46,4 +46,10 @@ go run ./cmd/chaos -rpi all -seeds 50
 go run ./cmd/chaos -rpi all -seeds 25 -multihome
 go run ./cmd/chaos -rpi all -seeds 25 -kill
 
+echo "== chaos at scale (256-rank fat-tree, one seed per backend) =="
+go run ./cmd/chaos -rpi all -seeds 1 -procs 256 -topo fattree -rounds 6
+
+echo "== 1024-rank scale smoke (fat-tree allreduce) =="
+SCALE_SMOKE=1 go test -run TestScaleSmoke1024 -timeout 10m ./internal/bench/
+
 echo "tier-1: OK"
