@@ -34,6 +34,7 @@ func main() {
 		rounds    = flag.Int("rounds", 0, "ring-exchange rounds (0: default 30)")
 		multihome = flag.Bool("multihome", false, "three interfaces per node, heartbeats on")
 		kill      = flag.Bool("kill", false, "session-recovery corpus: generated schedules are AssocKill-only")
+		noIData   = flag.Bool("noidata", false, "disable RFC 8260 I-DATA interleaving on SCTP transports")
 		budget    = flag.Int("budget", 0, "redial budget per loss episode (0: default 8, <0: none)")
 		noShrink  = flag.Bool("noshrink", false, "skip shrinking failures")
 		verbose   = flag.Bool("v", false, "print every run, not just failures")
@@ -75,6 +76,7 @@ func main() {
 				Rounds:          *rounds,
 				Multihome:       *multihome,
 				AllowKill:       *kill,
+				NoIData:         *noIData,
 				RedialBudget:    *budget,
 				DupDeliverEvery: *dupEvery,
 				DropReplayEvery: *dropReplay,

@@ -7,8 +7,9 @@ import (
 )
 
 // serialType reports whether t is one of the RFC 1982 serial-number
-// types (seqnum.V, seqnum.S16), returning its name. Matching is by
-// package name + type name so fixtures and the real tree both resolve.
+// types (seqnum.V, seqnum.S16, and the RFC 8260 seqnum.MID/seqnum.FSN),
+// returning its name. Matching is by package name + type name so
+// fixtures and the real tree both resolve.
 func serialType(t types.Type) (string, bool) {
 	if t == nil {
 		return "", false
@@ -22,7 +23,7 @@ func serialType(t types.Type) (string, bool) {
 		return "", false
 	}
 	switch obj.Name() {
-	case "V", "S16":
+	case "V", "S16", "MID", "FSN":
 		return obj.Name(), true
 	}
 	return "", false
@@ -44,7 +45,7 @@ func SeqnumCmp() Rule {
 	}
 	return Rule{
 		Name: "seqnum",
-		Doc:  "serial numbers (seqnum.V/S16) must be compared with the RFC 1982 helpers, never raw </>/<=/>= or builtin min/max",
+		Doc:  "serial numbers (seqnum.V/S16/MID/FSN) must be compared with the RFC 1982 helpers, never raw </>/<=/>= or builtin min/max",
 		Check: func(p *Package, report Reporter) {
 			for _, f := range p.Files {
 				ast.Inspect(f, func(n ast.Node) bool {

@@ -12,6 +12,15 @@ func Violations(a, b seqnum.V, s, t seqnum.S16) (bool, seqnum.V) {
 	return x || y || z, w
 }
 
+// ViolationsIData seeds the same bug class on the RFC 8260 message and
+// fragment sequence numbers (I-DATA MID/FSN wrap exactly like the TSN).
+func ViolationsIData(m, n seqnum.MID, f, g seqnum.FSN) (bool, seqnum.FSN) {
+	x := m < n     // want "raw < on seqnum.MID"
+	y := f >= g    // want "raw >= on seqnum.FSN"
+	w := min(f, g) // want "builtin min on seqnum.FSN"
+	return x || y, w
+}
+
 // Fine shows the approved forms: serial-order helpers and plain
 // equality (which needs no wraparound care).
 func Fine(a, b seqnum.V) bool {

@@ -57,6 +57,10 @@ func TestWriteBenchArtifacts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	interleaving, err := InterleavingSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	writeJSON(t, "../../BENCH_kernel.json", map[string]any{
 		"benchmark":       "lossy 8-rank pairwise ping-pong, 30 KiB x 30 iters, 2% loss",
@@ -80,6 +84,10 @@ func TestWriteBenchArtifacts(t *testing.T) {
 		"incast": map[string]any{
 			"benchmark": "63-to-1 eager Gather of 16 KiB/rank on a fat-tree with 32 KiB drop-tail host queues, virtual ns",
 			"points":    incast,
+		},
+		"interleaving": map[string]any{
+			"benchmark": "64 B probe one-way latency while a 4 MiB rendezvous transfer is in flight on the same SCTP association, legacy DATA/FIFO vs RFC 8260 I-DATA/priority, virtual ns",
+			"points":    interleaving,
 		},
 	})
 

@@ -55,6 +55,12 @@ type Spec struct {
 	// tighten heartbeat and RTO timing).
 	SCTP *sctp.Config
 
+	// NoIData opts an SCTP run out of RFC 8260 interleaving. By default
+	// the chaos corpus runs SCTP transports with I-DATA and the priority
+	// scheduler enabled, so every seed exercises the interleaved
+	// reassembly path and the per-MID oracles; TCP runs ignore this.
+	NoIData bool
+
 	// Session-recovery knobs.
 	AllowKill    bool          // generated schedules are AssocKill-only (recovery corpus)
 	RedialBudget int           // redials per loss episode: 0 = default (8), <0 = none
@@ -147,6 +153,7 @@ type Result struct {
 	Sends      int64
 	Deliveries int64
 	Failovers  int64
+	IDataFrags int64 // accepted I-DATA chunks the oracle checked
 
 	// Session-recovery aggregates, summed over every rank's counters.
 	SessionsLost   int64
@@ -177,6 +184,9 @@ func (r *Result) Repro() string {
 	}
 	if s.AllowKill {
 		cmd += " -kill"
+	}
+	if s.NoIData {
+		cmd += " -noidata"
 	}
 	if s.RedialBudget != 0 {
 		cmd += fmt.Sprintf(" -budget %d", s.RedialBudget)
@@ -244,6 +254,10 @@ func Run(spec Spec) *Result {
 		// a clean LAN). A mutation test disables it to prove the oracle
 		// notices corrupted payloads sneaking through.
 		SCTPChecksum: sched.HasCorrupt() && !spec.DisableChecksum,
+	}
+	if spec.Transport != core.TCP && !spec.NoIData {
+		opts.SCTPIData = true
+		opts.SCTPSched = sctp.SchedPriority
 	}
 	if spec.LinkDelay > 0 {
 		lp := netsim.DefaultLinkParams()
@@ -342,6 +356,7 @@ func Run(spec Spec) *Result {
 	res.Sends = oracle.Sends
 	res.Deliveries = oracle.Deliveries
 	res.Failovers = oracle.Failovers
+	res.IDataFrags = oracle.IDataFrags
 
 	// Pool-leak oracle: at quiescence of a clean run every pooled packet
 	// payload must be back in the pool.

@@ -1,0 +1,114 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sctp"
+)
+
+// TestIDataCorpusCoverage: with the default Spec, SCTP seeds run with
+// interleaving on, so the per-MID oracles actually see traffic; the
+// NoIData opt-out runs the same seed on the legacy DATA path with zero
+// I-DATA observations. Both must pass clean.
+func TestIDataCorpusCoverage(t *testing.T) {
+	for _, tr := range []core.Transport{core.SCTP, core.SCTPOneToOne} {
+		res := Run(Spec{Transport: tr, Seed: 1})
+		if res.Failed() {
+			t.Fatalf("%v idata run failed:\n%s", tr, res)
+		}
+		if res.IDataFrags == 0 {
+			t.Errorf("%v: interleaving on by default but oracle saw no I-DATA chunks", tr)
+		}
+		legacy := Run(Spec{Transport: tr, Seed: 1, NoIData: true})
+		if legacy.Failed() {
+			t.Fatalf("%v legacy run failed:\n%s", tr, legacy)
+		}
+		if legacy.IDataFrags != 0 {
+			t.Errorf("%v: NoIData set but oracle saw %d I-DATA chunks", tr, legacy.IDataFrags)
+		}
+	}
+}
+
+// TestOracleCatchesMIDViolations drives the SCTP probe directly with
+// fragment sequences a correct stack can never produce, and checks each
+// per-MID invariant trips. The zero-value Assoc stands in for a real
+// association — the oracle only uses its identity and ID().
+func TestOracleCatchesMIDViolations(t *testing.T) {
+	mustViolate := func(name, want string, drive func(p *sctp.Probe, a *sctp.Assoc)) {
+		t.Helper()
+		o := NewOracle(func() time.Duration { return 0 })
+		a := &sctp.Assoc{}
+		drive(o.SCTPProbe(), a)
+		v := o.Violations()
+		if len(v) == 0 {
+			t.Fatalf("%s: no violation recorded", name)
+		}
+		found := false
+		for _, s := range v {
+			if strings.Contains(s, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: violations %q do not mention %q", name, v, want)
+		}
+	}
+
+	mustViolate("begin with nonzero FSN", "begin/FSN mismatch",
+		func(p *sctp.Probe, a *sctp.Assoc) {
+			p.IDataFrag(a, 0, 0, 1, true, false)
+		})
+	mustViolate("middle fragment with FSN 0", "begin/FSN mismatch",
+		func(p *sctp.Probe, a *sctp.Assoc) {
+			p.IDataFrag(a, 0, 0, 0, false, false)
+		})
+	mustViolate("duplicate FSN", "duplicate FSN",
+		func(p *sctp.Probe, a *sctp.Assoc) {
+			p.IDataFrag(a, 2, 5, 0, true, false)
+			p.IDataFrag(a, 2, 5, 1, false, false)
+			p.IDataFrag(a, 2, 5, 1, false, false)
+		})
+	mustViolate("second end fragment", "second end fragment",
+		func(p *sctp.Probe, a *sctp.Assoc) {
+			p.IDataFrag(a, 1, 3, 0, true, false)
+			p.IDataFrag(a, 1, 3, 1, false, true)
+			p.IDataFrag(a, 1, 3, 2, false, true)
+		})
+	mustViolate("fragment beyond end", "beyond end",
+		func(p *sctp.Probe, a *sctp.Assoc) {
+			p.IDataFrag(a, 1, 3, 1, false, true)
+			p.IDataFrag(a, 1, 3, 2, false, false)
+		})
+	mustViolate("MID skip at delivery", "MID order violated",
+		func(p *sctp.Probe, a *sctp.Assoc) {
+			p.DeliverMID(a, 4, 1)
+		})
+	mustViolate("MID replay at delivery", "MID order violated",
+		func(p *sctp.Probe, a *sctp.Assoc) {
+			p.DeliverMID(a, 4, 0)
+			p.DeliverMID(a, 4, 0)
+		})
+
+	// A clean interleaved exchange must not trip anything, and a restart
+	// resets the MID expectation like it resets SSNs.
+	o := NewOracle(func() time.Duration { return 0 })
+	a := &sctp.Assoc{}
+	p := o.SCTPProbe()
+	p.IDataFrag(a, 0, 0, 0, true, false)
+	p.IDataFrag(a, 0, 1, 0, true, true) // interleaved unfragmented message
+	p.IDataFrag(a, 0, 0, 1, false, true)
+	p.DeliverMID(a, 0, 0)
+	p.DeliverMID(a, 0, 1)
+	p.Restart(a)
+	p.IDataFrag(a, 0, 0, 0, true, true) // new incarnation restarts MIDs at 0
+	p.DeliverMID(a, 0, 0)
+	if v := o.Violations(); len(v) != 0 {
+		t.Fatalf("clean sequence tripped the oracle: %q", v)
+	}
+	if o.IDataFrags != 4 {
+		t.Fatalf("IDataFrags = %d, want 4", o.IDataFrags)
+	}
+}

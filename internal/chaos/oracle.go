@@ -42,6 +42,10 @@ type Oracle struct {
 	expectSSN  map[assocStream]uint16
 	lastCumTSN map[*sctp.Assoc]seqnum.V
 
+	// SCTP I-DATA layer (RFC 8260 interleaving).
+	expectMID map[assocStream]uint32
+	mids      map[midKey]*midState
+
 	// TCP layer.
 	lastRcvNxt map[*tcp.Conn]seqnum.V
 
@@ -49,6 +53,7 @@ type Oracle struct {
 	Sends      int64
 	Deliveries int64
 	Failovers  int64
+	IDataFrags int64 // accepted I-DATA chunks observed (coverage witness)
 }
 
 type msgID struct {
@@ -73,6 +78,21 @@ type assocStream struct {
 	stream uint16
 }
 
+// midKey identifies one in-progress interleaved message.
+type midKey struct {
+	as  assocStream
+	mid uint32
+}
+
+// midState tracks the fragments seen for one (assoc, stream, MID) so
+// the oracle can check per-MID FSN uniqueness, the single-end
+// invariant, and that no fragment lands beyond the end.
+type midState struct {
+	seen    map[uint32]bool
+	haveEnd bool
+	endFSN  uint32
+}
+
 // NewOracle builds an oracle; clock supplies virtual time for
 // violation timestamps (pass the kernel's Now).
 func NewOracle(clock func() time.Duration) *Oracle {
@@ -82,6 +102,8 @@ func NewOracle(clock func() time.Duration) *Oracle {
 		lastSeq:    make(map[orderKey]uint64),
 		expectSSN:  make(map[assocStream]uint16),
 		lastCumTSN: make(map[*sctp.Assoc]seqnum.V),
+		expectMID:  make(map[assocStream]uint32),
+		mids:       make(map[midKey]*midState),
 		lastRcvNxt: make(map[*tcp.Conn]seqnum.V),
 	}
 }
@@ -191,6 +213,60 @@ func (o *Oracle) SCTPProbe() *sctp.Probe {
 			}
 			o.expectSSN[key]++
 		},
+		DeliverMID: func(a *sctp.Assoc, stream uint16, mid uint32) {
+			// Interleaved delivery must be dense and monotone per
+			// (assoc, stream): MIDs 0, 1, 2, ... with no skips and no
+			// repeats — the I-DATA analogue of SSN monotonicity.
+			key := assocStream{a, stream}
+			if want := o.expectMID[key]; mid != want {
+				o.violate("MID order violated on assoc %d stream %d: delivered %d, want %d",
+					a.ID(), stream, mid, want)
+				o.expectMID[key] = mid + 1
+			} else {
+				o.expectMID[key]++
+			}
+			// Delivery consumes the message; any later fragment for this
+			// MID is a duplicate the TSN machinery must have filtered.
+			delete(o.mids, midKey{key, mid})
+		},
+		IDataFrag: func(a *sctp.Assoc, stream uint16, mid, fsn uint32, begin, end bool) {
+			// Fires once per accepted (in-window, non-duplicate-TSN)
+			// I-DATA chunk. Arrival order is not an invariant under loss
+			// and retransmission, but within one MID the fragment
+			// *numbering* is: the begin fragment is implicitly FSN 0 and
+			// every other fragment is numbered from 1; each FSN appears
+			// at most once; at most one fragment carries the end flag;
+			// and nothing lands beyond it.
+			o.IDataFrags++
+			if begin != (fsn == 0) {
+				o.violate("I-DATA begin/FSN mismatch on assoc %d stream %d mid %d: begin=%v fsn=%d",
+					a.ID(), stream, mid, begin, fsn)
+			}
+			key := midKey{assocStream{a, stream}, mid}
+			st := o.mids[key]
+			if st == nil {
+				st = &midState{seen: make(map[uint32]bool)}
+				o.mids[key] = st
+			}
+			if st.seen[fsn] {
+				o.violate("I-DATA duplicate FSN on assoc %d stream %d mid %d: fsn %d accepted twice",
+					a.ID(), stream, mid, fsn)
+			}
+			st.seen[fsn] = true
+			if st.haveEnd && fsn > st.endFSN {
+				o.violate("I-DATA fragment beyond end on assoc %d stream %d mid %d: fsn %d > end %d",
+					a.ID(), stream, mid, fsn, st.endFSN)
+			}
+			if end {
+				if st.haveEnd {
+					o.violate("I-DATA second end fragment on assoc %d stream %d mid %d: fsn %d after end %d",
+						a.ID(), stream, mid, fsn, st.endFSN)
+				} else {
+					st.haveEnd = true
+					st.endFSN = fsn
+				}
+			}
+		},
 		CumTSN: func(a *sctp.Assoc, tsn seqnum.V) {
 			if last, seen := o.lastCumTSN[a]; seen && !tsn.Greater(last) {
 				o.violate("cumTSN regressed on assoc %d: %d after %d", a.ID(), tsn, last)
@@ -225,6 +301,16 @@ func (o *Oracle) SCTPProbe() *sctp.Probe {
 			for key := range o.expectSSN {
 				if key.a == a {
 					delete(o.expectSSN, key)
+				}
+			}
+			for key := range o.expectMID {
+				if key.a == a {
+					delete(o.expectMID, key)
+				}
+			}
+			for key := range o.mids {
+				if key.as.a == a {
+					delete(o.mids, key)
 				}
 			}
 			delete(o.lastCumTSN, a)

@@ -130,6 +130,21 @@ type Options struct {
 	// the future replacement for TEG-style middleware striping.
 	CMT bool
 
+	// SCTPIData enables RFC 8260 message interleaving on the SCTP
+	// transports: user messages travel as I-DATA chunks with per-stream
+	// message IDs, so a sender-side stream scheduler can preempt a bulk
+	// fragment train at chunk granularity. Negotiated at handshake; a
+	// peer without it falls back to legacy DATA.
+	SCTPIData bool
+
+	// SCTPSched selects the sender-side stream scheduler used when
+	// SCTPIData is on (default sctp.SchedFIFO, which preserves legacy
+	// wire order). With SchedPriority or SchedWeightedFair, the SCTP
+	// RPI stamps stream classes from message kinds (control < eager <
+	// bulk), the chunk-granular remedy for the paper's head-of-line
+	// observation.
+	SCTPSched sctp.SchedPolicy
+
 	// SCTPOptionC enables the paper's §3.4.3 Option C in the SCTP RPI:
 	// control envelopes interleave with long-message bodies instead of
 	// queueing behind them (Option B, the default and what the paper
@@ -307,6 +322,12 @@ func (o Options) sctpConfig() sctp.Config {
 		}
 		if cfg.Streams == 0 {
 			cfg.Streams = o.Streams
+		}
+	}
+	if o.SCTPIData {
+		cfg.IData = true
+		if cfg.Scheduler == sctp.SchedFIFO {
+			cfg.Scheduler = o.SCTPSched
 		}
 	}
 	if o.SCTPProbe != nil {

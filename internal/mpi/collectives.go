@@ -395,15 +395,32 @@ func (c *Comm) naiveReduce(root int, data []byte, op Op) error {
 	if c.Rank() != root {
 		return c.csend(root, tagReduce, data)
 	}
-	tmp := make([]byte, len(data))
+	// Post every receive before waiting on any (the same posting-order
+	// fix Gather and Gatherv carry): a blocking recv per rank in turn
+	// would hold each sender's rendezvous body until the root reaches
+	// its slot, serializing n-1 transfers that the network could
+	// overlap. The fold still runs in ascending rank order afterwards,
+	// so non-commutative ops see a deterministic reduction order.
+	bufs := make([][]byte, c.Size())
+	reqs := make([]*Request, 0, c.Size()-1)
 	for r := 0; r < c.Size(); r++ {
 		if r == root {
 			continue
 		}
-		if _, err := c.crecv(r, tagReduce, tmp); err != nil {
+		bufs[r] = make([]byte, len(data))
+		req, err := c.cirecv(r, tagReduce, bufs[r])
+		if err != nil {
 			return err
 		}
-		op(data, tmp)
+		reqs = append(reqs, req)
+	}
+	if err := c.pr.WaitAll(reqs...); err != nil {
+		return err
+	}
+	for r := 0; r < c.Size(); r++ {
+		if r != root {
+			op(data, bufs[r])
+		}
 	}
 	return nil
 }

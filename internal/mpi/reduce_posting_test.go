@@ -1,0 +1,54 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestNaiveReducePostsAllReceives pins the posting-order fix in
+// naiveReduce (the same audit Gather and Gatherv already passed): the
+// root must pre-post every receive so the n-1 rendezvous bodies flow
+// concurrently, instead of holding each sender's body hostage until a
+// blocking rank-at-a-time loop reaches its slot.
+//
+// The loop fabric charges a flat 100µs per hop with no bandwidth
+// limit, so the timing separates the two shapes sharply: with all
+// receives posted up front the whole fan-in costs a few hops (~300µs
+// for req/ack/body), while the old serialized loop needed about two
+// hops per sender (~3.2ms at 17 ranks). The 1 ms ceiling sits far
+// from both, so the test is insensitive to protocol-constant drift
+// but fails immediately if the receives serialize again.
+func TestNaiveReducePostsAllReceives(t *testing.T) {
+	const n = 17
+	const words = (96 << 10) / 8 // rendezvous territory, well above eager
+	var elapsed time.Duration
+	var got []byte
+	run(t, n, func(pr *Process, comm *Comm) error {
+		comm.SetAlg(AlgNaive)
+		data := I64Bytes(rankPattern(comm.Rank(), words))
+		t0 := pr.P.Now()
+		if err := comm.Reduce(0, data, OpSumI64); err != nil {
+			return err
+		}
+		if comm.Rank() == 0 {
+			elapsed = pr.P.Now() - t0
+			got = data
+		}
+		return nil
+	})
+
+	want := make([]int64, words)
+	for r := 0; r < n; r++ {
+		for i, v := range rankPattern(r, words) {
+			want[i] += v
+		}
+	}
+	if !bytes.Equal(got, I64Bytes(want)) {
+		t.Fatal("naive reduce result incorrect at root")
+	}
+	if limit := 1 * time.Millisecond; elapsed > limit {
+		t.Fatalf("naive reduce root took %v, want < %v: root receives look serialized again",
+			elapsed, limit)
+	}
+}

@@ -77,6 +77,7 @@ type Module struct {
 	assocByRank []sctp.AssocID
 	rankByAssoc map[sctp.AssocID]int
 	streams     int
+	classed     map[uint64]uint8 // (assoc, stream) → last stamped class
 	sender      *rpi.MsgSender
 	recv        *rpi.Reassembler
 	sess        *rpi.Sessions
@@ -106,6 +107,7 @@ func New(stack *sctp.Stack, rank int, addrs [][]netsim.Addr, barrier *rpi.Barrie
 		barrier:     barrier,
 		assocByRank: make([]sctp.AssocID, len(addrs)),
 		rankByAssoc: make(map[sctp.AssocID]int),
+		classed:     make(map[uint64]uint8),
 	}
 	m.SetupEngine(rank, len(addrs), opts.Cost)
 	return m
@@ -215,7 +217,37 @@ func (m *Module) Send(dest int, env rpi.Envelope, body []byte, onQueued func()) 
 		return
 	}
 	key := rpi.MsgKey{Rank: dest, Stream: m.StreamFor(env.Context, env.Tag)}
+	m.stampClass(key, env.Kind)
 	m.sender.Send(key, env, body, nil)
+}
+
+// stampClass tells a chunk-interleaving transport scheduler what this
+// stream is about to carry: the priority class (or weighted share)
+// derived from the message kind. Stamps are cached per (association,
+// stream) and re-applied automatically after a redial, because the
+// replacement association has a different id. On legacy or FIFO/RR
+// associations the socket calls are no-ops, so this costs one map probe.
+func (m *Module) stampClass(key rpi.MsgKey, kind rpi.Kind) {
+	sched := m.opts.SCTP.Scheduler
+	if !m.opts.SCTP.IData ||
+		(sched != sctp.SchedPriority && sched != sctp.SchedWeightedFair) {
+		return
+	}
+	id := m.assocByRank[key.Rank]
+	if id == 0 {
+		return
+	}
+	class := rpi.ClassFor(kind)
+	ck := uint64(id)<<16 | uint64(key.Stream)
+	if prev, ok := m.classed[ck]; ok && prev == class {
+		return
+	}
+	m.classed[ck] = class
+	if sched == sctp.SchedPriority {
+		_ = m.sock.SetStreamPriority(id, key.Stream, class)
+	} else {
+		_ = m.sock.SetStreamWeight(id, key.Stream, rpi.WeightFor(class))
+	}
 }
 
 // Advance implements rpi.RPI: drain the one-to-many socket when its
@@ -287,7 +319,9 @@ func (m *Module) redial(p *sim.Proc, r int) {
 // sendHandshake queues one recovery handshake envelope (stream 0,
 // unsessioned) through the shared writer.
 func (m *Module) sendHandshake(r int, env rpi.Envelope) {
-	m.sender.Send(rpi.MsgKey{Rank: r, Stream: 0}, env, nil, nil)
+	key := rpi.MsgKey{Rank: r, Stream: 0}
+	m.stampClass(key, env.Kind)
+	m.sender.Send(key, env, nil, nil)
 }
 
 // replayGap queues the negotiated retention gap, each message on its
@@ -296,6 +330,7 @@ func (m *Module) sendHandshake(r int, env rpi.Envelope) {
 func (m *Module) replayGap(r int, gap []rpi.Retained) {
 	for _, rt := range gap {
 		key := rpi.MsgKey{Rank: r, Stream: m.StreamFor(rt.Env.Context, rt.Env.Tag)}
+		m.stampClass(key, rt.Env.Kind)
 		m.sender.Send(key, rt.Env, rt.Body, nil)
 	}
 }

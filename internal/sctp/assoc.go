@@ -37,6 +37,8 @@ type Stats struct {
 	SacksSent       int64
 	SacksRcvd       int64
 	DupChunksRcvd   int64
+	IDataChunksSent int64 // RFC 8260 I-DATA chunks transmitted
+	IDataChunksRcvd int64 // RFC 8260 I-DATA chunks received
 	BadTagDrops     int64
 	Failovers       int64
 	HeartbeatsSent  int64
@@ -99,6 +101,14 @@ type outChunk struct {
 	sacked    bool
 	missing   int
 	inRtxQ    bool
+	// inFlight records whether this chunk's bytes are currently counted
+	// in its path's flight. It is the accounting ground truth: flight is
+	// only ever decremented for a chunk whose bytes are in it, so a SACK
+	// arriving for a chunk that T3 or fast retransmit already pulled out
+	// of flight cannot steal bytes that belong to other outstanding
+	// chunks (which would zero flight early, stop the T3 timer, and
+	// strand the still-unacked chunks forever).
+	inFlight bool
 }
 
 // releaseBuf drops this chunk's share of the message buffer. Idempotent:
@@ -174,6 +184,16 @@ type Assoc struct {
 	sndUsed  int
 	peerRwnd int
 	sndCond  *sim.Cond
+
+	// I-DATA mode (RFC 8260), committed at handshake when both ends
+	// enable Config.IData. Outbound messages take a per-stream MID and
+	// queue in the stream scheduler instead of outQ; their TSNs are
+	// assigned at transmit time so TSN order equals wire order even when
+	// the scheduler interleaves streams.
+	useIData bool
+	outMID   []seqnum.MID // next message ID per outbound stream
+	sched    *sched       // sender-side stream scheduler
+	ireasm   ireasm       // per-(stream, MID) interleaved reassembly
 
 	// Receive side.
 	cumTSN      seqnum.V
@@ -308,7 +328,8 @@ func initialCwnd(mtu int) int {
 	return v
 }
 
-// initStreams sizes stream state after negotiation.
+// initStreams sizes stream state after negotiation. useIData must be
+// committed before this is called (it sizes the I-DATA structures).
 func (a *Assoc) initStreams(out, in int) {
 	a.numOut = out
 	a.numIn = in
@@ -318,6 +339,28 @@ func (a *Assoc) initStreams(out, in int) {
 	for i := range a.reorder {
 		a.reorder[i] = make(map[seqnum.S16]*Message)
 	}
+	if a.useIData {
+		a.outMID = make([]seqnum.MID, out)
+		a.sched = newSched(a.cfg.Scheduler, out)
+		a.ireasm.init(in)
+	} else {
+		a.outMID = nil
+		a.sched = nil
+	}
+}
+
+// UsesIData reports whether RFC 8260 interleaving was negotiated for
+// this association (both endpoints enabled Config.IData).
+func (a *Assoc) UsesIData() bool { return a.useIData }
+
+// outPending counts chunks queued for first transmission, wherever they
+// live (legacy outQ or the I-DATA stream scheduler).
+func (a *Assoc) outPending() int {
+	n := len(a.outQ)
+	if a.sched != nil {
+		n += a.sched.pending()
+	}
+	return n
 }
 
 // establish finalizes the handshake on either side.
@@ -346,6 +389,9 @@ func (a *Assoc) handlePacket(src, dst netsim.Addr, pkt *packet) {
 		switch c.Type {
 		case ctData:
 			a.handleData(src, c)
+			hadData = true
+		case ctIData:
+			a.handleIData(src, c)
 			hadData = true
 		case ctSack:
 			a.stats.SacksRcvd++
@@ -434,23 +480,26 @@ func (a *Assoc) mergeRanges() {
 	a.rcvRanges = out
 }
 
-// handleData processes one DATA chunk.
-func (a *Assoc) handleData(src netsim.Addr, c *chunk) {
+// acceptTSN runs the TSN-level acceptance shared by DATA and I-DATA:
+// duplicate detection, receive-buffer admission, range bookkeeping and
+// cumulative-TSN advance. It reports whether the chunk's payload was
+// accepted for reassembly.
+func (a *Assoc) acceptTSN(c *chunk) bool {
 	a.stats.ChunksRcvd++
 	tsn := c.TSN
 	if tsn.LessEq(a.cumTSN) || a.inRanges(tsn) {
 		a.stats.DupChunksRcvd++
 		a.dupTSNs = append(a.dupTSNs, tsn)
 		a.sackNow = true
-		return
+		return false
 	}
 	if a.rcvUsed+len(c.Data) > a.cfg.RcvBuf {
 		// No receive-buffer space: drop silently; the sender's rwnd
 		// tracking normally prevents this.
-		return
+		return false
 	}
 	if int(c.Stream) >= a.numIn {
-		return // invalid stream; a real stack sends an ERROR chunk
+		return false // invalid stream; a real stack sends an ERROR chunk
 	}
 	a.insertRange(tsn)
 	a.rcvUsed += len(c.Data)
@@ -464,9 +513,18 @@ func (a *Assoc) handleData(src netsim.Addr, c *chunk) {
 			p.CumTSN(a, a.cumTSN)
 		}
 	}
+	return true
+}
+
+// handleData processes one DATA chunk.
+func (a *Assoc) handleData(src netsim.Addr, c *chunk) {
+	if !a.acceptTSN(c) {
+		return
+	}
 
 	// Reassembly: fragments of one message share (stream, SSN) and
 	// occupy consecutive TSNs.
+	tsn := c.TSN
 	key := uint32(c.Stream)<<16 | uint32(uint16(c.SSN))
 	pm := a.partial[key]
 	if pm == nil {
@@ -508,6 +566,29 @@ func (a *Assoc) handleData(src netsim.Addr, c *chunk) {
 		delete(a.partial, key)
 		a.completeMessage(pm)
 	}
+}
+
+// handleIData processes one RFC 8260 I-DATA chunk: the shared TSN
+// machinery, then interleaved reassembly keyed by (stream, MID, FSN)
+// instead of consecutive TSNs.
+func (a *Assoc) handleIData(src netsim.Addr, c *chunk) {
+	if !a.useIData {
+		// Protocol violation: the peer sent I-DATA without negotiating
+		// it. Count and drop, like a chunk for an invalid stream.
+		a.stats.ChunksRcvd++
+		return
+	}
+	if !a.acceptTSN(c) {
+		return
+	}
+	a.stats.IDataChunksRcvd++
+	a.probeIDataFrag(c)
+	a.ireasm.feed(c, func(m *Message) {
+		m.Assoc = a.id
+		m.Peer = a.peerAddrs[0]
+		a.probeDeliverMID(m)
+		a.sock.enqueue(m)
+	})
 }
 
 // completeMessage assembles a reassembled message and delivers it in
@@ -677,7 +758,7 @@ func (a *Assoc) resetAutoclose() {
 	}
 	a.autocloseTimer.Stop()
 	a.autocloseTimer = a.kernel().After(a.cfg.Autoclose, func() {
-		if a.state == aEstablished && len(a.outQ) == 0 && len(a.inflight) == 0 {
+		if a.state == aEstablished && a.outPending() == 0 && len(a.inflight) == 0 {
 			a.gracefulClose()
 		}
 	})
@@ -727,9 +808,14 @@ func (a *Assoc) teardown() {
 		pm.releaseFrags()
 		delete(a.partial, key)
 	}
+	if a.useIData {
+		a.ireasm.release()
+	}
 	// Unacknowledged chunks still hold shares of pooled message buffers.
 	// rtxQ is a subset of inflight, and releaseBuf is idempotent, so
-	// walking all three queues is safe.
+	// walking all three queues is safe. Scheduler-queued chunks were
+	// never transmitted, so their shares are released here too.
+	a.sched.drain(func(oc *outChunk) { oc.releaseBuf() })
 	for _, oc := range a.outQ {
 		oc.releaseBuf()
 	}
@@ -767,7 +853,7 @@ func (a *Assoc) gracefulClose() {
 // maybeProgressShutdown advances the shutdown handshake once all
 // outbound data is acknowledged.
 func (a *Assoc) maybeProgressShutdown() {
-	if len(a.outQ) != 0 || len(a.rtxQ) != 0 || len(a.inflight) != 0 {
+	if a.outPending() != 0 || len(a.rtxQ) != 0 || len(a.inflight) != 0 {
 		return
 	}
 	switch a.state {

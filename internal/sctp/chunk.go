@@ -36,6 +36,7 @@ const (
 	ctCookieEcho       = 10
 	ctCookieAck        = 11
 	ctShutdownComplete = 14
+	ctIData            = 64 // RFC 8260 interleaved DATA
 )
 
 // DATA chunk flags.
@@ -50,6 +51,14 @@ const (
 	abortTBit = 0x01 // T bit: verification tag is reflected, not ours (RFC 4960 §8.5.1)
 )
 
+// INIT / INIT-ACK chunk flags. RFC 8260 negotiates interleaving via a
+// Supported Extensions parameter; this stack compresses that to one
+// flag bit, which keeps legacy interop semantics identical (both sides
+// must advertise it or the association uses plain DATA).
+const (
+	initFlagIData = 0x01
+)
+
 // commonHeaderSize is the SCTP common header: src port, dst port,
 // verification tag, checksum.
 const commonHeaderSize = 12
@@ -57,6 +66,11 @@ const commonHeaderSize = 12
 // dataChunkHeaderSize is the DATA chunk header (type, flags, length,
 // TSN, stream, SSN, PPID).
 const dataChunkHeaderSize = 16
+
+// iDataChunkHeaderSize is the I-DATA chunk header (RFC 8260 §2.1):
+// type, flags, length, TSN, stream, reserved, MID, then PPID on the
+// first fragment (B bit set) or FSN on every later one.
+const iDataChunkHeaderSize = 20
 
 // chunk is the parsed form of any chunk. Fields are a union across
 // chunk types; Type selects which are meaningful.
@@ -70,6 +84,12 @@ type chunk struct {
 	SSN    seqnum.S16
 	PPID   uint32
 	Data   []byte
+
+	// I-DATA (RFC 8260). The wire overlays PPID and FSN: a begin
+	// fragment carries the PPID (its FSN is implicitly 0), every later
+	// fragment carries the FSN instead.
+	MID seqnum.MID
+	FSN seqnum.FSN
 
 	// INIT / INIT-ACK
 	InitiateTag uint32
@@ -109,6 +129,8 @@ func (c *chunk) wireSize() int {
 	switch c.Type {
 	case ctData:
 		return dataChunkHeaderSize + len(c.Data)
+	case ctIData:
+		return iDataChunkHeaderSize + len(c.Data)
 	case ctInit, ctInitAck:
 		return 4 + 16 + 2 + 4*len(c.Addrs) + 2 + len(c.Cookie)
 	case ctSack:
@@ -134,6 +156,17 @@ func (c *chunk) encode(w *wire.Writer) {
 		w.U16(c.Stream)
 		w.U16(uint16(c.SSN))
 		w.U32(c.PPID)
+		w.Bytes(c.Data)
+	case ctIData:
+		w.U32(uint32(c.TSN))
+		w.U16(c.Stream)
+		w.U16(0) // reserved
+		w.U32(uint32(c.MID))
+		if c.Flags&flagBeginFragment != 0 {
+			w.U32(c.PPID)
+		} else {
+			w.U32(uint32(c.FSN))
+		}
 		w.Bytes(c.Data)
 	case ctInit, ctInitAck:
 		w.U32(c.InitiateTag)
@@ -177,10 +210,12 @@ func (c *chunk) encode(w *wire.Writer) {
 }
 
 // encodeCookieEcho writes a COOKIE-ECHO chunk (whose value is the raw
-// cookie).
-func encodeCookieEcho(w *wire.Writer, cookie []byte) {
+// cookie). The flags byte is zero on every chunk this stack originates
+// (RFC 4960 §3.3.11), but it is passed through so re-encoding a decoded
+// chunk preserves it — the peer ignores it either way.
+func encodeCookieEcho(w *wire.Writer, flags uint8, cookie []byte) {
 	w.U8(ctCookieEcho)
-	w.U8(0)
+	w.U8(flags)
 	w.U16(uint16(4 + len(cookie)))
 	w.Bytes(cookie)
 }
@@ -210,6 +245,17 @@ func decodeChunk(r *wire.Reader, c *chunk) error {
 		c.Stream = br.U16()
 		c.SSN = seqnum.S16(br.U16())
 		c.PPID = br.U32()
+		c.Data = br.Rest()
+	case ctIData:
+		c.TSN = seqnum.V(br.U32())
+		c.Stream = br.U16()
+		br.U16() // reserved
+		c.MID = seqnum.MID(br.U32())
+		if c.Flags&flagBeginFragment != 0 {
+			c.PPID = br.U32() // FSN implicitly 0 on the begin fragment
+		} else {
+			c.FSN = seqnum.FSN(br.U32())
+		}
 		c.Data = br.Rest()
 	case ctInit, ctInitAck:
 		c.InitiateTag = br.U32()
@@ -300,7 +346,7 @@ func encodePacket(p *packet) []byte {
 	w.U32(0) // checksum placeholder
 	for _, c := range p.Chunks {
 		if c.Type == ctCookieEcho {
-			encodeCookieEcho(w, c.Cookie)
+			encodeCookieEcho(w, c.Flags, c.Cookie)
 		} else {
 			c.encode(w)
 		}

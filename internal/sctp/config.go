@@ -71,6 +71,20 @@ type Config struct {
 	// failover). The chaos harness installs its invariant oracles here.
 	Probe *Probe
 
+	// IData enables RFC 8260 user-message interleaving: fragmented
+	// messages are sent as I-DATA chunks keyed by (stream, MID, FSN), so
+	// one stream's large message no longer monopolizes the TSN space and
+	// other streams' chunks can be interleaved between its fragments.
+	// The capability is negotiated at handshake; an association falls
+	// back to legacy DATA chunks unless both endpoints enable it.
+	IData bool
+
+	// Scheduler selects the sender-side stream scheduler used when
+	// I-DATA is negotiated (default SchedFIFO, the legacy global arrival
+	// order). Ignored on legacy DATA associations, whose fragments must
+	// occupy consecutive TSNs.
+	Scheduler SchedPolicy
+
 	// CMT enables Concurrent Multipath Transfer: new data is striped
 	// across all active paths instead of using only the primary. This
 	// is the University of Delaware extension the paper's §2.1 and §5

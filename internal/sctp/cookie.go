@@ -23,6 +23,7 @@ type stateCookie struct {
 	LocalTSN   seqnum.V
 	OutStreams uint16
 	InStreams  uint16
+	IData      bool // RFC 8260 interleaving negotiated by both ends
 	PeerAddrs  []netsim.Addr
 	LocalAddrs []netsim.Addr
 	IssuedAt   time.Duration // virtual time, for staleness checks
@@ -39,6 +40,11 @@ func (c *stateCookie) encode(secret []byte) []byte {
 	w.U32(uint32(c.LocalTSN))
 	w.U16(c.OutStreams)
 	w.U16(c.InStreams)
+	if c.IData {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
 	w.U64(uint64(c.IssuedAt))
 	w.U16(uint16(len(c.PeerAddrs)))
 	for _, a := range c.PeerAddrs {
@@ -74,6 +80,7 @@ func decodeCookie(b, secret []byte) (*stateCookie, error) {
 	c.LocalTSN = seqnum.V(r.U32())
 	c.OutStreams = r.U16()
 	c.InStreams = r.U16()
+	c.IData = r.U8() != 0
 	c.IssuedAt = time.Duration(r.U64())
 	np := int(r.U16())
 	for i := 0; i < np; i++ {

@@ -63,6 +63,9 @@ func (a *Assoc) sendInit() {
 		InitialTSN:  a.nextTSN,
 		Addrs:       a.localAddrs,
 	}
+	if a.cfg.IData {
+		init.Flags |= initFlagIData
+	}
 	p := &packet{
 		SrcPort:         a.sock.port,
 		DstPort:         a.peerPort,
@@ -119,6 +122,7 @@ func (sk *Socket) handleInit(src, dst netsim.Addr, pkt *packet, c *chunk) {
 	if len(peerAddrs) == 0 {
 		peerAddrs = []netsim.Addr{src}
 	}
+	idata := sk.cfg.IData && c.Flags&initFlagIData != 0
 	cookie := &stateCookie{
 		PeerPort:   pkt.SrcPort,
 		PeerTag:    c.InitiateTag,
@@ -127,6 +131,7 @@ func (sk *Socket) handleInit(src, dst netsim.Addr, pkt *packet, c *chunk) {
 		LocalTSN:   localTSN,
 		OutStreams: uint16(streams),
 		InStreams:  uint16(streams),
+		IData:      idata,
 		PeerAddrs:  peerAddrs,
 		LocalAddrs: sk.stack.node.Addrs(),
 		IssuedAt:   sk.kernel().Now(),
@@ -140,6 +145,9 @@ func (sk *Socket) handleInit(src, dst netsim.Addr, pkt *packet, c *chunk) {
 		InitialTSN:  localTSN,
 		Addrs:       sk.stack.node.Addrs(),
 		Cookie:      cookie.encode(sk.stack.secret),
+	}
+	if idata {
+		initAck.Flags |= initFlagIData
 	}
 	// INIT-ACK carries the initiator's tag.
 	sk.sendControl(dst, src, pkt.SrcPort, c.InitiateTag, initAck)
@@ -157,6 +165,9 @@ func (a *Assoc) handleInitAck(src netsim.Addr, c *chunk) {
 	if streams > a.reqStreams {
 		streams = a.reqStreams
 	}
+	// Interleaving is on only when we asked for it and the peer's
+	// INIT-ACK confirms it; otherwise fall back to legacy DATA.
+	a.useIData = a.cfg.IData && c.Flags&initFlagIData != 0
 	a.initStreams(streams, streams)
 	// Adopt the peer's full address list for multihoming.
 	if len(c.Addrs) > 0 {
@@ -240,6 +251,7 @@ func (a *Assoc) handleInitCollision(src, dst netsim.Addr, c *chunk) {
 		peerAddrs = []netsim.Addr{src}
 	}
 	sk := a.sock
+	idata := a.cfg.IData && c.Flags&initFlagIData != 0
 	cookie := &stateCookie{
 		PeerPort:   a.peerPort,
 		PeerTag:    c.InitiateTag,
@@ -248,6 +260,7 @@ func (a *Assoc) handleInitCollision(src, dst netsim.Addr, c *chunk) {
 		LocalTSN:   a.nextTSN,
 		OutStreams: uint16(streams),
 		InStreams:  uint16(streams),
+		IData:      idata,
 		PeerAddrs:  peerAddrs,
 		LocalAddrs: a.localAddrs,
 		IssuedAt:   sk.kernel().Now(),
@@ -261,6 +274,9 @@ func (a *Assoc) handleInitCollision(src, dst netsim.Addr, c *chunk) {
 		InitialTSN:  a.nextTSN,
 		Addrs:       a.localAddrs,
 		Cookie:      cookie.encode(sk.stack.secret),
+	}
+	if idata {
+		initAck.Flags |= initFlagIData
 	}
 	sk.sendControl(dst, src, a.peerPort, c.InitiateTag, initAck)
 }
@@ -283,6 +299,7 @@ func (a *Assoc) handleRestartInit(src, dst netsim.Addr, c *chunk) {
 	if len(peerAddrs) == 0 {
 		peerAddrs = []netsim.Addr{src}
 	}
+	idata := a.cfg.IData && c.Flags&initFlagIData != 0
 	cookie := &stateCookie{
 		PeerPort:   a.peerPort,
 		PeerTag:    c.InitiateTag,
@@ -291,6 +308,7 @@ func (a *Assoc) handleRestartInit(src, dst netsim.Addr, c *chunk) {
 		LocalTSN:   localTSN,
 		OutStreams: uint16(streams),
 		InStreams:  uint16(streams),
+		IData:      idata,
 		PeerAddrs:  peerAddrs,
 		LocalAddrs: a.localAddrs,
 		IssuedAt:   sk.kernel().Now(),
@@ -304,6 +322,9 @@ func (a *Assoc) handleRestartInit(src, dst netsim.Addr, c *chunk) {
 		InitialTSN:  localTSN,
 		Addrs:       a.localAddrs,
 		Cookie:      cookie.encode(sk.stack.secret),
+	}
+	if idata {
+		initAck.Flags |= initFlagIData
 	}
 	sk.sendControl(dst, src, a.peerPort, c.InitiateTag, initAck)
 }
@@ -329,6 +350,10 @@ func (a *Assoc) restartInPlace(ck *stateCookie) {
 		oc.releaseBuf()
 	}
 	a.outQ, a.rtxQ, a.inflight = nil, nil, nil
+	if a.useIData {
+		a.ireasm.release()
+	}
+	a.sched.drain(func(oc *outChunk) { oc.releaseBuf() })
 	a.sndUsed = 0
 	a.rcvRanges = nil
 	a.dupTSNs = nil
@@ -346,6 +371,9 @@ func (a *Assoc) restartInPlace(ck *stateCookie) {
 	a.nextTSN = ck.LocalTSN
 	a.cumTSN = ck.PeerTSN.Add(^uint32(0))
 	a.peerRwnd = 4380 // until the peer advertises again
+	// The restarted handshake renegotiated interleaving; the cookie
+	// records the agreed mode.
+	a.useIData = ck.IData
 	a.initStreams(int(ck.OutStreams), int(ck.InStreams))
 
 	// Fresh path state (timers included), as for a new association.
@@ -397,6 +425,7 @@ func (a *Assoc) handleCookieEchoOnAssoc(src, dst netsim.Addr, c *chunk) {
 	a.peerTag = ck.PeerTag
 	a.cumTSN = ck.PeerTSN.Add(^uint32(0))
 	if a.numOut == 0 {
+		a.useIData = ck.IData
 		a.initStreams(int(ck.OutStreams), int(ck.InStreams))
 	}
 	a.initTimer.Stop()
@@ -429,6 +458,9 @@ func (sk *Socket) handleCookieEcho(src, dst netsim.Addr, pkt *packet, c *chunk) 
 	a.nextTSN = ck.LocalTSN
 	a.cumTSN = ck.PeerTSN.Add(^uint32(0))
 	a.buildPaths()
+	// ck.IData is the AND of both sides' preferences: we wrote it into
+	// the cookie we signed at INIT time, so it is trustworthy here.
+	a.useIData = ck.IData
 	a.initStreams(int(ck.OutStreams), int(ck.InStreams))
 	a.establish()
 	// COOKIE-ACK, with which data could be bundled (the paper notes the

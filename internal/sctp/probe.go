@@ -17,6 +17,18 @@ type Probe struct {
 	// exactly 0,1,2,... — the serial-number monotonicity invariant.
 	Deliver func(a *Assoc, stream, ssn uint16)
 
+	// DeliverMID fires each time an I-DATA message is handed to the
+	// socket receive queue in per-stream order; mid is the message ID
+	// being delivered. Per (association, stream) the mid sequence must
+	// be exactly 0,1,2,... — the interleaved analogue of Deliver.
+	DeliverMID func(a *Assoc, stream uint16, mid uint32)
+
+	// IDataFrag fires for each accepted (non-duplicate, in-window)
+	// I-DATA chunk before reassembly, including unfragmented messages
+	// (begin and end both set, fsn 0). Oracles use it to check per-MID
+	// FSN uniqueness/monotonicity and single-end invariants.
+	IDataFrag func(a *Assoc, stream uint16, mid, fsn uint32, begin, end bool)
+
 	// CumTSN fires after the cumulative TSN advances on receive. The
 	// reported value must never decrease for an association.
 	CumTSN func(a *Assoc, tsn seqnum.V)
@@ -40,6 +52,21 @@ type Probe struct {
 func (a *Assoc) probeDeliver(m *Message) {
 	if p := a.cfg.Probe; p != nil && p.Deliver != nil {
 		p.Deliver(a, m.Stream, m.SSN)
+	}
+}
+
+// probeDeliverMID reports an in-order I-DATA delivery to the probe.
+func (a *Assoc) probeDeliverMID(m *Message) {
+	if p := a.cfg.Probe; p != nil && p.DeliverMID != nil {
+		p.DeliverMID(a, m.Stream, m.MID)
+	}
+}
+
+// probeIDataFrag reports an accepted I-DATA chunk to the probe.
+func (a *Assoc) probeIDataFrag(c *chunk) {
+	if p := a.cfg.Probe; p != nil && p.IDataFrag != nil {
+		p.IDataFrag(a, c.Stream, uint32(c.MID), uint32(c.FSN),
+			c.Flags&flagBeginFragment != 0, c.Flags&flagEndFragment != 0)
 	}
 }
 

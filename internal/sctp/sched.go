@@ -1,0 +1,217 @@
+package sctp
+
+// SchedPolicy selects the sender-side stream scheduler used when RFC
+// 8260 I-DATA interleaving is negotiated. Legacy DATA associations
+// always transmit in FIFO order (fragments of one message occupy
+// consecutive TSNs, so nothing can be interleaved anyway).
+type SchedPolicy int
+
+const (
+	// SchedFIFO transmits chunks in global arrival order — the legacy
+	// behavior, kept as the default so interleaving alone never changes
+	// wire ordering.
+	SchedFIFO SchedPolicy = iota
+	// SchedRoundRobin serves the active streams one chunk at a time in
+	// rotation, so no backlogged stream waits more than one chunk per
+	// competitor.
+	SchedRoundRobin
+	// SchedWeightedFair is byte-based deficit round robin: each active
+	// stream earns weight×quantum bytes of credit per round and sends
+	// while its credit covers the head chunk.
+	SchedWeightedFair
+	// SchedPriority always serves the runnable stream with the lowest
+	// class value (0 is highest priority), round-robining among equals.
+	SchedPriority
+)
+
+func (p SchedPolicy) String() string {
+	switch p {
+	case SchedFIFO:
+		return "fifo"
+	case SchedRoundRobin:
+		return "rr"
+	case SchedWeightedFair:
+		return "wfq"
+	case SchedPriority:
+		return "prio"
+	default:
+		return "sched?"
+	}
+}
+
+// schedQuantum is the byte credit one weight unit earns per
+// weighted-fair round. It is at least one MTU so every visit can make
+// progress on a full-size fragment.
+const schedQuantum = 1500
+
+// streamQ is one stream's send queue plus its scheduling parameters.
+type streamQ struct {
+	id      uint16
+	q       []*outChunk
+	prio    uint8 // SchedPriority class; 0 is most urgent
+	weight  int   // SchedWeightedFair share; >= 1
+	deficit int   // DRR byte credit
+}
+
+func (sq *streamQ) empty() bool { return len(sq.q) == 0 }
+
+func (sq *streamQ) popFront() *outChunk {
+	oc := sq.q[0]
+	sq.q[0] = nil
+	sq.q = sq.q[1:]
+	if len(sq.q) == 0 {
+		sq.q = nil // release the drained backing array
+	}
+	return oc
+}
+
+// sched is the pluggable sender-side stream scheduler for I-DATA mode.
+// Chunks of one stream always leave in push (FSN) order; across streams
+// the policy decides. peek reserves the next chunk without handing it
+// out, so the sender can size packets before committing; the reserved
+// chunk is returned by the next pop even if a more urgent chunk arrives
+// in between (one-chunk bounded inversion, matching a real stack that
+// has already framed the chunk).
+type sched struct {
+	policy  SchedPolicy
+	streams []streamQ
+	active  []*streamQ  // non-empty streams in service order
+	fifo    []*outChunk // SchedFIFO global arrival order
+	sel     *outChunk   // chunk reserved by peek, not yet popped
+	npend   int         // chunks pushed and not yet popped (incl. sel)
+}
+
+func newSched(policy SchedPolicy, streams int) *sched {
+	s := &sched{policy: policy, streams: make([]streamQ, streams)}
+	for i := range s.streams {
+		s.streams[i].id = uint16(i)
+		s.streams[i].weight = 1
+	}
+	return s
+}
+
+// pending returns the number of chunks queued for first transmission.
+func (s *sched) pending() int { return s.npend }
+
+func (s *sched) setPriority(stream uint16, prio uint8) { s.streams[stream].prio = prio }
+
+func (s *sched) setWeight(stream uint16, w int) {
+	if w < 1 {
+		w = 1
+	}
+	s.streams[stream].weight = w
+}
+
+func (s *sched) push(stream uint16, oc *outChunk) {
+	s.npend++
+	if s.policy == SchedFIFO {
+		s.fifo = append(s.fifo, oc)
+		return
+	}
+	sq := &s.streams[stream]
+	if sq.empty() {
+		s.active = append(s.active, sq)
+	}
+	sq.q = append(sq.q, oc)
+}
+
+// peek returns the chunk the next pop will hand out, reserving it.
+func (s *sched) peek() *outChunk {
+	if s.sel == nil && s.npend > 0 {
+		s.sel = s.selectNext()
+	}
+	return s.sel
+}
+
+// pop removes and returns the next chunk per policy, or nil when empty.
+func (s *sched) pop() *outChunk {
+	oc := s.peek()
+	if oc != nil {
+		s.sel = nil
+		s.npend--
+	}
+	return oc
+}
+
+// selectNext dequeues one chunk according to the policy. Callers
+// guarantee at least one chunk is queued.
+func (s *sched) selectNext() *outChunk {
+	if s.policy == SchedFIFO {
+		oc := s.fifo[0]
+		s.fifo[0] = nil
+		s.fifo = s.fifo[1:]
+		if len(s.fifo) == 0 {
+			s.fifo = nil
+		}
+		return oc
+	}
+	switch s.policy {
+	case SchedRoundRobin:
+		return s.serveActive(0)
+	case SchedPriority:
+		best := 0
+		for i, sq := range s.active {
+			if sq.prio < s.active[best].prio {
+				best = i
+			}
+		}
+		return s.serveActive(best)
+	default: // SchedWeightedFair
+		for {
+			sq := s.active[0]
+			if sq.deficit >= sq.q[0].size {
+				sq.deficit -= sq.q[0].size
+				oc := sq.popFront()
+				if sq.empty() {
+					// Standard DRR: an idle stream banks no credit.
+					sq.deficit = 0
+					s.active = s.active[1:]
+				}
+				return oc
+			}
+			// Head chunk not covered: grant this round's credit and
+			// rotate. Credit grows every full rotation, so the loop
+			// terminates for any chunk size.
+			sq.deficit += sq.weight * schedQuantum
+			s.active = append(s.active[1:], sq)
+		}
+	}
+}
+
+// serveActive pops one chunk from active[i] and rotates that stream to
+// the tail (dropping it when drained) — chunk-granular round robin.
+func (s *sched) serveActive(i int) *outChunk {
+	sq := s.active[i]
+	oc := sq.popFront()
+	s.active = append(s.active[:i], s.active[i+1:]...)
+	if !sq.empty() {
+		s.active = append(s.active, sq)
+	}
+	return oc
+}
+
+// drain hands every queued chunk (including a peek-reserved one) to f
+// and empties the scheduler; used at association teardown and restart.
+func (s *sched) drain(f func(*outChunk)) {
+	if s == nil {
+		return
+	}
+	if s.sel != nil {
+		f(s.sel)
+		s.sel = nil
+	}
+	for _, oc := range s.fifo {
+		f(oc)
+	}
+	s.fifo = nil
+	for i := range s.streams {
+		sq := &s.streams[i]
+		for _, oc := range sq.q {
+			f(oc)
+		}
+		sq.q = nil
+		sq.deficit = 0
+	}
+	s.active = s.active[:0]
+	s.npend = 0
+}

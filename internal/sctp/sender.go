@@ -31,6 +31,10 @@ func (a *Assoc) trySend(stream uint16, ppid uint32, data []byte) error {
 	if a.sndUsed+len(data) > a.cfg.SndBuf {
 		return ErrWouldBlock
 	}
+	if a.useIData {
+		a.enqueueIData(stream, ppid, data)
+		return nil
+	}
 	ssn := seqnum.S16(a.outSSN[stream])
 	a.outSSN[stream]++
 	maxSeg := a.paths[a.primary].mtu - dataChunkHeaderSize
@@ -85,6 +89,100 @@ func (a *Assoc) trySend(stream uint16, ppid uint32, data []byte) error {
 	return nil
 }
 
+// enqueueIData fragments one user message into I-DATA chunks (RFC
+// 8260): the message takes the stream's next MID, fragments are
+// numbered by FSN from 0, and the chunks go to the stream scheduler
+// rather than the global outQ. TSNs are assigned later, at transmit
+// time, because the scheduler may interleave streams.
+func (a *Assoc) enqueueIData(stream uint16, ppid uint32, data []byte) {
+	mid := a.outMID[stream]
+	a.outMID[stream] = mid.Add(1)
+	maxSeg := a.paths[a.primary].mtu - iDataChunkHeaderSize
+	mb := &msgBuf{b: wire.GetBuf(len(data))}
+	copy(mb.b, data)
+	rest := mb.b
+	nfrags := (len(data) + maxSeg - 1) / maxSeg
+	if nfrags == 0 {
+		nfrags = 1
+	}
+	ocs := make([]outChunk, nfrags)
+	for i := 0; i < nfrags; i++ {
+		n := len(rest)
+		if n > maxSeg {
+			n = maxSeg
+		}
+		var flags uint8
+		if i == 0 {
+			flags |= flagBeginFragment
+		}
+		if n == len(rest) {
+			flags |= flagEndFragment
+		}
+		mb.refs++
+		ocs[i] = outChunk{
+			c: chunk{
+				Type:   ctIData,
+				Flags:  flags,
+				Stream: stream,
+				MID:    mid,
+				FSN:    seqnum.FSN(uint32(i)),
+				PPID:   ppid,
+				Data:   rest[:n:n],
+			},
+			mb:   mb,
+			size: n,
+		}
+		a.sched.push(stream, &ocs[i])
+		rest = rest[n:]
+	}
+	a.sndUsed += len(data)
+	a.sock.Stats.MsgsSent++
+	a.sock.Stats.BytesSent += int64(len(data))
+	a.transmit()
+}
+
+// dataHdrSize returns the wire header size of this association's data
+// chunks (DATA or I-DATA), used when bundling to the MTU.
+func (a *Assoc) dataHdrSize() int {
+	if a.useIData {
+		return iDataChunkHeaderSize
+	}
+	return dataChunkHeaderSize
+}
+
+// peekOut returns (reserving, without dequeuing) the next never-sent
+// chunk, or nil when none is queued.
+func (a *Assoc) peekOut() *outChunk {
+	if len(a.outQ) > 0 {
+		return a.outQ[0]
+	}
+	if a.sched != nil {
+		return a.sched.peek()
+	}
+	return nil
+}
+
+// popOut dequeues the next never-sent chunk. In I-DATA mode the chunk
+// takes its TSN here — at transmit time — so TSN order equals wire
+// order even when the scheduler interleaves streams; SACK gap and
+// missing-report accounting depend on that.
+func (a *Assoc) popOut() *outChunk {
+	if len(a.outQ) > 0 {
+		oc := a.outQ[0]
+		a.outQ = a.outQ[1:]
+		return oc
+	}
+	if a.sched == nil {
+		return nil
+	}
+	oc := a.sched.pop()
+	if oc != nil {
+		oc.c.TSN = a.nextTSN
+		a.nextTSN = a.nextTSN.Add(1)
+	}
+	return oc
+}
+
 // activePath returns the path to transmit new data on: the primary if
 // active, else the first active alternate.
 func (a *Assoc) activePath() int {
@@ -135,6 +233,7 @@ func (a *Assoc) transmit() {
 // retransmission packet is exempt from cwnd (RFC 4960 fast-retransmit
 // rule); subsequent packets respect the window of their path.
 func (a *Assoc) sendRetransmissions() {
+	hdr := a.dataHdrSize()
 	exempt := true
 	for len(a.rtxQ) > 0 {
 		oc := a.rtxQ[0]
@@ -157,13 +256,13 @@ func (a *Assoc) sendRetransmissions() {
 				a.rtxQ = a.rtxQ[1:]
 				continue
 			}
-			if size+dataChunkHeaderSize+oc.size > pt.mtu && len(batch) > 0 {
+			if size+hdr+oc.size > pt.mtu && len(batch) > 0 {
 				break
 			}
 			oc.inRtxQ = false
 			a.rtxQ = a.rtxQ[1:]
 			batch = append(batch, oc)
-			size += dataChunkHeaderSize + oc.size
+			size += hdr + oc.size
 		}
 		if len(batch) == 0 {
 			break
@@ -190,8 +289,11 @@ func (a *Assoc) pickCMTPath() int {
 }
 
 // sendNewData transmits never-sent chunks within cwnd and peer rwnd.
+// Chunks come from the legacy outQ or, in I-DATA mode, from the stream
+// scheduler (which decides the interleaving order).
 func (a *Assoc) sendNewData() {
-	for len(a.outQ) > 0 {
+	hdr := a.dataHdrSize()
+	for a.outPending() > 0 {
 		var pi int
 		if a.cfg.CMT {
 			pi = a.pickCMTPath()
@@ -208,7 +310,7 @@ func (a *Assoc) sendNewData() {
 		// Zero-window probe: when the peer advertises no space, keep
 		// exactly one chunk in flight.
 		probe := false
-		if a.peerRwnd < a.outQ[0].size {
+		if a.peerRwnd < a.peekOut().size {
 			if a.totalFlight() > 0 {
 				return
 			}
@@ -217,17 +319,20 @@ func (a *Assoc) sendNewData() {
 		var batch []*outChunk
 		size := 0
 		budget := pt.cwnd - pt.flight
-		for len(a.outQ) > 0 {
-			oc := a.outQ[0]
-			if size+dataChunkHeaderSize+oc.size > pt.mtu && len(batch) > 0 {
+		for {
+			oc := a.peekOut()
+			if oc == nil {
+				break
+			}
+			if size+hdr+oc.size > pt.mtu && len(batch) > 0 {
 				break
 			}
 			if len(batch) > 0 && (size+oc.size > budget || (a.peerRwnd < size+oc.size && !probe)) {
 				break
 			}
-			a.outQ = a.outQ[1:]
+			a.popOut()
 			batch = append(batch, oc)
-			size += dataChunkHeaderSize + oc.size
+			size += hdr + oc.size
 			if probe {
 				break
 			}
@@ -268,6 +373,7 @@ func (a *Assoc) sendDataPacket(pi int, batch []*outChunk, isRtx bool) {
 		oc.pathIdx = pi
 		oc.transmits++
 		oc.sacked = false
+		oc.inFlight = true
 		pt.flight += oc.size
 		if !isRtx {
 			a.peerRwnd -= oc.size
@@ -283,6 +389,9 @@ func (a *Assoc) sendDataPacket(pi int, batch []*outChunk, isRtx bool) {
 		}
 		chunks = append(chunks, &oc.c)
 		a.stats.ChunksSent++
+		if oc.c.Type == ctIData {
+			a.stats.IDataChunksSent++
+		}
 		a.stats.BytesSent += int64(oc.size)
 	}
 	if !isRtx && !pt.rttActive && len(batch) > 0 {
@@ -343,9 +452,16 @@ func (a *Assoc) onT3(pi int) {
 		pt.rto = a.cfg.RTOMax
 	}
 	pt.rttActive = false
-	// Requeue everything outstanding on this path.
+	// Requeue everything outstanding on this path. Their bytes leave
+	// flight here (pt.flight = 0 below), so mark each chunk accordingly:
+	// a SACK for the original transmission must not decrement flight a
+	// second time.
 	for _, oc := range a.inflight {
-		if oc.pathIdx == pi && !oc.sacked && !oc.inRtxQ {
+		if oc.pathIdx != pi {
+			continue
+		}
+		oc.inFlight = false
+		if !oc.sacked && !oc.inRtxQ {
 			oc.inRtxQ = true
 			a.rtxQ = append(a.rtxQ, oc)
 		}
@@ -376,7 +492,8 @@ func (a *Assoc) processSack(c *chunk) {
 		oc := a.inflight[0]
 		a.inflight = a.inflight[1:]
 		pt := a.paths[oc.pathIdx]
-		if !oc.sacked {
+		if oc.inFlight {
+			oc.inFlight = false
 			pt.flight -= oc.size
 			if pt.flight < 0 {
 				pt.flight = 0
@@ -421,9 +538,12 @@ func (a *Assoc) processSack(c *chunk) {
 				oc.sacked = true
 				oc.releaseBuf()
 				pt := a.paths[oc.pathIdx]
-				pt.flight -= oc.size
-				if pt.flight < 0 {
-					pt.flight = 0
+				if oc.inFlight {
+					oc.inFlight = false
+					pt.flight -= oc.size
+					if pt.flight < 0 {
+						pt.flight = 0
+					}
 				}
 				if pt.rttActive && tsn.GreaterEq(pt.rttTSN) {
 					pt.rttActive = false
@@ -544,9 +664,12 @@ func (a *Assoc) markFastRtx(oc *outChunk) {
 		pt.recoverTSN = a.nextTSN.Add(^uint32(0))
 	}
 	// The chunk is no longer considered in flight on its path.
-	pt.flight -= oc.size
-	if pt.flight < 0 {
-		pt.flight = 0
+	if oc.inFlight {
+		oc.inFlight = false
+		pt.flight -= oc.size
+		if pt.flight < 0 {
+			pt.flight = 0
+		}
 	}
 	oc.missing = 0
 	oc.inRtxQ = true

@@ -40,6 +40,7 @@ type Message struct {
 	Peer         netsim.Addr
 	Stream       uint16
 	SSN          uint16
+	MID          uint32 // message ID when delivered via I-DATA (RFC 8260)
 	PPID         uint32
 	Data         []byte
 	Notification NotificationType
@@ -223,10 +224,10 @@ func (sk *Socket) handlePacket(src, dst netsim.Addr, pkt *packet) {
 			// answer with SHUTDOWN-COMPLETE so it can finish.
 			sk.sendControl(dst, src, pkt.SrcPort, pkt.VerificationTag,
 				&chunk{Type: ctShutdownComplete})
-		case ctData:
-			// Out-of-the-blue DATA: our side of the association is gone
-			// (killed or aborted). RFC 4960 §8.4 rule 8: respond with an
-			// ABORT carrying the reflected verification tag and the
+		case ctData, ctIData:
+			// Out-of-the-blue DATA/I-DATA: our side of the association is
+			// gone (killed or aborted). RFC 4960 §8.4 rule 8: respond with
+			// an ABORT carrying the reflected verification tag and the
 			// T-bit, so the sender discovers the death immediately
 			// instead of retransmitting into a void.
 			sk.sendControl(dst, src, pkt.SrcPort, pkt.VerificationTag,
@@ -353,6 +354,42 @@ func (sk *Socket) AssocByPeer(peer netsim.Addr, peerPort uint16) (AssocID, bool)
 		return a.id, true
 	}
 	return 0, false
+}
+
+// SetStreamPriority assigns a strict-priority class to an outbound
+// stream (0 is most urgent). It takes effect only on associations that
+// negotiated I-DATA and run the SchedPriority scheduler; elsewhere it
+// records nothing and is a harmless no-op, so callers need not care
+// which mode the association landed in.
+func (sk *Socket) SetStreamPriority(id AssocID, stream uint16, prio uint8) error {
+	a := sk.byID[id]
+	if a == nil {
+		return ErrNoAssoc
+	}
+	if int(stream) >= a.numOut {
+		return ErrBadStream
+	}
+	if a.sched != nil {
+		a.sched.setPriority(stream, prio)
+	}
+	return nil
+}
+
+// SetStreamWeight assigns a weighted-fair share to an outbound stream
+// (minimum 1). Like SetStreamPriority it only affects I-DATA
+// associations running the SchedWeightedFair scheduler.
+func (sk *Socket) SetStreamWeight(id AssocID, stream uint16, weight int) error {
+	a := sk.byID[id]
+	if a == nil {
+		return ErrNoAssoc
+	}
+	if int(stream) >= a.numOut {
+		return ErrBadStream
+	}
+	if a.sched != nil {
+		a.sched.setWeight(stream, weight)
+	}
+	return nil
 }
 
 // SetPrimary selects the primary destination address of an association.

@@ -124,7 +124,7 @@ func (s *Stack) handlePacket(ipPkt *netsim.Packet, ifc *netsim.Iface) {
 	// so the reassembly queue can hold a reference instead of copying.
 	nData := 0
 	for _, c := range pkt.Chunks {
-		if c.Type == ctData {
+		if c.Type == ctData || c.Type == ctIData {
 			c.buf = ipPkt
 			nData++
 		}

@@ -57,3 +57,34 @@ func (s S16) Less(o S16) bool { return int16(s-o) < 0 }
 
 // Greater reports whether s is strictly after o in serial order.
 func (s S16) Greater(o S16) bool { return int16(s-o) > 0 }
+
+// MID is a 32-bit user message identifier (RFC 8260 I-DATA). Like the
+// TSN it is assigned monotonically per stream and wraps modulo 2^32, so
+// it must be compared with the serial-order helpers.
+type MID uint32
+
+// Add returns m advanced by n, wrapping modulo 2^32.
+func (m MID) Add(n uint32) MID { return m + MID(n) }
+
+// Less reports whether m is strictly before o in serial order.
+func (m MID) Less(o MID) bool { return int32(m-o) < 0 }
+
+// Greater reports whether m is strictly after o in serial order.
+func (m MID) Greater(o MID) bool { return int32(m-o) > 0 }
+
+// FSN is a 32-bit fragment sequence number within one user message
+// (RFC 8260 I-DATA). Fragments are numbered 0..n-1; the space wraps
+// modulo 2^32 like every other serial number here.
+type FSN uint32
+
+// Add returns f advanced by n, wrapping modulo 2^32.
+func (f FSN) Add(n uint32) FSN { return f + FSN(n) }
+
+// Sub returns the forward distance from o to f (f - o) modulo 2^32.
+func (f FSN) Sub(o FSN) uint32 { return uint32(f - o) }
+
+// Less reports whether f is strictly before o in serial order.
+func (f FSN) Less(o FSN) bool { return int32(f-o) < 0 }
+
+// Greater reports whether f is strictly after o in serial order.
+func (f FSN) Greater(o FSN) bool { return int32(f-o) > 0 }

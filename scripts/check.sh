@@ -38,6 +38,27 @@ go test -race -run 'TestDrive|TestEventCost|TestConformanceReadiness' ./internal
 echo "== rank-scaling bench smoke =="
 go test -run TestRankScalingSubLinear ./internal/bench/
 
+echo "== fuzz smoke (chunk codec + interleaved reassembly) =="
+# Short coverage-guided runs of the I-DATA fuzz targets, starting from
+# the checked-in seed corpora under internal/sctp/testdata/fuzz.
+go test -run '^$' -fuzz '^FuzzChunkCodec$' -fuzztime 10s ./internal/sctp/
+go test -run '^$' -fuzz '^FuzzIDataReassembly$' -fuzztime 10s ./internal/sctp/
+
+echo "== coverage floor (internal/sctp) =="
+cov=$(go test -cover ./internal/sctp/ | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+if [ -z "$cov" ]; then
+	echo "could not parse internal/sctp coverage" >&2
+	exit 1
+fi
+awk -v c="$cov" 'BEGIN {
+	floor = 78.0
+	if (c + 0 < floor) {
+		printf "internal/sctp coverage %.1f%% is below the %.0f%% floor\n", c, floor
+		exit 1
+	}
+	printf "internal/sctp coverage %.1f%% (floor %.0f%%)\n", c, floor
+}'
+
 echo "== go test -race (chaos harness) =="
 go test -race ./internal/chaos/...
 
