@@ -44,3 +44,6 @@ chaos:
 	$(GO) run ./cmd/chaos -rpi all -seeds 25 -multihome
 	$(GO) run ./cmd/chaos -rpi all -seeds 25 -kill
 	$(GO) run ./cmd/chaos -rpi all -seeds 1 -procs 256 -topo fattree -rounds 6
+	$(GO) run ./cmd/chaos -rpi sctp -seed 1 -events 6 -horizon 50ms -kill -procs 256 -topo fattree -collective bcast -rounds 3 -msgsize 65536
+	$(GO) run ./cmd/chaos -rpi sctp1to1 -seed 8 -events 6 -horizon 50ms -kill -procs 256 -topo fattree -collective bcast -rounds 3 -msgsize 65536
+	$(GO) run ./cmd/chaos -rpi tcp -seed 3 -events 6 -horizon 50ms -kill -procs 256 -topo fattree -collective bcast -rounds 3 -msgsize 65536

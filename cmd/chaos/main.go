@@ -31,7 +31,11 @@ func main() {
 		prefix    = flag.Int("prefix", 0, "keep only the first N events (<0: none, 0: all)")
 		procs     = flag.Int("procs", 4, "world size")
 		topology  = flag.String("topo", "", "fabric: fattree or leafspine (empty: full mesh)")
+		collectve = flag.String("collective", "", "collective corpus: bcast or allreduce (empty: ring workload)")
+		algName   = flag.String("alg", "", "collective algorithm family: tree, naive, or multicast (default)")
+		msgSize   = flag.Int("msgsize", 0, "payload bytes per message/collective (0: default 4 KiB)")
 		rounds    = flag.Int("rounds", 0, "ring-exchange rounds (0: default 30)")
+		horizon   = flag.Duration("horizon", 0, "generated-schedule event window (0: default 10ms)")
 		multihome = flag.Bool("multihome", false, "three interfaces per node, heartbeats on")
 		kill      = flag.Bool("kill", false, "session-recovery corpus: generated schedules are AssocKill-only")
 		noIData   = flag.Bool("noidata", false, "disable RFC 8260 I-DATA interleaving on SCTP transports")
@@ -44,6 +48,8 @@ func main() {
 		dupEvery   = flag.Int("dup", 0, "mutation: deliver every Nth short message twice")
 		dropReplay = flag.Int("dropreplay", 0, "mutation: silently drop the Nth replayed message")
 		noChecksum = flag.Bool("nochecksum", false, "mutation: keep CRC32c verify off under Corrupt events")
+		mcDup      = flag.Int("mcdup", 0, "mutation: double-count every Nth accepted multicast chunk")
+		mcDrop     = flag.Int("mcdrop", 0, "mutation: account every Nth multicast chunk without copying it")
 	)
 	flag.Parse()
 
@@ -73,7 +79,11 @@ func main() {
 				Prefix:          *prefix,
 				Procs:           *procs,
 				Topology:        *topology,
+				Collective:      *collectve,
+				Alg:             *algName,
+				MsgSize:         *msgSize,
 				Rounds:          *rounds,
+				Horizon:         *horizon,
 				Multihome:       *multihome,
 				AllowKill:       *kill,
 				NoIData:         *noIData,
@@ -81,6 +91,8 @@ func main() {
 				DupDeliverEvery: *dupEvery,
 				DropReplayEvery: *dropReplay,
 				DisableChecksum: *noChecksum,
+				MCDupEvery:      *mcDup,
+				MCDropEvery:     *mcDrop,
 			}
 			res := chaos.Run(spec)
 			runs++

@@ -57,6 +57,10 @@ func TestWriteBenchArtifacts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	multicast, err := MulticastSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
 	interleaving, err := InterleavingSweep()
 	if err != nil {
 		t.Fatal(err)
@@ -80,6 +84,10 @@ func TestWriteBenchArtifacts(t *testing.T) {
 		"collectives": map[string]any{
 			"benchmark": "8 KiB Bcast and Allreduce over SCTP on a generated fat-tree, barrier-bracketed completion time, virtual ns",
 			"points":    collectives,
+		},
+		"multicast": map[string]any{
+			"benchmark": "8 KiB Bcast over SCTP on a generated fat-tree, link-layer multicast + NAK repair vs binomial tree vs naive linear, barrier-bracketed completion time, virtual ns",
+			"points":    multicast,
 		},
 		"incast": map[string]any{
 			"benchmark": "63-to-1 eager Gather of 16 KiB/rank on a fat-tree with 32 KiB drop-tail host queues, virtual ns",

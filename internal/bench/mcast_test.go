@@ -1,0 +1,27 @@
+package bench
+
+import "testing"
+
+// TestMulticastBeatsTree gates the BENCH_kernel.json multicast table:
+// on a 256-rank fat-tree the link-layer multicast broadcast must
+// complete faster than the binomial tree — one fabric traversal with
+// per-hop fan-out against log2(256) = 8 serial unicast generations.
+// The margin is asserted loosely (just "faster") so protocol-constant
+// drift doesn't flake the gate; the full spread is in the artifact.
+func TestMulticastBeatsTree(t *testing.T) {
+	pt, err := MulticastCCT(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.McastBcastNS <= 0 || pt.TreeBcastNS <= 0 {
+		t.Fatalf("empty measurement: %+v", pt)
+	}
+	if pt.McastBcastNS >= pt.TreeBcastNS {
+		t.Errorf("256-rank multicast bcast (%d ns) not faster than tree (%d ns)",
+			pt.McastBcastNS, pt.TreeBcastNS)
+	}
+	if pt.McastBcastNS >= pt.NaiveBcastNS {
+		t.Errorf("256-rank multicast bcast (%d ns) not faster than naive (%d ns)",
+			pt.McastBcastNS, pt.NaiveBcastNS)
+	}
+}

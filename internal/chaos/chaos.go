@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/mpi/rmcast"
 	"repro/internal/mpi/rpi"
 	"repro/internal/netsim"
 	"repro/internal/netsim/topo"
@@ -49,6 +50,23 @@ type Spec struct {
 	LongEvery int // every LongEvery-th round sends LongSize (default 4)
 	LongSize  int // rendezvous payload (default 96 KiB, above the eager limit)
 
+	// Collective, when non-empty ("bcast" or "allreduce"), switches the
+	// run to the collective workload: a short ring exchange each round
+	// keeps the neighbour sessions warm (so AssocKill stays detectable),
+	// then a rotating-root collective of MsgSize bytes runs under the
+	// algorithm family named by Alg. The rmcast protocol oracles arm on
+	// every run but only see traffic here.
+	Collective string
+	// Alg names the collective algorithm family: "tree", "naive", or
+	// "multicast" (the default when Collective is set).
+	Alg string
+
+	// Horizon stretches the generated schedule's event window (default
+	// 10 ms). Large collective runs need it: at 256 ranks the startup and
+	// first ring phase alone span tens of milliseconds of virtual time,
+	// so a default-horizon kill corpus never reaches a broadcast window.
+	Horizon time.Duration
+
 	Deadline time.Duration // virtual-time abort (default 10 min; <0 = none)
 
 	// SCTP, when non-nil, overrides the stack config (failover tests
@@ -70,6 +88,8 @@ type Spec struct {
 	DisableChecksum bool // keep CRC32c verify off even under Corrupt events
 	DupDeliverEvery int  // deliver every Nth short message twice (0 = off)
 	DropReplayEvery int  // silently drop the Nth replayed message job-wide (0 = off)
+	MCDupEvery      int  // double-count every Nth accepted multicast chunk (0 = off)
+	MCDropEvery     int  // account every Nth multicast chunk without copying it (0 = off)
 }
 
 func (s Spec) withDefaults() Spec {
@@ -96,6 +116,9 @@ func (s Spec) withDefaults() Spec {
 	} else if s.Deadline < 0 {
 		s.Deadline = 0
 	}
+	if s.Collective != "" && s.Alg == "" {
+		s.Alg = "multicast"
+	}
 	return s
 }
 
@@ -112,6 +135,7 @@ func (s Spec) schedule() Schedule {
 	if sched == nil {
 		sched = RandomSchedule(s.Seed, GenConfig{
 			Events:       s.Events,
+			Horizon:      s.Horizon,
 			Procs:        s.Procs,
 			Ifaces:       s.ifaces(),
 			AllowCorrupt: s.Transport != core.TCP,
@@ -162,6 +186,11 @@ type Result struct {
 	Replayed       int64
 	DupsSuppressed int64
 
+	// Reliable-multicast aggregates (distinct operations, oracle view).
+	McastOps       int64
+	McastFallbacks int64
+	McastRepairs   int64
+
 	Report *core.Report
 }
 
@@ -179,8 +208,17 @@ func (r *Result) Repro() string {
 	if s.Topology != "" {
 		cmd += fmt.Sprintf(" -topo %s", s.Topology)
 	}
+	if s.Collective != "" {
+		cmd += fmt.Sprintf(" -collective %s -alg %s", s.Collective, s.Alg)
+	}
 	if s.Rounds != 0 && s.Rounds != 30 {
 		cmd += fmt.Sprintf(" -rounds %d", s.Rounds)
+	}
+	if s.MsgSize != 0 && s.MsgSize != 4<<10 {
+		cmd += fmt.Sprintf(" -msgsize %d", s.MsgSize)
+	}
+	if s.Horizon != 0 {
+		cmd += fmt.Sprintf(" -horizon %s", s.Horizon)
 	}
 	if s.AllowKill {
 		cmd += " -kill"
@@ -196,6 +234,12 @@ func (r *Result) Repro() string {
 	}
 	if s.DropReplayEvery > 0 {
 		cmd += fmt.Sprintf(" -dropreplay %d", s.DropReplayEvery)
+	}
+	if s.MCDupEvery > 0 {
+		cmd += fmt.Sprintf(" -mcdup %d", s.MCDupEvery)
+	}
+	if s.MCDropEvery > 0 {
+		cmd += fmt.Sprintf(" -mcdrop %d", s.MCDropEvery)
 	}
 	if s.DisableChecksum {
 		cmd += " -nochecksum"
@@ -214,6 +258,10 @@ func (r *Result) String() string {
 		if r.SessionsLost > 0 {
 			fmt.Fprintf(&b, " recovery: lost=%d redials=%d/%d replayed=%d dups=%d",
 				r.SessionsLost, r.RedialsOK, r.Redials, r.Replayed, r.DupsSuppressed)
+		}
+		if r.McastOps > 0 {
+			fmt.Fprintf(&b, " mcast: ops=%d fallbacks=%d repairs=%d",
+				r.McastOps, r.McastFallbacks, r.McastRepairs)
 		}
 		return b.String()
 	}
@@ -249,6 +297,8 @@ func Run(spec Spec) *Result {
 		SCTPConfig:      spec.SCTP,
 		RedialBudget:    spec.RedialBudget,
 		DropReplayEvery: spec.DropReplayEvery,
+		MCDupEvery:      spec.MCDupEvery,
+		MCDropEvery:     spec.MCDropEvery,
 		// Corruption on the wire requires the receiver to verify CRC32c,
 		// exactly the paper's trade-off (it ran with verification off on
 		// a clean LAN). A mutation test disables it to prove the oracle
@@ -281,6 +331,7 @@ func Run(spec Spec) *Result {
 	} else {
 		opts.SCTPProbe = oracle.SCTPProbe()
 	}
+	opts.RMCProbe = oracle.RMCProbe()
 	opts.WrapRPI = func(rank int, m rpi.RPI) rpi.RPI {
 		if spec.DupDeliverEvery > 0 {
 			m = &dupDeliverRPI{RPI: m, every: spec.DupDeliverEvery}
@@ -307,9 +358,13 @@ func Run(spec Spec) *Result {
 	base := netsim.DefaultLinkParams()
 	sched.install(&applyCtx{c: c, baseLoss: spec.LossRate, baseBW: base.Bandwidth})
 
+	work := workload
+	if spec.Collective != "" {
+		work = collectiveWorkload
+	}
 	done := make([]bool, spec.Procs)
 	c.Start(func(pr *mpi.Process, comm *mpi.Comm) error {
-		if err := workload(spec, comm); err != nil {
+		if err := work(spec, comm); err != nil {
 			return err
 		}
 		done[comm.Rank()] = true
@@ -357,6 +412,9 @@ func Run(spec Spec) *Result {
 	res.Deliveries = oracle.Deliveries
 	res.Failovers = oracle.Failovers
 	res.IDataFrags = oracle.IDataFrags
+	res.McastOps = oracle.McastOps
+	res.McastFallbacks = oracle.McastFallbacks
+	res.McastRepairs = oracle.McastRepairs
 
 	// Pool-leak oracle: at quiescence of a clean run every pooled packet
 	// payload must be back in the pool.
@@ -442,6 +500,96 @@ func workload(spec Spec, comm *mpi.Comm) error {
 		}
 	}
 	return nil
+}
+
+// parseAlg resolves a Spec.Alg name to the mpi algorithm family.
+func parseAlg(name string) (mpi.Alg, error) {
+	switch name {
+	case "", "multicast":
+		return mpi.AlgMulticast, nil
+	case "tree":
+		return mpi.AlgTree, nil
+	case "naive":
+		return mpi.AlgNaive, nil
+	}
+	return mpi.AlgTree, fmt.Errorf("unknown algorithm family %q (want tree, naive, multicast)", name)
+}
+
+// collectivePattern gives (rank, round) a deterministic int64 vector
+// with rank-distinguishing values, so a wrong fallback replay or a
+// dropped chunk shows up as a digest mismatch.
+func collectivePattern(rank, round, words int) []int64 {
+	v := make([]int64, words)
+	for i := range v {
+		v[i] = int64(rank+1)*1_000_003 + int64(round)*257 + int64(i)*7
+	}
+	return v
+}
+
+// collectiveWorkload is the collective-corpus program: each round runs
+// a short ring exchange (keeping every neighbour session warm so an
+// AssocKill lands on traffic the RPI layer is watching) followed by a
+// rotating-root collective under the configured algorithm family. All
+// payloads are self-checked, so a wrong fallback replay fails at the
+// MPI surface even before the rmcast oracle weighs in.
+func collectiveWorkload(spec Spec, comm *mpi.Comm) error {
+	alg, err := parseAlg(spec.Alg)
+	if err != nil {
+		return err
+	}
+	comm.SetAlg(alg)
+	rank, size := comm.Rank(), comm.Size()
+	right := (rank + 1) % size
+	left := (rank + size - 1) % size
+	words := spec.MsgSize / 8
+	if words == 0 {
+		words = 1
+	}
+	for r := 0; r < spec.Rounds; r++ {
+		msg := pattern(rank, r, 256)
+		buf := make([]byte, 256)
+		if _, err := comm.SendRecv(right, r%3, msg, left, r%3, buf); err != nil {
+			return fmt.Errorf("round %d ring: %w", r, err)
+		}
+		want := pattern(left, r, 256)
+		for i := range buf {
+			if buf[i] != want[i] {
+				return fmt.Errorf("round %d ring: payload mismatch at byte %d", r, i)
+			}
+		}
+		root := r % size
+		switch spec.Collective {
+		case "bcast":
+			data := make([]byte, 8*words)
+			if rank == root {
+				copy(data, mpi.I64Bytes(collectivePattern(root, r, words)))
+			}
+			if err := comm.Bcast(root, data); err != nil {
+				return fmt.Errorf("round %d bcast: %w", r, err)
+			}
+			wantB := mpi.I64Bytes(collectivePattern(root, r, words))
+			if rmcast.Digest(data) != rmcast.Digest(wantB) {
+				return fmt.Errorf("round %d bcast: payload mismatch at rank %d", r, rank)
+			}
+		case "allreduce":
+			data := mpi.I64Bytes(collectivePattern(rank, r, words))
+			if err := comm.Allreduce(data, mpi.OpSumI64); err != nil {
+				return fmt.Errorf("round %d allreduce: %w", r, err)
+			}
+			sum := make([]int64, words)
+			for rr := 0; rr < size; rr++ {
+				for i, v := range collectivePattern(rr, r, words) {
+					sum[i] += v
+				}
+			}
+			if rmcast.Digest(data) != rmcast.Digest(mpi.I64Bytes(sum)) {
+				return fmt.Errorf("round %d allreduce: result mismatch at rank %d", r, rank)
+			}
+		default:
+			return fmt.Errorf("unknown collective %q (want bcast or allreduce)", spec.Collective)
+		}
+	}
+	return comm.Barrier()
 }
 
 // dupDeliverRPI is a deliberate bug for mutation-testing the oracle: it

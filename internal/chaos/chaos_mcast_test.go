@@ -1,0 +1,185 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestCollectiveWorkloadCleanMulticast runs the bcast corpus with no
+// faults on a fat-tree: every operation must commit over the multicast
+// path (zero fallbacks) with all the rmcast oracles armed and silent.
+func TestCollectiveWorkloadCleanMulticast(t *testing.T) {
+	res := Run(Spec{
+		Transport:  core.SCTP,
+		Seed:       1,
+		Prefix:     EmptySchedule,
+		Procs:      8,
+		Rounds:     6,
+		Topology:   "fattree",
+		Collective: "bcast",
+	})
+	if res.Failed() {
+		t.Fatalf("clean multicast run failed:\n%s", res)
+	}
+	if res.McastOps != 6 {
+		t.Fatalf("oracle saw %d multicast ops, want 6", res.McastOps)
+	}
+	if res.McastFallbacks != 0 {
+		t.Fatalf("clean run fell back %d times", res.McastFallbacks)
+	}
+}
+
+// TestCollectiveWorkloadAllreduce runs the allreduce corpus (reduce to
+// root zero, multicast fan-out) over the mesh testbed on every backend.
+func TestCollectiveWorkloadAllreduce(t *testing.T) {
+	for _, tr := range []core.Transport{core.TCP, core.SCTP, core.SCTPOneToOne} {
+		res := Run(Spec{
+			Transport:  tr,
+			Seed:       2,
+			Prefix:     EmptySchedule,
+			Procs:      4,
+			Rounds:     4,
+			Collective: "allreduce",
+		})
+		if res.Failed() {
+			t.Fatalf("%v allreduce run failed:\n%s", tr, res)
+		}
+		if res.McastOps != 4 {
+			t.Fatalf("%v: oracle saw %d multicast ops, want 4", tr, res.McastOps)
+		}
+	}
+}
+
+// TestCollectiveTreeFamilyUnderFaults keeps the tree family usable from
+// the corpus: the collective workload with -alg tree must survive a
+// generated fault schedule (no rmcast traffic, so McastOps stays 0).
+func TestCollectiveTreeFamilyUnderFaults(t *testing.T) {
+	res := Run(Spec{
+		Transport:  core.SCTP,
+		Seed:       5,
+		Events:     3,
+		Procs:      4,
+		Rounds:     4,
+		Collective: "bcast",
+		Alg:        "tree",
+	})
+	if res.Failed() {
+		t.Fatalf("tree-family collective run failed:\n%s", res)
+	}
+	if res.McastOps != 0 {
+		t.Fatalf("tree family produced %d multicast ops", res.McastOps)
+	}
+}
+
+// TestMcastKillFallsBackToTree pins the degrade path end to end: an
+// AssocKill timed to land mid-broadcast must abort the multicast
+// operation and replay it over the tree — the run completes, payloads
+// self-check, the exactly-once and epoch oracles stay silent, and the
+// fallback counter proves the degrade actually happened.
+func TestMcastKillFallsBackToTree(t *testing.T) {
+	// 64 KiB broadcasts (52 multicast chunks) hold each bcast window
+	// open for roughly half a millisecond of virtual time, so the kills
+	// below land inside broadcast windows; the burst also overflows the
+	// fat-tree port queues, exercising the NAK/repair path on the way.
+	sched := Schedule{
+		{At: 300 * time.Microsecond, Act: AssocKill(1, 2)},
+		{At: 900 * time.Microsecond, Act: AssocKill(3, 0)},
+		{At: 2 * time.Millisecond, Act: AssocKill(2, 3)},
+	}
+	res := Run(Spec{
+		Transport:  core.SCTP,
+		Seed:       1,
+		Schedule:   sched,
+		Procs:      4,
+		Rounds:     6,
+		MsgSize:    64 << 10,
+		Topology:   "fattree",
+		Collective: "bcast",
+	})
+	if res.Failed() {
+		t.Fatalf("kill run failed:\n%s", res)
+	}
+	if res.SessionsLost == 0 {
+		t.Fatal("kills did not register at the RPI layer")
+	}
+	if res.McastOps != 6 {
+		t.Fatalf("oracle saw %d multicast ops, want 6", res.McastOps)
+	}
+	if res.McastFallbacks == 0 {
+		t.Fatal("no mid-broadcast fallback; kills never landed inside a bcast window")
+	}
+	if res.McastRepairs == 0 {
+		t.Fatal("no repairs; the queue-overflow NAK path went unexercised")
+	}
+}
+
+// TestMcastOracleCatchesDup mutation-tests the accept-once oracle: the
+// DupAcceptEvery knob double-fires the accept probe for every Nth
+// chunk, and the run must fail with the accepted-twice violation.
+func TestMcastOracleCatchesDup(t *testing.T) {
+	res := Run(Spec{
+		Transport:  core.SCTP,
+		Seed:       1,
+		Prefix:     EmptySchedule,
+		Procs:      4,
+		Rounds:     3,
+		Collective: "bcast",
+		MCDupEvery: 2,
+	})
+	if !res.Failed() {
+		t.Fatal("dup-accept mutation went unnoticed")
+	}
+	if !hasViolation(res, "accepted twice") {
+		t.Fatalf("expected an accepted-twice violation, got:\n%s", res)
+	}
+}
+
+// TestMcastOracleCatchesDrop mutation-tests the digest oracle: the
+// DropChunkEvery knob accounts a chunk without copying its payload, so
+// the mutated rank completes with a different digest than its peers.
+func TestMcastOracleCatchesDrop(t *testing.T) {
+	res := Run(Spec{
+		Transport:   core.SCTP,
+		Seed:        1,
+		Prefix:      EmptySchedule,
+		Procs:       4,
+		Rounds:      3,
+		Collective:  "bcast",
+		MCDropEvery: 3,
+	})
+	if !res.Failed() {
+		t.Fatal("drop-chunk mutation went unnoticed")
+	}
+	if !hasViolation(res, "digest mismatch") {
+		t.Fatalf("expected a digest-mismatch violation, got:\n%s", res)
+	}
+}
+
+// TestCollectiveRepro checks the repro line round-trips the collective
+// corpus flags.
+func TestCollectiveRepro(t *testing.T) {
+	res := &Result{Spec: Spec{
+		Transport:   core.SCTP,
+		Seed:        9,
+		Events:      5,
+		Procs:       256,
+		Topology:    "fattree",
+		Collective:  "bcast",
+		Alg:         "multicast",
+		AllowKill:   true,
+		MCDupEvery:  2,
+		MCDropEvery: 3,
+	}}
+	repro := res.Repro()
+	for _, want := range []string{
+		"-topo fattree", "-collective bcast", "-alg multicast",
+		"-kill", "-mcdup 2", "-mcdrop 3", "-procs 256",
+	} {
+		if !strings.Contains(repro, want) {
+			t.Fatalf("repro %q missing %q", repro, want)
+		}
+	}
+}

@@ -2,8 +2,10 @@ package chaos
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
+	"repro/internal/mpi/rmcast"
 	"repro/internal/mpi/rpi"
 	"repro/internal/netsim"
 	"repro/internal/sctp"
@@ -49,11 +51,27 @@ type Oracle struct {
 	// TCP layer.
 	lastRcvNxt map[*tcp.Conn]seqnum.V
 
+	// Reliable-multicast layer (rmcast protocol events).
+	mcEntered map[mcOpRank]mcEnter
+	mcOpRoot  map[uint64]int // first rank's root for each op
+	mcLastOp  map[int]uint64 // per-rank op-id monotonicity
+	mcEpoch   map[int]uint32 // per-rank group-epoch monotonicity (Enter/Complete)
+	mcAccept  map[mcChunk]bool
+	mcDecided map[mcOpRank]bool
+	mcVerdict map[uint64]mcVerdictRec
+	mcDone    map[mcOpRank]bool
+	mcOpDone  map[uint64]mcDoneRec // first rank's completion of each op
+
 	// Progress bookkeeping.
 	Sends      int64
 	Deliveries int64
 	Failovers  int64
 	IDataFrags int64 // accepted I-DATA chunks observed (coverage witness)
+
+	// Multicast aggregates (distinct operations, not per-rank events).
+	McastOps       int64
+	McastFallbacks int64
+	McastRepairs   int64
 }
 
 type msgID struct {
@@ -93,6 +111,39 @@ type midState struct {
 	endFSN  uint32
 }
 
+// mcOpRank identifies one rank's participation in one multicast op.
+type mcOpRank struct {
+	rank int
+	op   uint64
+}
+
+// mcChunk identifies one accepted data chunk at one rank.
+type mcChunk struct {
+	rank  int
+	op    uint64
+	chunk int
+}
+
+// mcEnter records a rank's view of an operation at entry.
+type mcEnter struct {
+	epoch uint32
+	root  int
+}
+
+// mcVerdictRec is the first verdict recorded for an operation; every
+// other rank must agree with it.
+type mcVerdictRec struct {
+	commit bool
+	epoch  uint32
+}
+
+// mcDoneRec is the first completion recorded for an operation; every
+// other rank must deliver the same payload through the same path.
+type mcDoneRec struct {
+	fallback bool
+	digest   uint64
+}
+
 // NewOracle builds an oracle; clock supplies virtual time for
 // violation timestamps (pass the kernel's Now).
 func NewOracle(clock func() time.Duration) *Oracle {
@@ -105,6 +156,15 @@ func NewOracle(clock func() time.Duration) *Oracle {
 		expectMID:  make(map[assocStream]uint32),
 		mids:       make(map[midKey]*midState),
 		lastRcvNxt: make(map[*tcp.Conn]seqnum.V),
+		mcEntered:  make(map[mcOpRank]mcEnter),
+		mcOpRoot:   make(map[uint64]int),
+		mcLastOp:   make(map[int]uint64),
+		mcEpoch:    make(map[int]uint32),
+		mcAccept:   make(map[mcChunk]bool),
+		mcDecided:  make(map[mcOpRank]bool),
+		mcVerdict:  make(map[uint64]mcVerdictRec),
+		mcDone:     make(map[mcOpRank]bool),
+		mcOpDone:   make(map[uint64]mcDoneRec),
 	}
 }
 
@@ -318,6 +378,133 @@ func (o *Oracle) SCTPProbe() *sctp.Probe {
 	}
 }
 
+// RMCProbe returns the probe checking the reliable-multicast protocol
+// invariants across all ranks of the run:
+//   - op-id and group-epoch monotonicity per rank, and cross-rank
+//     agreement on each operation's root;
+//   - accept-once per (rank, op, chunk) — the dup-accept mutation's
+//     target;
+//   - a single verdict per operation, agreed by every rank, with the
+//     commit/fallback decision consistent end to end;
+//   - completion exactly once per (rank, op), never below the entry
+//     epoch, and strictly above it when the tree fallback ran — the
+//     fallback-exactly-once-across-the-epoch-bump oracle (the bump may
+//     exceed one when a later operation's abort lands before a slow
+//     rank finishes replaying this one; epochs only ever grow);
+//   - bit-identical payload digests at every rank — the drop-chunk
+//     mutation's target;
+//   - every entered operation eventually completes (checked in Finish
+//     for completed runs: the repair/fallback machinery must
+//     terminate).
+func (o *Oracle) RMCProbe() *rmcast.Probe {
+	epochAtLeast := func(rank int, epoch uint32, where string) {
+		if last, seen := o.mcEpoch[rank]; seen && epoch < last {
+			o.violate("multicast group epoch regressed at rank %d: %s in epoch %d after %d",
+				rank, where, epoch, last)
+			return
+		}
+		o.mcEpoch[rank] = epoch
+	}
+	return &rmcast.Probe{
+		Enter: func(rank int, op uint64, epoch uint32, root int) {
+			if last, seen := o.mcLastOp[rank]; seen && op <= last {
+				o.violate("multicast op ids not monotone at rank %d: op %d after %d", rank, op, last)
+			}
+			o.mcLastOp[rank] = op
+			epochAtLeast(rank, epoch, "entered")
+			key := mcOpRank{rank, op}
+			if _, dup := o.mcEntered[key]; dup {
+				o.violate("rank %d entered multicast op %d twice", rank, op)
+			}
+			o.mcEntered[key] = mcEnter{epoch: epoch, root: root}
+			if first, ok := o.mcOpRoot[op]; ok {
+				if first != root {
+					o.violate("multicast root disagreement on op %d: rank %d says %d, first rank said %d",
+						op, rank, root, first)
+				}
+			} else {
+				o.mcOpRoot[op] = root
+			}
+		},
+		Accept: func(rank int, op uint64, chunk, total int) {
+			if chunk < 0 || chunk >= total {
+				o.violate("multicast chunk index out of range at rank %d op %d: chunk %d of %d",
+					rank, op, chunk, total)
+				return
+			}
+			key := mcChunk{rank: rank, op: op, chunk: chunk}
+			if o.mcAccept[key] {
+				o.violate("multicast chunk accepted twice at rank %d: op %d chunk %d",
+					rank, op, chunk)
+			}
+			o.mcAccept[key] = true
+		},
+		Repair: func(rank int, op uint64, chunk int) {
+			o.McastRepairs++
+		},
+		Decide: func(rank int, op uint64, epoch uint32, commit bool) {
+			key := mcOpRank{rank, op}
+			if o.mcDecided[key] {
+				o.violate("rank %d decided multicast op %d twice", rank, op)
+			}
+			o.mcDecided[key] = true
+			if v, ok := o.mcVerdict[op]; ok {
+				if v.commit != commit || v.epoch != epoch {
+					o.violate("multicast verdict disagreement on op %d: rank %d decided commit=%v epoch=%d, first rank decided commit=%v epoch=%d",
+						op, rank, commit, epoch, v.commit, v.epoch)
+				}
+			} else {
+				o.mcVerdict[op] = mcVerdictRec{commit: commit, epoch: epoch}
+			}
+		},
+		Complete: func(rank int, op uint64, epoch uint32, fallback bool, digest uint64) {
+			key := mcOpRank{rank, op}
+			if o.mcDone[key] {
+				o.violate("multicast op %d completed twice at rank %d (exactly-once violated)", op, rank)
+			}
+			o.mcDone[key] = true
+			epochAtLeast(rank, epoch, "completed")
+			if _, entered := o.mcEntered[key]; !entered {
+				o.violate("rank %d completed multicast op %d it never entered", rank, op)
+			}
+			if v, decided := o.mcVerdict[op]; decided {
+				if v.commit == fallback {
+					o.violate("multicast fallback mismatch at rank %d op %d: verdict commit=%v but fallback=%v",
+						rank, op, v.commit, fallback)
+				}
+				// The abort that forces a fallback bumps the group epoch
+				// past the operation's stamped epoch, so the tree replay
+				// can never collide with straggler multicast frames. A
+				// commit leaves the epoch alone but can never regress it.
+				if fallback && epoch <= v.epoch {
+					o.violate("multicast fallback without epoch bump at rank %d op %d: verdict epoch %d, completed in %d",
+						rank, op, v.epoch, epoch)
+				}
+				if !fallback && epoch < v.epoch {
+					o.violate("multicast commit epoch regressed at rank %d op %d: verdict epoch %d, completed in %d",
+						rank, op, v.epoch, epoch)
+				}
+			}
+			if first, ok := o.mcOpDone[op]; ok {
+				if first.digest != digest {
+					o.violate("multicast payload digest mismatch on op %d: rank %d delivered %x, first rank delivered %x",
+						op, rank, digest, first.digest)
+				}
+				if first.fallback != fallback {
+					o.violate("multicast fallback disagreement on op %d: rank %d fallback=%v, first rank fallback=%v",
+						op, rank, fallback, first.fallback)
+				}
+			} else {
+				o.mcOpDone[op] = mcDoneRec{fallback: fallback, digest: digest}
+				o.McastOps++
+				if fallback {
+					o.McastFallbacks++
+				}
+			}
+		},
+	}
+}
+
 // TCPProbe returns the probe checking TCP receive monotonicity and
 // congestion-window sanity.
 func (o *Oracle) TCPProbe() *tcp.Probe {
@@ -374,5 +561,25 @@ func (o *Oracle) Finish(completed bool) {
 	}
 	if !completed && undelivered > undeliveredCap {
 		o.violate("... %d further undelivered messages at abort", undelivered-undeliveredCap)
+	}
+	// Multicast termination: a completed run must have finished every
+	// broadcast it entered — commit or tree fallback, never a strand.
+	// (An aborted run legitimately leaves the in-flight op unfinished.)
+	if completed {
+		var open []mcOpRank
+		for key := range o.mcEntered {
+			if !o.mcDone[key] {
+				open = append(open, key)
+			}
+		}
+		sort.Slice(open, func(i, j int) bool {
+			if open[i].op != open[j].op {
+				return open[i].op < open[j].op
+			}
+			return open[i].rank < open[j].rank
+		})
+		for _, key := range open {
+			o.violate("multicast op %d entered at rank %d but never completed", key.op, key.rank)
+		}
 	}
 }

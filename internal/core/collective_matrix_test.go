@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/mpi/rmcast"
+	"repro/internal/netsim/topo"
+)
+
+// TestCollectiveConformanceMatrix runs Bcast and Allreduce across the
+// full {transport} × {ranks} × {algorithm family} grid over the real
+// backends (the multicast column this time with a live rmcast service,
+// unlike the loopback conformance pass in internal/mpi) and requires
+// bit-identical per-rank digests across the three families. The rank
+// list deliberately includes the single-rank and non-power-of-two
+// communicators the binomial/multicast shapes find awkward.
+func TestCollectiveConformanceMatrix(t *testing.T) {
+	transports := []Transport{TCP, SCTP, SCTPOneToOne}
+	ranks := []int{1, 2, 3, 17, 64}
+	algs := []mpi.Alg{mpi.AlgTree, mpi.AlgNaive, mpi.AlgMulticast}
+	algNames := []string{"tree", "naive", "multicast"}
+
+	const words = 1536 // 12 KiB: several multicast chunks per op
+	for _, tr := range transports {
+		for _, n := range ranks {
+			// digests[alg][rank]
+			digests := make([][]uint64, len(algs))
+			for ai, alg := range algs {
+				alg := alg
+				digests[ai] = make([]uint64, n)
+				_, err := Run(Options{Procs: n, Transport: tr, Seed: 7},
+					func(pr *mpi.Process, comm *mpi.Comm) error {
+						comm.SetAlg(alg)
+						root := (n - 1) / 2
+						data := make([]byte, 8*words)
+						if comm.Rank() == root {
+							copy(data, mpi.I64Bytes(matrixPattern(root, words)))
+						}
+						if err := comm.Bcast(root, data); err != nil {
+							return err
+						}
+						h := rmcast.Digest(data)
+						red := mpi.I64Bytes(matrixPattern(comm.Rank(), words))
+						if err := comm.Allreduce(red, mpi.OpSumI64); err != nil {
+							return err
+						}
+						digests[ai][comm.Rank()] = h ^ rmcast.Digest(red)<<1
+						return nil
+					})
+				if err != nil {
+					t.Fatalf("%s n=%d %s: %v", tr, n, algNames[ai], err)
+				}
+			}
+			for ai := 1; ai < len(algs); ai++ {
+				for r := 0; r < n; r++ {
+					if digests[ai][r] != digests[0][r] {
+						t.Fatalf("%s n=%d rank %d: %s digest %#x differs from tree %#x",
+							tr, n, r, algNames[ai], digests[ai][r], digests[0][r])
+					}
+				}
+			}
+		}
+	}
+}
+
+func matrixPattern(r, words int) []int64 {
+	v := make([]int64, words)
+	for i := range v {
+		v[i] = int64(r+1)*1_000_003 + int64(i)*7 + int64((r*31+i)%13)
+	}
+	return v
+}
+
+// TestMulticastBcastOnFatTree pins the routed multicast path end to
+// end: a world-group broadcast under AlgMulticast on a fat-tree fabric
+// must commit (no fallback) and deliver bit-identical payloads, with
+// the fabric reporting switch-level fan-out (more multicast deliveries
+// than packets sent).
+func TestMulticastBcastOnFatTree(t *testing.T) {
+	const n = 17
+	c, err := NewCluster(Options{Procs: n, Transport: SCTP, Seed: 3,
+		Topo: &topo.Config{Kind: topo.FatTree}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mpi.I64Bytes(matrixPattern(4, 2048))
+	c.Start(func(pr *mpi.Process, comm *mpi.Comm) error {
+		comm.SetAlg(mpi.AlgMulticast)
+		data := make([]byte, len(want))
+		if comm.Rank() == 4 {
+			copy(data, want)
+		}
+		if err := comm.Bcast(4, data); err != nil {
+			return err
+		}
+		if rmcast.Digest(data) != rmcast.Digest(want) {
+			return fmt.Errorf("rank %d: bcast payload mismatch", comm.Rank())
+		}
+		return nil
+	})
+	if _, err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	var fallbacks int64
+	for _, ep := range c.Mcast {
+		fallbacks += ep.Counters()["mc_fallbacks"]
+	}
+	if fallbacks != 0 {
+		t.Fatalf("clean fat-tree bcast fell back %d times", fallbacks)
+	}
+	st := c.Net.Stats
+	if st.PacketsMcast == 0 {
+		t.Fatal("no multicast packets on the wire")
+	}
+	if st.McastDeliveries <= st.PacketsMcast {
+		t.Fatalf("no switch fan-out: %d multicast sends, %d deliveries",
+			st.PacketsMcast, st.McastDeliveries)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/mpi"
+	"repro/internal/mpi/rmcast"
 	"repro/internal/mpi/rpi"
 	"repro/internal/mpi/sctp1to1rpi"
 	"repro/internal/mpi/sctprpi"
@@ -179,6 +180,21 @@ type Options struct {
 	// message across the whole job — a mutation knob that must trip the
 	// chaos harness's exactly-once oracle. See rpi.SessionConfig.
 	DropReplayEvery int
+
+	// RMCProbe installs protocol-event callbacks on every rank's
+	// reliable-multicast endpoint (the chaos harness's multicast
+	// oracle hook; see rmcast.Probe).
+	RMCProbe *rmcast.Probe
+
+	// MCRepairBudget caps multicast repairs per broadcast operation
+	// before the root aborts to the tree (0 = rmcast default).
+	MCRepairBudget int
+
+	// MCDupEvery / MCDropEvery seed the rmcast mutation knobs (double-
+	// accounted and never-copied chunks) that the chaos multicast
+	// oracles must flag. Test-only; see rmcast.Options.
+	MCDupEvery  int
+	MCDropEvery int
 
 	// Deadline aborts the simulation after this much virtual time
 	// (0 = none). Used defensively by long benchmark sweeps.
@@ -407,6 +423,7 @@ type Cluster struct {
 	Kernel  *sim.Kernel
 	Net     *netsim.Network
 	Nodes   []*netsim.Node
+	Mcast   []*rmcast.Endpoint // per-rank reliable-multicast endpoints
 	modules []rpi.RPI
 	report  *Report
 	started bool
@@ -471,11 +488,31 @@ func NewCluster(opts Options) (*Cluster, error) {
 			modules[i] = opts.WrapRPI(i, modules[i])
 		}
 	}
+
+	// Every rank joins one world-spanning multicast group and gets a
+	// reliable-multicast endpoint; communicators opt in per run with
+	// SetAlg(AlgMulticast), so building the endpoints unconditionally
+	// costs nothing on tree/naive runs.
+	group := netsim.MakeGroupAddr(1)
+	mcast := make([]*rmcast.Endpoint, opts.Procs)
+	for _, nd := range nodes {
+		net.JoinGroup(group, nd.Addr())
+	}
+	for i, nd := range nodes {
+		mcast[i] = rmcast.New(nd, group, i, addrs, rmcast.Options{
+			Probe:          opts.RMCProbe,
+			RepairBudget:   opts.MCRepairBudget,
+			DupAcceptEvery: opts.MCDupEvery,
+			DropChunkEvery: opts.MCDropEvery,
+		})
+	}
+
 	return &Cluster{
 		Opts:    opts,
 		Kernel:  k,
 		Net:     net,
 		Nodes:   nodes,
+		Mcast:   mcast,
 		modules: modules,
 		report:  report,
 	}, nil
@@ -491,6 +528,7 @@ func (c *Cluster) Start(fn Program) {
 		rank := i
 		c.Kernel.Spawn(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
 			pr := mpi.NewProcess(p, rank, c.Opts.Procs, c.modules[rank], c.Opts.EagerLimit)
+			pr.SetMulticast(c.Mcast[rank])
 			comm, err := pr.Init()
 			if err != nil {
 				c.report.RankErrs[rank] = err

@@ -1,0 +1,52 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestNaiveBcastPostsAllSends pins the posting-order fix in naiveBcast
+// (the outbound mirror of the naiveReduce audit): the root must post
+// every send before waiting on any, so the n-1 rendezvous handshakes
+// overlap instead of each blocking send serializing a full
+// req/ack/body round-trip through the root.
+//
+// Same timing argument as TestNaiveReducePostsAllReceives: on the loop
+// fabric's flat 100µs hops, the posted shape finishes the fan-out in a
+// few hops (~300µs) while a rank-at-a-time loop needs ~two hops per
+// receiver (~3.2ms at 17 ranks). The 1 ms ceiling cleanly separates
+// the regimes without being sensitive to protocol-constant drift.
+func TestNaiveBcastPostsAllSends(t *testing.T) {
+	const n = 17
+	const words = (96 << 10) / 8 // rendezvous territory, well above eager
+	var elapsed time.Duration
+	results := make([][]byte, n)
+	run(t, n, func(pr *Process, comm *Comm) error {
+		comm.SetAlg(AlgNaive)
+		data := make([]byte, 8*words)
+		if comm.Rank() == 0 {
+			copy(data, I64Bytes(rankPattern(0, words)))
+		}
+		t0 := pr.P.Now()
+		if err := comm.Bcast(0, data); err != nil {
+			return err
+		}
+		if comm.Rank() == 0 {
+			elapsed = pr.P.Now() - t0
+		}
+		results[comm.Rank()] = data
+		return nil
+	})
+
+	want := I64Bytes(rankPattern(0, words))
+	for r := 0; r < n; r++ {
+		if !bytes.Equal(results[r], want) {
+			t.Fatalf("rank %d bcast payload incorrect", r)
+		}
+	}
+	if limit := 1 * time.Millisecond; elapsed > limit {
+		t.Fatalf("naive bcast root took %v, want < %v: root sends look serialized again",
+			elapsed, limit)
+	}
+}

@@ -18,6 +18,7 @@ const (
 	tagGatherA   = 6
 	tagAlltoall  = 7
 	tagAllreduce = 12 // 8..11 belong to the variable-count collectives
+	tagMcastFB   = 13 // tree replay of an aborted multicast broadcast
 )
 
 // Alg selects a communicator's collective algorithm family.
@@ -36,6 +37,15 @@ const (
 	// the reference implementation the conformance tests compare
 	// against.
 	AlgNaive
+	// AlgMulticast rides the reliable-multicast service for Bcast (and
+	// for the fan-out half of Allreduce, after a tree reduce to rank
+	// 0): one link-layer multicast reaches every receiver, NAKs repair
+	// gaps, and any member death or repair-budget exhaustion degrades
+	// the operation to the AlgTree path on the same communicator,
+	// replayed exactly-once across the epoch bump. Collectives without
+	// a multicast shape — and communicators without a multicast service
+	// or narrower than the world — run the AlgTree algorithms.
+	AlgMulticast
 )
 
 // SetAlg switches the communicator's collective algorithms. It must be
@@ -127,6 +137,17 @@ func (c *Comm) Bcast(root int, data []byte) error {
 	if c.alg == AlgNaive {
 		return c.naiveBcast(root, data)
 	}
+	if c.alg == AlgMulticast && c.mcastEligible() {
+		return c.mcastBcast(root, data)
+	}
+	return c.treeBcast(root, tagBcast, data)
+}
+
+// treeBcast is the binomial-tree broadcast body, parameterized by tag
+// so the multicast fallback replay runs on its own tag and can never
+// match a regular tree broadcast's traffic.
+func (c *Comm) treeBcast(root, tag int, data []byte) error {
+	n := c.Size()
 	rel := (c.Rank() - root + n) % n
 	// Receive from the parent: the node that differs in our lowest set
 	// bit.
@@ -134,7 +155,7 @@ func (c *Comm) Bcast(root int, data []byte) error {
 	for mask < n {
 		if rel&mask != 0 {
 			src := ((rel ^ mask) + root) % n
-			if _, err := c.crecv(src, tagBcast, data); err != nil {
+			if _, err := c.crecv(src, tag, data); err != nil {
 				return err
 			}
 			break
@@ -146,7 +167,7 @@ func (c *Comm) Bcast(root int, data []byte) error {
 	for mask > 0 {
 		if rel+mask < n {
 			dst := ((rel + mask) + root) % n
-			if err := c.csend(dst, tagBcast, data); err != nil {
+			if err := c.csend(dst, tag, data); err != nil {
 				return err
 			}
 		}
@@ -210,6 +231,15 @@ func (c *Comm) Allreduce(data []byte, op Op) error {
 			return err
 		}
 		return c.naiveBcast(0, data)
+	}
+	if c.alg == AlgMulticast && c.mcastEligible() {
+		// Reduce-to-root then multicast fan-out: the binomial reduce
+		// funnels partials to rank 0 and the reliable multicast (with
+		// its tree replay on abort) distributes the result.
+		if err := c.Reduce(0, data, op); err != nil {
+			return err
+		}
+		return c.mcastBcast(0, data)
 	}
 	if n > 2 && len(data) >= ringMinBytes && len(data)%8 == 0 && len(data)/8 >= n {
 		return c.ringAllreduce(data, op)
@@ -380,15 +410,24 @@ func (c *Comm) naiveBcast(root int, data []byte) error {
 		_, err := c.crecv(root, tagBcast, data)
 		return err
 	}
+	// Post every send before waiting on any (the posting-order audit
+	// Gather/Gatherv/naiveReduce/Scatter(v) already passed): a blocking
+	// send per rank in turn would serialize n-1 rendezvous round-trips
+	// through the root, when the network could run the handshakes
+	// concurrently. The payload is read-only here, so all sends may
+	// safely alias it.
+	reqs := make([]*Request, 0, c.Size()-1)
 	for r := 0; r < c.Size(); r++ {
 		if r == root {
 			continue
 		}
-		if err := c.csend(r, tagBcast, data); err != nil {
+		req, err := c.cisend(r, tagBcast, data)
+		if err != nil {
 			return err
 		}
+		reqs = append(reqs, req)
 	}
-	return nil
+	return c.pr.WaitAll(reqs...)
 }
 
 func (c *Comm) naiveReduce(root int, data []byte, op Op) error {

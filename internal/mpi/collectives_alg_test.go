@@ -43,9 +43,16 @@ func compareAlgs(t *testing.T, n int, name string, body func(comm *Comm) ([]byte
 	t.Helper()
 	tree := collect(t, n, AlgTree, body)
 	naive := collect(t, n, AlgNaive, body)
+	// Loopback worlds have no multicast service, so AlgMulticast must
+	// transparently degrade to the tree algorithms — the mcastEligible
+	// escape hatch this pass pins.
+	mcast := collect(t, n, AlgMulticast, body)
 	for r := 0; r < n; r++ {
 		if !bytes.Equal(tree[r], naive[r]) {
 			t.Fatalf("n=%d %s: rank %d tree result differs from naive", n, name, r)
+		}
+		if !bytes.Equal(mcast[r], naive[r]) {
+			t.Fatalf("n=%d %s: rank %d multicast(degraded) result differs from naive", n, name, r)
 		}
 	}
 }

@@ -1,0 +1,72 @@
+package mpi
+
+import "repro/internal/sim"
+
+// Multicast is the reliable-multicast service the AlgMulticast family
+// rides on (implemented by rmcast.Endpoint; an interface here so the
+// middleware never imports the network layers). Bcast runs one
+// broadcast operation: the root publishes data, receivers fill data in
+// place on commit, and committed=false means the operation aborted —
+// the caller must replay it over the point-to-point tree in the bumped
+// epoch. health is polled while parked; it should advance the
+// transport non-blockingly and report whether a session died.
+// NoteComplete closes the operation's books once the payload is
+// delivered (directly or via the fallback replay), so observers see
+// exactly one completion per operation per rank.
+type Multicast interface {
+	Bcast(p *sim.Proc, root int, data []byte, health func() (bool, error)) (committed bool, err error)
+	NoteComplete(fallback bool, data []byte)
+}
+
+// SetMulticast installs the process's reliable-multicast service.
+// Without one (loop worlds, tests), AlgMulticast communicators degrade
+// to the tree algorithms.
+func (pr *Process) SetMulticast(m Multicast) { pr.mcast = m }
+
+// mcastEligible reports whether this communicator can run multicast
+// collectives: a service must be installed and the communicator must be
+// the world group in world order, since the multicast group spans every
+// rank. Split/shrunken communicators degrade to the tree.
+func (c *Comm) mcastEligible() bool {
+	if c.pr.mcast == nil || len(c.group) != c.pr.size {
+		return false
+	}
+	for i, w := range c.group {
+		if w != i {
+			return false
+		}
+	}
+	return true
+}
+
+// mcastBcast is Bcast under AlgMulticast: reliable multicast first,
+// tree replay on abort. The health probe advances the transport
+// without blocking and reports any newly lost session, so a mid-
+// broadcast AssocKill is detected while the process is parked in the
+// multicast wait loop, not just at the next point-to-point call.
+func (c *Comm) mcastBcast(root int, data []byte) error {
+	pr := c.pr
+	base := pr.rpi.Counters()["sessions_lost"]
+	health := func() (bool, error) {
+		if err := pr.rpi.Advance(pr.P, false); err != nil {
+			return false, err
+		}
+		return pr.rpi.Counters()["sessions_lost"] > base, nil
+	}
+	committed, err := pr.mcast.Bcast(pr.P, c.group[root], data, health)
+	if err != nil {
+		return err
+	}
+	if !committed {
+		// Replay on the binomial tree, on its own tag so a straggling
+		// multicast-era message can never satisfy a replay receive. The
+		// multicast layer delivers nothing on abort, so the replay is
+		// the operation's only delivery — exactly-once across the epoch
+		// bump.
+		if err := c.treeBcast(root, tagMcastFB, data); err != nil {
+			return err
+		}
+	}
+	pr.mcast.NoteComplete(!committed, data)
+	return nil
+}

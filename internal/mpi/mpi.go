@@ -95,6 +95,7 @@ type Process struct {
 	nextCtx    int32
 	world      *Comm
 	finalized  bool
+	mcast      Multicast
 
 	// Stats counts middleware-level events.
 	Stats ProcStats

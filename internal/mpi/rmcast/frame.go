@@ -1,0 +1,150 @@
+package rmcast
+
+import "repro/internal/wire"
+
+// Frame types. DATA and REPAIR carry payload chunks (REPAIR is a
+// unicast retransmission); ANNOUNCE advertises an operation's chunk
+// count so receivers that lost every DATA packet can still detect the
+// gap; NAK is a multicast repair request (multicast so other receivers
+// missing the same chunks can suppress their own); DONE, COMMIT, ABORT
+// and FAULT drive the termination handshake.
+const (
+	fData uint8 = iota + 1
+	fRepair
+	fAnnounce
+	fNak
+	fDone
+	fCommit
+	fAbort
+	fFault
+)
+
+// Wire layout: every frame starts with a fixed header
+//
+//	type u8 | epoch u32 | op u64 | root u16 | from u16
+//
+// followed by a per-type body:
+//
+//	DATA/REPAIR: idx u32 | total u32 | totalLen u32 | chunk bytes
+//	ANNOUNCE:    total u32 | totalLen u32
+//	NAK:         count u16 | count × (lo u32, hi u32)   inclusive ranges
+//	             count == probeNak means "re-announce, I have nothing"
+//	DONE/COMMIT/ABORT/FAULT: header only
+const headerLen = 1 + 4 + 8 + 2 + 2
+
+// probeNak is the NAK range count marking an announce probe: the
+// receiver has not learned the operation's chunk count and asks the
+// root for a unicast ANNOUNCE.
+const probeNak = 0xffff
+
+// maxNakRanges bounds the ranges carried by one NAK; remaining gaps
+// wait for the next NAK round.
+const maxNakRanges = 32
+
+type frame struct {
+	typ      uint8
+	epoch    uint32
+	op       uint64
+	root     int
+	from     int
+	idx      int    // data/repair
+	total    int    // data/repair/announce
+	totalLen int    // data/repair/announce
+	chunk    []byte // data/repair; aliases the packet payload
+	ranges   []nakRange
+	probe    bool // nak announce probe
+}
+
+type nakRange struct{ lo, hi int }
+
+func (e *Endpoint) header(typ uint8, epoch uint32, op uint64, root int, extra int) *wire.Writer {
+	w := wire.NewWriter(headerLen + extra)
+	w.U8(typ)
+	w.U32(epoch)
+	w.U64(op)
+	w.U16(uint16(root))
+	w.U16(uint16(e.rank))
+	return w
+}
+
+func (e *Endpoint) encodeChunk(typ uint8, o *op, idx int) []byte {
+	lo := idx * ChunkSize
+	hi := min(lo+ChunkSize, o.totalLen)
+	w := e.header(typ, o.epoch, o.id, o.root, 12+(hi-lo))
+	w.U32(uint32(idx))
+	w.U32(uint32(o.total))
+	w.U32(uint32(o.totalLen))
+	w.Bytes(o.buf[lo:hi])
+	return w.B
+}
+
+func (e *Endpoint) encodeAnnounce(o *op) []byte {
+	w := e.header(fAnnounce, o.epoch, o.id, o.root, 8)
+	w.U32(uint32(o.total))
+	w.U32(uint32(o.totalLen))
+	return w.B
+}
+
+func (e *Endpoint) encodeNak(o *op, ranges []nakRange) []byte {
+	w := e.header(fNak, o.epoch, o.id, o.root, 2+8*len(ranges))
+	w.U16(uint16(len(ranges)))
+	for _, r := range ranges {
+		w.U32(uint32(r.lo))
+		w.U32(uint32(r.hi))
+	}
+	return w.B
+}
+
+func (e *Endpoint) encodeProbe(o *op) []byte {
+	w := e.header(fNak, o.epoch, o.id, o.root, 2)
+	w.U16(probeNak)
+	return w.B
+}
+
+func (e *Endpoint) encodeBare(typ uint8, epoch uint32, op uint64, root int) []byte {
+	return e.header(typ, epoch, op, root, 0).B
+}
+
+func parseFrame(b []byte) (frame, bool) {
+	r := wire.NewReader(b)
+	var f frame
+	f.typ = r.U8()
+	f.epoch = r.U32()
+	f.op = r.U64()
+	f.root = int(r.U16())
+	f.from = int(r.U16())
+	switch f.typ {
+	case fData, fRepair:
+		f.idx = int(r.U32())
+		f.total = int(r.U32())
+		f.totalLen = int(r.U32())
+		f.chunk = r.Rest()
+	case fAnnounce:
+		f.total = int(r.U32())
+		f.totalLen = int(r.U32())
+	case fNak:
+		count := int(r.U16())
+		if count == probeNak {
+			f.probe = true
+			break
+		}
+		if count > maxNakRanges {
+			return frame{}, false
+		}
+		for i := 0; i < count; i++ {
+			lo := int(r.U32())
+			hi := int(r.U32())
+			if r.Err() != nil || lo > hi {
+				return frame{}, false
+			}
+			f.ranges = append(f.ranges, nakRange{lo, hi})
+		}
+	case fDone, fCommit, fAbort, fFault:
+	default:
+		return frame{}, false
+	}
+	if r.Err() != nil {
+		return frame{}, false
+	}
+	return f, true
+}

@@ -1,0 +1,41 @@
+package rmcast
+
+// Probe exposes the protocol's state transitions to an observer (the
+// chaos oracle). Every field is optional; a nil Probe disables all
+// hooks. Callbacks run synchronously at the simulated instant of the
+// event, on whichever goroutine the kernel is driving, exactly like
+// rpi.Observe delivery hooks.
+type Probe struct {
+	// Enter fires when a rank's process enters a broadcast operation
+	// (root and receivers alike), before any protocol activity on its
+	// behalf.
+	Enter func(rank int, op uint64, epoch uint32, root int)
+	// Accept fires when a receiver accepts a data chunk it did not have
+	// yet. A correct endpoint never fires it twice for one (rank, op,
+	// chunk); the chaos dup mutation violates exactly that.
+	Accept func(rank int, op uint64, chunk, total int)
+	// Repair fires at the root for every chunk retransmitted in
+	// response to a NAK.
+	Repair func(rank int, op uint64, chunk int)
+	// Decide fires when a rank learns the operation's verdict: commit
+	// (multicast delivered everywhere) or abort (degrade to the tree).
+	Decide func(rank int, op uint64, epoch uint32, commit bool)
+	// Complete fires when the collective layer finishes the operation,
+	// after the tree fallback if one ran. digest is an FNV-1a hash of
+	// the delivered payload; epoch is the group epoch at completion,
+	// which sits one past the operation's epoch when the fallback path
+	// ran.
+	Complete func(rank int, op uint64, epoch uint32, fallback bool, digest uint64)
+}
+
+// Digest returns the FNV-1a hash rmcast stamps on completed payloads,
+// exported so observers can compare against independently computed
+// values.
+func Digest(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}

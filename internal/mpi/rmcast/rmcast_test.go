@@ -1,0 +1,303 @@
+package rmcast
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// world builds n endpoints on a mesh cluster and runs body as each
+// rank's process. health defaults to "all good".
+func world(t *testing.T, n int, opts Options, lp netsim.LinkParams,
+	body func(rank int, p *sim.Proc, e *Endpoint) error) (*netsim.Network, []*Endpoint) {
+	t.Helper()
+	k := sim.New(1)
+	net, nodes := netsim.Cluster(k, n, 1, lp)
+	group := netsim.MakeGroupAddr(1)
+	addrs := make([]netsim.Addr, n)
+	for i, nd := range nodes {
+		addrs[i] = nd.Addr()
+		net.JoinGroup(group, nd.Addr())
+	}
+	eps := make([]*Endpoint, n)
+	for i, nd := range nodes {
+		eps[i] = New(nd, group, i, addrs, opts)
+	}
+	errs := make([]error, n)
+	for i := range eps {
+		rank, ep := i, eps[i]
+		k.Spawn(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
+			errs[rank] = body(rank, p, ep)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("kernel: %v", err)
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return net, eps
+}
+
+func okHealth() (bool, error) { return false, nil }
+
+func payload(op int, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(op*31 + i)
+	}
+	return b
+}
+
+func TestBcastCommitsClean(t *testing.T) {
+	const n, size = 8, 10 << 10
+	want := payload(0, size)
+	_, eps := world(t, n, Options{}, netsim.DefaultLinkParams(),
+		func(rank int, p *sim.Proc, e *Endpoint) error {
+			data := make([]byte, size)
+			if rank == 0 {
+				copy(data, want)
+			}
+			committed, err := e.Bcast(p, 0, data, okHealth)
+			if err != nil {
+				return err
+			}
+			if !committed {
+				return fmt.Errorf("expected commit on a clean network")
+			}
+			if !bytes.Equal(data, want) {
+				return fmt.Errorf("payload mismatch")
+			}
+			return nil
+		})
+	for r, e := range eps {
+		if e.Epoch() != 0 {
+			t.Fatalf("rank %d epoch bumped (%d) on a clean commit", r, e.Epoch())
+		}
+	}
+}
+
+// TestBcastRepairsUnderLoss drives the NAK/repair machinery: with 20%
+// loss on every pipe the initial multicast misses many receivers, and
+// the operation must still commit with the exact payload everywhere.
+func TestBcastRepairsUnderLoss(t *testing.T) {
+	const n, size, rounds = 6, 32 << 10, 4
+	lp := netsim.DefaultLinkParams()
+	lp.LossRate = 0.2
+	_, eps := world(t, n, Options{}, lp,
+		func(rank int, p *sim.Proc, e *Endpoint) error {
+			for op := 0; op < rounds; op++ {
+				root := op % n
+				want := payload(op, size)
+				data := make([]byte, size)
+				if rank == root {
+					copy(data, want)
+				}
+				committed, err := e.Bcast(p, root, data, okHealth)
+				if err != nil {
+					return err
+				}
+				if !committed {
+					return fmt.Errorf("op %d: expected commit under recoverable loss", op)
+				}
+				if !bytes.Equal(data, want) {
+					return fmt.Errorf("op %d: payload mismatch", op)
+				}
+			}
+			return nil
+		})
+	var repairs int64
+	for _, e := range eps {
+		repairs += e.Counters()["mc_repairs"]
+	}
+	if repairs == 0 {
+		t.Fatal("expected NAK-driven repairs under 20% loss, saw none")
+	}
+}
+
+// TestBcastFaultAborts checks the degrade path: one receiver reports an
+// unhealthy transport mid-operation, so the root must abort, every rank
+// must agree on the abort, and the group epoch must bump exactly once.
+func TestBcastFaultAborts(t *testing.T) {
+	const n, size = 5, 8 << 10
+	_, eps := world(t, n, Options{}, netsim.DefaultLinkParams(),
+		func(rank int, p *sim.Proc, e *Endpoint) error {
+			data := make([]byte, size)
+			if rank == 0 {
+				copy(data, payload(0, size))
+			}
+			health := okHealth
+			if rank == 3 {
+				health = func() (bool, error) { return true, nil }
+			}
+			committed, err := e.Bcast(p, 0, data, health)
+			if err != nil {
+				return err
+			}
+			if committed {
+				return fmt.Errorf("expected abort when rank 3 faults")
+			}
+			return nil
+		})
+	for r, e := range eps {
+		if e.Epoch() != 1 {
+			t.Fatalf("rank %d: epoch = %d after one abort, want 1", r, e.Epoch())
+		}
+	}
+}
+
+// TestBcastRecoversAfterAbort runs a faulted op and then a clean one on
+// the same endpoints: the second op must commit in the bumped epoch,
+// proving straggler state from the dead epoch cannot wedge the group.
+func TestBcastRecoversAfterAbort(t *testing.T) {
+	const n, size = 5, 8 << 10
+	_, eps := world(t, n, Options{}, netsim.DefaultLinkParams(),
+		func(rank int, p *sim.Proc, e *Endpoint) error {
+			faulty := rank == 2
+			data := make([]byte, size)
+			if rank == 0 {
+				copy(data, payload(0, size))
+			}
+			health := okHealth
+			if faulty {
+				health = func() (bool, error) { return true, nil }
+			}
+			if committed, err := e.Bcast(p, 0, data, health); err != nil {
+				return err
+			} else if committed {
+				return fmt.Errorf("first op should abort")
+			}
+			want := payload(1, size)
+			data = make([]byte, size)
+			if rank == 1 {
+				copy(data, want)
+			}
+			committed, err := e.Bcast(p, 1, data, okHealth)
+			if err != nil {
+				return err
+			}
+			if !committed {
+				return fmt.Errorf("second op should commit after the epoch bump")
+			}
+			if !bytes.Equal(data, want) {
+				return fmt.Errorf("second op payload mismatch")
+			}
+			return nil
+		})
+	for r, e := range eps {
+		if e.Epoch() != 1 {
+			t.Fatalf("rank %d: epoch = %d, want 1", r, e.Epoch())
+		}
+	}
+}
+
+// TestRepairBudgetAborts sets a repair budget of one chunk and a loss
+// rate guaranteeing far more repairs than that, so the root must give
+// up and abort rather than repair forever.
+func TestRepairBudgetAborts(t *testing.T) {
+	const n, size = 6, 64 << 10
+	lp := netsim.DefaultLinkParams()
+	lp.LossRate = 0.35
+	world(t, n, Options{RepairBudget: 1}, lp,
+		func(rank int, p *sim.Proc, e *Endpoint) error {
+			data := make([]byte, size)
+			if rank == 0 {
+				copy(data, payload(0, size))
+			}
+			committed, err := e.Bcast(p, 0, data, okHealth)
+			if err != nil {
+				return err
+			}
+			if committed {
+				return fmt.Errorf("expected repair-budget abort at 35%% loss")
+			}
+			return nil
+		})
+}
+
+// TestZeroLengthBcast pins the empty-payload edge: zero chunks, commit
+// via announce alone.
+func TestZeroLengthBcast(t *testing.T) {
+	world(t, 3, Options{}, netsim.DefaultLinkParams(),
+		func(rank int, p *sim.Proc, e *Endpoint) error {
+			committed, err := e.Bcast(p, 0, nil, okHealth)
+			if err != nil {
+				return err
+			}
+			if !committed {
+				return fmt.Errorf("zero-length bcast should commit")
+			}
+			return nil
+		})
+}
+
+// TestNakSuppression checks the SRM-style backoff: with the root's
+// initial burst partially lost at every receiver, the total NAK count
+// should stay well below one NAK per receiver per missing chunk.
+func TestNakSuppression(t *testing.T) {
+	const n, size = 8, 64 << 10
+	lp := netsim.DefaultLinkParams()
+	lp.LossRate = 0.15
+	_, eps := world(t, n, Options{}, lp,
+		func(rank int, p *sim.Proc, e *Endpoint) error {
+			data := make([]byte, size)
+			if rank == 0 {
+				copy(data, payload(0, size))
+			}
+			committed, err := e.Bcast(p, 0, data, okHealth)
+			if err != nil {
+				return err
+			}
+			if !committed {
+				return fmt.Errorf("expected commit")
+			}
+			return nil
+		})
+	var naks int64
+	for _, e := range eps {
+		naks += e.Counters()["mc_naks"]
+	}
+	// 64 KiB is 51 chunks; at 15% loss about 54 chunks are lost across
+	// 7 receivers. Unsuppressed per-chunk NAKs would number ~50+; the
+	// range encoding plus suppression should keep the total far lower.
+	if naks == 0 || naks > 40 {
+		t.Fatalf("NAK count %d outside suppressed range (0, 40]", naks)
+	}
+}
+
+// TestBcastVirtualTime sanity-checks the commit latency: on a clean
+// 1 Gb/s mesh an 8 KiB broadcast to 7 receivers should settle in well
+// under a millisecond of virtual time (chunks + DONE + COMMIT, each
+// ~50µs of propagation), nowhere near the announce-round cap.
+func TestBcastVirtualTime(t *testing.T) {
+	const n, size = 8, 8 << 10
+	var elapsed time.Duration
+	world(t, n, Options{}, netsim.DefaultLinkParams(),
+		func(rank int, p *sim.Proc, e *Endpoint) error {
+			start := p.Now()
+			data := make([]byte, size)
+			if rank == 0 {
+				copy(data, payload(0, size))
+			}
+			committed, err := e.Bcast(p, 0, data, okHealth)
+			if err != nil {
+				return err
+			}
+			if !committed {
+				return fmt.Errorf("expected commit")
+			}
+			if rank == 0 {
+				elapsed = p.Now() - start
+			}
+			return nil
+		})
+	if limit := 1 * time.Millisecond; elapsed <= 0 || elapsed > limit {
+		t.Fatalf("clean 8 KiB bcast took %v, want (0, %v]", elapsed, limit)
+	}
+}

@@ -1,0 +1,177 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func mcastMesh(t *testing.T, seed int64, n int, lp LinkParams) (*sim.Kernel, *Network, []*Node, Addr) {
+	t.Helper()
+	k := sim.New(seed)
+	net, nodes := Cluster(k, n, 1, lp)
+	group := MakeGroupAddr(7)
+	for _, nd := range nodes {
+		net.JoinGroup(group, nd.Addr())
+	}
+	return k, net, nodes, group
+}
+
+func countDeliveries(nodes []*Node, proto uint8) []int {
+	got := make([]int, len(nodes))
+	for i, nd := range nodes {
+		idx := i
+		nd.Handle(proto, func(pkt *Packet, ifc *Iface) { got[idx]++ })
+	}
+	return got
+}
+
+func TestGroupAddrSpace(t *testing.T) {
+	g := MakeGroupAddr(7)
+	if !g.IsMulticast() {
+		t.Fatalf("%s should be multicast", g)
+	}
+	if g.String() != "224.0.0.7" {
+		t.Fatalf("group addr = %s", g)
+	}
+	if MakeAddr(1, 2).IsMulticast() {
+		t.Fatal("unicast address classified as multicast")
+	}
+}
+
+func TestMulticastMeshFanOut(t *testing.T) {
+	k, net, nodes, group := mcastMesh(t, 1, 4, DefaultLinkParams())
+	got := countDeliveries(nodes, 99)
+	nodes[0].Send(&Packet{Src: nodes[0].Addr(), Dst: group, Proto: 99, Payload: []byte("x")})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatalf("sender self-delivered %d copies", got[0])
+	}
+	for i := 1; i < 4; i++ {
+		if got[i] != 1 {
+			t.Fatalf("node %d got %d copies, want 1", i, got[i])
+		}
+	}
+	if net.Stats.PacketsMcast != 1 || net.Stats.PacketsSent != 1 {
+		t.Fatalf("mcast packets = %d / sent = %d, want 1/1",
+			net.Stats.PacketsMcast, net.Stats.PacketsSent)
+	}
+	if net.Stats.McastDeliveries != 3 {
+		t.Fatalf("deliveries = %d, want 3", net.Stats.McastDeliveries)
+	}
+}
+
+// TestMulticastMeshIndependentLoss pins the mesh fallback semantics:
+// each member is reached over its own (src, member) pipe, so a lossy
+// pipe to one member leaves the others untouched.
+func TestMulticastMeshIndependentLoss(t *testing.T) {
+	k, net, nodes, group := mcastMesh(t, 1, 4, DefaultLinkParams())
+	lossy := DefaultLinkParams()
+	lossy.LossRate = 1.0
+	net.SetLinkParamsBetween(nodes[0].Addr(), nodes[2].Addr(), lossy)
+	got := countDeliveries(nodes, 99)
+	nodes[0].Send(&Packet{Src: nodes[0].Addr(), Dst: group, Proto: 99, Payload: []byte("x")})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 1 || got[3] != 1 {
+		t.Fatalf("healthy members got %d/%d copies, want 1/1", got[1], got[3])
+	}
+	if got[2] != 0 {
+		t.Fatalf("member behind the lossy pipe got %d copies, want 0", got[2])
+	}
+	// One loss draw per member pipe: exactly the lossy one fired.
+	if net.Stats.PacketsLost != 1 {
+		t.Fatalf("losses = %d, want 1", net.Stats.PacketsLost)
+	}
+}
+
+// TestMulticastMeshPerReceiverDraws: with loss on every pipe, a mesh
+// multicast takes an independent Bernoulli draw per receiver — so
+// LossRate 1.0 records one loss per member, not one for the packet.
+// (The routed counterpart in topo's tests shows the shared-hop dual:
+// one draw at the first shared port.)
+func TestMulticastMeshPerReceiverDraws(t *testing.T) {
+	k, net, nodes, group := mcastMesh(t, 1, 5, DefaultLinkParams())
+	net.SetLoss(1.0)
+	got := countDeliveries(nodes, 99)
+	nodes[0].Send(&Packet{Src: nodes[0].Addr(), Dst: group, Proto: 99, Payload: []byte("x")})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range got {
+		if g != 0 {
+			t.Fatalf("node %d got %d copies through LossRate 1.0", i, g)
+		}
+	}
+	if net.Stats.PacketsLost != 4 {
+		t.Fatalf("losses = %d, want 4 (one independent draw per member)", net.Stats.PacketsLost)
+	}
+}
+
+func TestMulticastDownMemberSkipped(t *testing.T) {
+	k, net, nodes, group := mcastMesh(t, 1, 4, DefaultLinkParams())
+	net.SetIfaceDown(nodes[2].Addr(), true)
+	got := countDeliveries(nodes, 99)
+	nodes[0].Send(&Packet{Src: nodes[0].Addr(), Dst: group, Proto: 99, Payload: []byte("x")})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 1 || got[3] != 1 || got[2] != 0 {
+		t.Fatalf("deliveries = %v, want down member skipped, others 1", got)
+	}
+	if net.Stats.PacketsDown != 1 {
+		t.Fatalf("down drops = %d, want 1", net.Stats.PacketsDown)
+	}
+}
+
+func TestLeaveGroup(t *testing.T) {
+	k, net, nodes, group := mcastMesh(t, 1, 4, DefaultLinkParams())
+	net.LeaveGroup(group, nodes[3].Addr())
+	if m := net.GroupMembers(group); len(m) != 3 {
+		t.Fatalf("members after leave = %d, want 3", len(m))
+	}
+	got := countDeliveries(nodes, 99)
+	nodes[0].Send(&Packet{Src: nodes[0].Addr(), Dst: group, Proto: 99, Payload: []byte("x")})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[3] != 0 {
+		t.Fatalf("departed member still got %d copies", got[3])
+	}
+	if got[1] != 1 || got[2] != 1 {
+		t.Fatalf("deliveries = %v, want remaining members served", got)
+	}
+}
+
+func TestMulticastNoMembers(t *testing.T) {
+	k := sim.New(1)
+	net, nodes := Cluster(k, 2, 1, DefaultLinkParams())
+	nodes[0].Send(&Packet{Src: nodes[0].Addr(), Dst: MakeGroupAddr(9), Proto: 99, Payload: []byte("x")})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if net.Stats.PacketsNoRoute != 1 {
+		t.Fatalf("no-route drops = %d, want 1", net.Stats.PacketsNoRoute)
+	}
+}
+
+// TestMulticastPooledPacketRefs runs a pooled payload through a mesh
+// fan-out and checks the pool reference accounting balances: the leak
+// counter must return to its baseline after delivery.
+func TestMulticastPooledPacketRefs(t *testing.T) {
+	base := LivePooledPackets()
+	k, _, nodes, group := mcastMesh(t, 1, 5, DefaultLinkParams())
+	countDeliveries(nodes, 99)
+	buf := append(make([]byte, 0, 64), []byte("pooled")...)
+	pkt := NewPooledPacket(nodes[0].Addr(), group, 99, buf)
+	nodes[0].Send(pkt)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if live := LivePooledPackets(); live != base {
+		t.Fatalf("pooled packets leaked: %d -> %d", base, live)
+	}
+}

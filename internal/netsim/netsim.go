@@ -42,6 +42,15 @@ func MakeAddr(subnet, host int) Addr {
 // Subnet returns the subnet component of an address built by MakeAddr.
 func (a Addr) Subnet() int { return int(a >> 16 & 0xff) }
 
+// MakeGroupAddr builds a link-layer multicast group address in the
+// 224.0.0.0/8 block, disjoint from every MakeAddr unicast address.
+func MakeGroupAddr(group int) Addr {
+	return Addr(0xe0<<24 | uint32(group&0xffffff))
+}
+
+// IsMulticast reports whether the address is a multicast group address.
+func (a Addr) IsMulticast() bool { return a>>24 == 0xe0 }
+
 // String renders the address in dotted-quad form.
 func (a Addr) String() string {
 	return fmt.Sprintf("%d.%d.%d.%d", a>>24&0xff, a>>16&0xff, a>>8&0xff, a&0xff)
@@ -159,6 +168,8 @@ type Stats struct {
 	PacketsBlocked   int64 // dropped because the pipe was administratively down
 	PacketsNoRoute   int64
 	BytesSent        int64
+	PacketsMcast     int64 // multicast packets entering the network (one per Send)
+	McastDeliveries  int64 // multicast copies handed to receivers
 }
 
 // Network is the simulated internetwork.
@@ -171,6 +182,7 @@ type Network struct {
 	perPair map[pipeKey]LinkParams
 	ports   []*Port
 	router  Router
+	groups  map[Addr][]*Iface
 	Stats   Stats
 	Trace   func(ev string, pkt *Packet)
 }
@@ -303,6 +315,52 @@ func (n *Network) SetSubnetDown(subnet int, down bool) {
 	}
 }
 
+// JoinGroup subscribes the interface owning member to the multicast
+// group. Membership order is join order, which fixes the fan-out (and
+// therefore RNG draw) order for deterministic replay. Joining twice is
+// a no-op.
+func (n *Network) JoinGroup(group, member Addr) {
+	if !group.IsMulticast() {
+		panic("netsim: JoinGroup on non-multicast address " + group.String())
+	}
+	ifc := n.routes[member]
+	if ifc == nil {
+		panic("netsim: JoinGroup for unknown member " + member.String())
+	}
+	if n.groups == nil {
+		n.groups = make(map[Addr][]*Iface)
+	}
+	for _, m := range n.groups[group] {
+		if m == ifc {
+			return
+		}
+	}
+	n.groups[group] = append(n.groups[group], ifc)
+}
+
+// LeaveGroup removes the interface owning member from the group,
+// preserving the join order of the remaining members.
+func (n *Network) LeaveGroup(group, member Addr) {
+	ifc := n.routes[member]
+	ms := n.groups[group]
+	for i, m := range ms {
+		if m == ifc {
+			n.groups[group] = append(ms[:i:i], ms[i+1:]...)
+			return
+		}
+	}
+}
+
+// GroupMembers returns the member addresses of a group in join order.
+func (n *Network) GroupMembers(group Addr) []Addr {
+	ms := n.groups[group]
+	out := make([]Addr, len(ms))
+	for i, m := range ms {
+		out[i] = m.addr
+	}
+	return out
+}
+
 func (n *Network) pipe(src, dst Addr) *Pipe {
 	key := pipeKey{src, dst}
 	if p, ok := n.pipes[key]; ok {
@@ -319,6 +377,10 @@ func (n *Network) pipe(src, dst Addr) *Pipe {
 
 // send routes a packet from the source interface to its destination.
 func (n *Network) send(src *Iface, pkt *Packet) {
+	if pkt.Dst.IsMulticast() {
+		n.sendMulticast(src, pkt)
+		return
+	}
 	n.Stats.PacketsSent++
 	n.Stats.BytesSent += int64(pkt.WireSize())
 	if n.Trace != nil {
@@ -445,6 +507,11 @@ type Pipe struct {
 
 // Params returns the pipe's current link parameters.
 func (p *Pipe) Params() LinkParams { return p.params }
+
+// SetParams replaces the pipe's link parameters. Topology tests use it
+// to inject faults on one specific port without disturbing the rest of
+// the fabric.
+func (p *Pipe) SetParams(lp LinkParams) { p.params = lp }
 
 // Port is one directed hop in a generated multi-hop topology: a switch
 // egress (or host NIC) with its own serialization rate, propagation
@@ -598,6 +665,240 @@ func (n *Network) hop(path []*Port, i int, pkt *Packet, dst *Iface) {
 			n.hop(path, i+1, pkt, dst)
 		})
 	}
+}
+
+// sendMulticast fans a group-addressed packet out to every member of
+// the group except those on the sending node. On a mesh network each
+// member is reached over its own (src, member) pipe — independent
+// serialization, queue, and loss draws per receiver, like sender-side
+// replication at the NIC. On a routed topology the per-member unicast
+// routes are merged by shared port prefix so shared hops are traversed
+// (charged, and drawn) once on behalf of everyone behind them, with
+// fan-out happening where the routes diverge — link-layer multicast in
+// the switches. All delivered copies alias one payload, like the
+// duplication path, so handlers must copy anything they keep.
+func (n *Network) sendMulticast(src *Iface, pkt *Packet) {
+	n.Stats.PacketsSent++
+	n.Stats.PacketsMcast++
+	n.Stats.BytesSent += int64(pkt.WireSize())
+	if n.Trace != nil {
+		n.Trace("msend", pkt)
+	}
+	if src.down {
+		n.Stats.PacketsDown++
+		if n.Trace != nil {
+			n.Trace("drop-down", pkt)
+		}
+		pkt.Release()
+		return
+	}
+	members := n.groups[pkt.Dst]
+	if len(members) == 0 {
+		n.Stats.PacketsNoRoute++
+		pkt.Release()
+		return
+	}
+	if n.router != nil {
+		n.mcastRouted(src, pkt, members)
+		return
+	}
+	for _, m := range members {
+		if m.node == src.node {
+			continue
+		}
+		dst := m
+		p := n.pipe(pkt.Src, dst.addr)
+		pkt.Retain()
+		n.mcastTraverse(p, pkt, func() { n.mcastDeliver(pkt, dst) })
+	}
+	pkt.Release()
+}
+
+// mcastRouted resolves each member's unicast route and starts the
+// prefix-merged hop walk. Members the router cannot reach are counted
+// as no-route, and an empty route defers to the direct pipe exactly as
+// the unicast path does.
+func (n *Network) mcastRouted(src *Iface, pkt *Packet, members []*Iface) {
+	var dsts []*Iface
+	var paths [][]*Port
+	for _, m := range members {
+		if m.node == src.node {
+			continue
+		}
+		path := n.router.Route(pkt.Src, m.addr)
+		if path == nil {
+			n.Stats.PacketsNoRoute++
+			continue
+		}
+		if len(path) == 0 {
+			dst := m
+			p := n.pipe(pkt.Src, dst.addr)
+			pkt.Retain()
+			n.mcastTraverse(p, pkt, func() { n.mcastDeliver(pkt, dst) })
+			continue
+		}
+		dsts = append(dsts, m)
+		paths = append(paths, path)
+	}
+	if len(dsts) > 0 {
+		pkt.Retain()
+		n.mcastHop(pkt, dsts, paths, 0)
+	}
+	pkt.Release()
+}
+
+// mcastHop advances one store-and-forward stage of a routed multicast
+// subtree. Members are partitioned by their egress port at this stage
+// in first-seen (join) order, so replay is deterministic; each distinct
+// port is traversed once — one serialization slot, one loss draw — on
+// behalf of every member behind it. The final hop of each route is the
+// receiver's host-facing port, which no other member shares, so
+// last-hop loss and queue draws are independent per receiver. The
+// caller hands over one packet reference per call.
+func (n *Network) mcastHop(pkt *Packet, dsts []*Iface, paths [][]*Port, stage int) {
+	type subgroup struct {
+		port *Port
+		idx  []int
+	}
+	var groups []subgroup
+	for i := range paths {
+		p := paths[i][stage]
+		found := false
+		for g := range groups {
+			if groups[g].port == p {
+				groups[g].idx = append(groups[g].idx, i)
+				found = true
+				break
+			}
+		}
+		if !found {
+			groups = append(groups, subgroup{port: p, idx: []int{i}})
+		}
+	}
+	for _, g := range groups {
+		gDsts := make([]*Iface, len(g.idx))
+		gPaths := make([][]*Port, len(g.idx))
+		for j, i := range g.idx {
+			gDsts[j], gPaths[j] = dsts[i], paths[i]
+		}
+		st := stage
+		pkt.Retain()
+		n.mcastTraverse(&g.port.Pipe, pkt, func() {
+			n.mcastArrive(pkt, gDsts, gPaths, st)
+		})
+	}
+	pkt.Release()
+}
+
+// mcastArrive handles a multicast copy emerging from a port: members
+// whose route ends at this stage are delivered, the rest continue to
+// the next stage as one subtree.
+func (n *Network) mcastArrive(pkt *Packet, dsts []*Iface, paths [][]*Port, stage int) {
+	var contDsts []*Iface
+	var contPaths [][]*Port
+	for i := range paths {
+		if stage == len(paths[i])-1 {
+			pkt.Retain()
+			n.mcastDeliver(pkt, dsts[i])
+		} else {
+			contDsts = append(contDsts, dsts[i])
+			contPaths = append(contPaths, paths[i])
+		}
+	}
+	if len(contDsts) > 0 {
+		pkt.Retain()
+		n.mcastHop(pkt, contDsts, contPaths, stage+1)
+	}
+	pkt.Release()
+}
+
+// mcastTraverse charges one traversal of a pipe or port to a multicast
+// packet and schedules the continuation at the arrival time, once per
+// surviving copy. The draw sequence — admin-down, queue backlog, loss,
+// duplication, corruption, jitter — matches the unicast path exactly,
+// so a multicast hop perturbs a link's RNG stream the same way a
+// unicast packet would. The caller hands over one packet reference;
+// each invocation of then owns one.
+func (n *Network) mcastTraverse(p *Pipe, pkt *Packet, then func()) {
+	if p.params.Down {
+		n.Stats.PacketsBlocked++
+		p.BlockedDrops++
+		if n.Trace != nil {
+			n.Trace("drop-blocked", pkt)
+		}
+		pkt.Release()
+		return
+	}
+	now := n.K.Now()
+	txTime := time.Duration(0)
+	if p.params.Bandwidth > 0 {
+		txTime = time.Duration(int64(pkt.WireSize()) * 8 * int64(time.Second) / p.params.Bandwidth)
+	}
+	start := now
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	if p.params.QueueBytes > 0 && p.params.Bandwidth > 0 {
+		backlogBytes := int64(p.busyUntil-now) * p.params.Bandwidth / (8 * int64(time.Second))
+		if backlogBytes > int64(p.params.QueueBytes) {
+			n.Stats.PacketsQueued++
+			p.QueueDrops++
+			if n.Trace != nil {
+				n.Trace("drop-queue", pkt)
+			}
+			pkt.Release()
+			return
+		}
+	}
+	p.busyUntil = start + txTime
+	if p.params.LossRate > 0 && n.K.Rand().Float64() < p.params.LossRate {
+		n.Stats.PacketsLost++
+		p.LossDrops++
+		if n.Trace != nil {
+			n.Trace("drop-loss", pkt)
+		}
+		pkt.Release()
+		return
+	}
+	copies := 1
+	if p.params.DupRate > 0 && n.K.Rand().Float64() < p.params.DupRate {
+		copies = 2
+		n.Stats.PacketsDuped++
+		pkt.Retain() // both copies continue independently; each owns one ref
+	}
+	if p.params.CorruptRate > 0 && len(pkt.Payload) > 0 &&
+		n.K.Rand().Float64() < p.params.CorruptRate {
+		bit := n.K.Rand().Int63n(int64(len(pkt.Payload)) * 8)
+		pkt.Payload[bit/8] ^= 1 << uint(bit%8)
+		n.Stats.PacketsCorrupted++
+		p.CorruptHits++
+		if n.Trace != nil {
+			n.Trace("corrupt", pkt)
+		}
+	}
+	for c := 0; c < copies; c++ {
+		arrive := p.busyUntil - now + p.params.Delay
+		if p.params.Jitter > 0 {
+			arrive += time.Duration(n.K.Rand().Int63n(int64(p.params.Jitter)))
+		}
+		n.K.After(arrive, then)
+	}
+}
+
+// mcastDeliver hands one multicast copy to the receiving interface,
+// consuming one packet reference.
+func (n *Network) mcastDeliver(pkt *Packet, dst *Iface) {
+	if dst.down {
+		n.Stats.PacketsDown++
+		pkt.Release()
+		return
+	}
+	n.Stats.McastDeliveries++
+	if n.Trace != nil {
+		n.Trace("mrecv", pkt)
+	}
+	dst.node.deliver(pkt, dst)
+	pkt.Release()
 }
 
 // Handler receives packets demultiplexed to a protocol on a node.

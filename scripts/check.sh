@@ -70,6 +70,11 @@ go run ./cmd/chaos -rpi all -seeds 25 -kill
 echo "== chaos at scale (256-rank fat-tree, one seed per backend) =="
 go run ./cmd/chaos -rpi all -seeds 1 -procs 256 -topo fattree -rounds 6
 
+echo "== chaos mid-broadcast kills (256-rank fat-tree multicast, fallback per backend) =="
+go run ./cmd/chaos -rpi sctp -seed 1 -events 6 -horizon 50ms -kill -procs 256 -topo fattree -collective bcast -rounds 3 -msgsize 65536
+go run ./cmd/chaos -rpi sctp1to1 -seed 8 -events 6 -horizon 50ms -kill -procs 256 -topo fattree -collective bcast -rounds 3 -msgsize 65536
+go run ./cmd/chaos -rpi tcp -seed 3 -events 6 -horizon 50ms -kill -procs 256 -topo fattree -collective bcast -rounds 3 -msgsize 65536
+
 echo "== 1024-rank scale smoke (fat-tree allreduce) =="
 SCALE_SMOKE=1 go test -run TestScaleSmoke1024 -timeout 10m ./internal/bench/
 
