@@ -12,11 +12,18 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Repository-specific static analysis (internal/analysis): determinism,
-# nopreempt, seqnum, maporder, sentinel. Exits non-zero on any finding;
-# suppress with a justified `//simlint:allow <rule> <why>` comment.
+# Repository-specific static analysis (internal/analysis): the
+# syntactic rules (nopreempt, seqnum, maporder, sentinel) plus the
+# flow-sensitive rules (reflease, epochguard, probepure, timeflow).
+# Exits non-zero on any finding; suppress with a justified
+# `//simlint:allow <rule> <why>` comment. LINT_JSON=1 switches the
+# output to JSON Lines (schema in README).
 lint:
+ifeq ($(LINT_JSON),1)
+	$(GO) run ./cmd/simlint -json
+else
 	$(GO) run ./cmd/simlint
+endif
 
 build:
 	$(GO) build ./...

@@ -1,15 +1,26 @@
 // Command simlint runs the repository's custom static-analysis suite
-// (internal/analysis) over the module: determinism, nopreempt, seqnum,
-// maporder, and sentinel. It is the `make lint` gate.
+// (internal/analysis) over the module: the syntactic rules (nopreempt,
+// seqnum, maporder, sentinel) plus the flow-sensitive rules built on
+// the CFG/dataflow engine (reflease, epochguard, probepure, timeflow).
+// It is the `make lint` gate.
 //
 // With no arguments it sweeps every package in the module, applying the
-// simulation-world rules to the simulated packages and the seqnum +
-// sentinel rules everywhere. With directory arguments it lints exactly
-// those package directories under the full rule set (used by the golden
-// fixture gate, which asserts each seeded violation fixture fails).
+// simulation-world rules to the simulated packages and the everywhere
+// rules (seqnum, sentinel, reflease, probepure, flow-only timeflow) to
+// the rest. With directory arguments it lints exactly those package
+// directories under the full rule set (used by the golden fixture gate,
+// which asserts each seeded violation fixture fails).
+//
+// With -json, machine-readable findings are written to stdout as one
+// JSON object per line (JSON Lines): every record carries file, line,
+// col, rule, and msg; findings silenced by a //simlint:allow directive
+// are still emitted with "suppressed": true and the directive's
+// justification, so the stream is a complete audit trail. Exit status
+// is unchanged by -json.
 //
 // Exit status is 1 when any diagnostic survives suppression, 0 on a
-// clean tree. Suppressions are written in the source as
+// clean tree, 2 on load errors. Suppressions are written in the source
+// as
 //
 //	//simlint:allow <rule> <why>
 //
@@ -17,9 +28,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/analysis"
@@ -28,19 +41,21 @@ import (
 func main() {
 	root := flag.String("root", ".", "module root directory")
 	verbose := flag.Bool("v", false, "list packages as they are checked")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON Lines on stdout (including suppressed ones)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: simlint [-root dir] [-v] [package-dir ...]\n\nrules: %s\n",
+			"usage: simlint [-root dir] [-v] [-json] [package-dir ...]\n\nrules: %s\n",
 			strings.Join(analysis.RuleNames(), ", "))
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	ld, err := analysis.NewLoader(*root)
+	mod, err := analysis.NewModule(*root)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
 		os.Exit(2)
 	}
+	ld := mod.Loader()
 
 	dirs := flag.Args()
 	explicit := len(dirs) > 0
@@ -52,6 +67,7 @@ func main() {
 		}
 	}
 
+	enc := json.NewEncoder(os.Stdout)
 	nbad := 0
 	for _, dir := range dirs {
 		p, err := ld.LoadDir(dir)
@@ -59,19 +75,40 @@ func main() {
 			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
 			os.Exit(2)
 		}
-		rules := analysis.AllRules(ld.Module)
+		rules := analysis.AllRules(mod)
 		if !explicit {
 			rel := strings.TrimPrefix(strings.TrimPrefix(p.ImportPath, ld.Module), "/")
-			rules = analysis.RulesFor(ld.Module, rel)
+			rules = analysis.RulesFor(mod, rel)
 		}
-		diags := analysis.Run(p, rules)
+		findings := analysis.RunDetailed(p, rules)
+		live := 0
+		for _, f := range findings {
+			if !f.Suppressed {
+				live++
+			}
+		}
 		if *verbose {
-			fmt.Printf("simlint: %s (%d rules, %d findings)\n", p.ImportPath, len(rules), len(diags))
+			fmt.Fprintf(os.Stderr, "simlint: %s (%d rules, %d findings, %d suppressed)\n",
+				p.ImportPath, len(rules), live, len(findings)-live)
 		}
-		for _, d := range diags {
-			fmt.Println(d)
+		for _, f := range findings {
+			if *jsonOut {
+				// Module-relative paths keep the stream stable across
+				// checkouts (the documented schema).
+				if rel, err := filepath.Rel(ld.Root, f.File); err == nil && !strings.HasPrefix(rel, "..") {
+					f.File = filepath.ToSlash(rel)
+				}
+				if err := enc.Encode(f); err != nil {
+					fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+					os.Exit(2)
+				}
+				continue
+			}
+			if !f.Suppressed {
+				fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Rule, f.Msg)
+			}
 		}
-		nbad += len(diags)
+		nbad += live
 	}
 	if nbad > 0 {
 		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", nbad)

@@ -3,10 +3,8 @@
 // codebase-specific rules that machine-check the simulator's
 // fragile-by-convention invariants:
 //
-//   - determinism: no wall-clock time or global math/rand in simulated
-//     packages — every timestamp and random draw must come from the
-//     kernel's virtual clock and seeded *rand.Rand, or runs stop being
-//     bit-identical from a seed.
+// Syntactic rules:
+//
 //   - nopreempt: no goroutines, sync primitives, or channel operations
 //     in simulated packages — processes are cooperatively scheduled and
 //     must block through sim.Cond/sim.WaitGroup so exactly one runs at
@@ -22,6 +20,26 @@
 //   - sentinel: no == / != against module sentinel errors — the
 //     transport contract is errors.Is, which keeps working when errors
 //     are wrapped.
+//
+// Flow-sensitive rules, built on the CFG + dataflow engine in cfg.go
+// and dataflow.go with cross-function summaries from module.go:
+//
+//   - reflease: pooled buffers (netsim.Packet references, wire.GetBuf
+//     slices, sctp.Message payloads) must be released exactly once on
+//     every normal exit path; leaks on early-return paths and double
+//     releases are definite findings, data-dependent balancing goes
+//     silent rather than guessing.
+//   - epochguard: frame handlers must compare the frame's epoch against
+//     the operation state's epoch (dominance, not mere presence) before
+//     mutating epoch-stamped state — otherwise stale retransmissions
+//     from a deposed root get applied.
+//   - probepure: functions bound to Probe/Observer oracle hook fields
+//     must be transitively free of protocol-state mutation, channel
+//     sends, and unauditable func-value calls.
+//   - timeflow: the interprocedural determinism rule — wall-clock time
+//     and global math/rand must neither be used in simulated packages
+//     nor flow into them through helper returns, struct fields, or
+//     composite literals from anywhere else.
 //
 // A finding can be suppressed with a justified directive on (or one
 // line above) the offending line:
@@ -74,13 +92,18 @@ type allowKey struct {
 	rule string
 }
 
-// suppressions indexes valid //simlint:allow directives. A directive on
-// line L suppresses findings of its rule on line L (trailing comment)
-// and line L+1 (comment on its own line above the statement).
-type suppressions map[allowKey]bool
+// suppressions indexes valid //simlint:allow directives by target,
+// mapping to the written justification. A directive on line L
+// suppresses findings of its rule on line L (trailing comment) and line
+// L+1 (comment on its own line above the statement).
+type suppressions map[allowKey]string
 
-func (s suppressions) allows(rule, file string, line int) bool {
-	return s[allowKey{file, line, rule}] || s[allowKey{file, line - 1, rule}]
+func (s suppressions) allows(rule, file string, line int) (string, bool) {
+	if why, ok := s[allowKey{file, line, rule}]; ok {
+		return why, true
+	}
+	why, ok := s[allowKey{file, line - 1, rule}]
+	return why, ok
 }
 
 // scanDirectives walks p's comments for //simlint:allow directives,
@@ -120,49 +143,89 @@ func scanDirectives(p *Package) (suppressions, []Diagnostic) {
 					continue
 				}
 				pos := p.Fset.Position(c.Pos())
-				sup[allowKey{pos.Filename, pos.Line, rule}] = true
+				sup[allowKey{pos.Filename, pos.Line, rule}] = strings.Join(fields[1:], " ")
 			}
 		}
 	}
 	return sup, diags
 }
 
-// Run applies rules to p and returns the surviving diagnostics sorted
-// by position, after honoring //simlint:allow directives. Malformed
-// directives are themselves reported (and suppress nothing).
-func Run(p *Package, rules []Rule) []Diagnostic {
+// Finding is one record of the detailed (JSON) output: a diagnostic,
+// either live or suppressed by a justified //simlint:allow directive.
+// Suppressed findings carry the directive's justification, so the JSON
+// stream is a complete audit of everything the rules saw.
+type Finding struct {
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Col           int    `json:"col"`
+	Rule          string `json:"rule"`
+	Msg           string `json:"msg"`
+	Suppressed    bool   `json:"suppressed,omitempty"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// RunDetailed applies rules to p and returns every finding — live and
+// suppressed — sorted by position. Malformed //simlint:allow directives
+// are reported under the unsuppressable "simlint" pseudo-rule.
+func RunDetailed(p *Package, rules []Rule) []Finding {
 	sup, diags := scanDirectives(p)
+	var findings []Finding
+	for _, d := range diags {
+		findings = append(findings, Finding{
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Rule: d.Rule, Msg: d.Msg,
+		})
+	}
 	for _, r := range rules {
 		rule := r
 		report := func(pos token.Pos, format string, args ...any) {
 			position := p.Fset.Position(pos)
-			if sup.allows(rule.Name, position.Filename, position.Line) {
-				return
+			f := Finding{
+				File: position.Filename, Line: position.Line, Col: position.Column,
+				Rule: rule.Name, Msg: fmt.Sprintf(format, args...),
 			}
-			diags = append(diags, Diagnostic{
-				Pos:  position,
-				Rule: rule.Name,
-				Msg:  fmt.Sprintf(format, args...),
-			})
+			if why, ok := sup.allows(rule.Name, position.Filename, position.Line); ok {
+				f.Suppressed = true
+				f.Justification = why
+			}
+			findings = append(findings, f)
 		}
 		rule.Check(p, report)
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
+		if a.Line != b.Line {
+			return a.Line < b.Line
 		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
+		if a.Col != b.Col {
+			return a.Col < b.Col
 		}
 		if a.Rule != b.Rule {
 			return a.Rule < b.Rule
 		}
 		return a.Msg < b.Msg
 	})
+	return findings
+}
+
+// Run applies rules to p and returns the surviving diagnostics sorted
+// by position, after honoring //simlint:allow directives. Malformed
+// directives are themselves reported (and suppress nothing).
+func Run(p *Package, rules []Rule) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range RunDetailed(p, rules) {
+		if f.Suppressed {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:  token.Position{Filename: f.File, Line: f.Line, Column: f.Col},
+			Rule: f.Rule,
+			Msg:  f.Msg,
+		})
+	}
 	return diags
 }
 

@@ -23,13 +23,13 @@ import (
 // matched, so the fixtures pin both the positives and (by silence on
 // the Fine functions) the negatives.
 
-func newTestLoader(t *testing.T) *Loader {
+func newTestModule(t *testing.T) *Module {
 	t.Helper()
-	ld, err := NewLoader(filepath.Join("..", ".."))
+	m, err := NewModule(filepath.Join("..", ".."))
 	if err != nil {
-		t.Fatalf("NewLoader: %v", err)
+		t.Fatalf("NewModule: %v", err)
 	}
-	return ld
+	return m
 }
 
 func loadFixture(t *testing.T, ld *Loader, name string) *Package {
@@ -114,23 +114,32 @@ func checkFixture(t *testing.T, p *Package, rules []Rule) {
 }
 
 func TestGoldenFixtures(t *testing.T) {
-	ld := newTestLoader(t)
+	m := newTestModule(t)
+	ld := m.Loader()
 	cases := []struct {
 		fixture string
 		rules   []Rule
 	}{
-		{"determinism", []Rule{Determinism()}},
 		// kernel_allowed.go plays the role of the real scheduler files:
 		// its goroutine and channel must be exempted by the allowlist.
-		{"nopreempt", []Rule{NoPreempt(ld.Module, map[string]bool{
+		{"nopreempt", []Rule{NoPreempt(m.Path(), map[string]bool{
 			"internal/analysis/testdata/src/nopreempt/kernel_allowed.go": true,
 		})}},
 		{"seqnumcmp", []Rule{SeqnumCmp()}},
 		{"maporder", []Rule{MapOrder()}},
-		{"sentinel", []Rule{Sentinel(ld.Module)}},
-		// The suppress fixture runs under determinism: justified allows
+		{"sentinel", []Rule{Sentinel(m.Path())}},
+		{"reflease", []Rule{Reflease(m)}},
+		{"epochguard", []Rule{EpochGuard(m)}},
+		{"probepure", []Rule{ProbePure(m)}},
+		// timeflow direct mode subsumes the old determinism rule;
+		// timeflowcross pins the interprocedural flow-only mode, where
+		// local wall-clock reads are fine but crossing into simulated
+		// packages is not.
+		{"timeflow", []Rule{Timeflow(m, true)}},
+		{"timeflowcross", []Rule{Timeflow(m, false)}},
+		// The suppress fixture runs under timeflow: justified allows
 		// must silence their time.Now findings, malformed ones must not.
-		{"suppress", []Rule{Determinism()}},
+		{"suppress", []Rule{Timeflow(m, true)}},
 	}
 	for _, c := range cases {
 		t.Run(c.fixture, func(t *testing.T) {
@@ -144,12 +153,13 @@ func TestGoldenFixtures(t *testing.T) {
 // produce at least one diagnostic under the full rule set, i.e. the
 // linter exits non-zero on each of them.
 func TestSeededFixturesFailFullRuleSet(t *testing.T) {
-	ld := newTestLoader(t)
+	m := newTestModule(t)
 	for _, fixture := range []string{
-		"determinism", "nopreempt", "seqnumcmp", "maporder", "sentinel", "suppress",
+		"epochguard", "maporder", "nopreempt", "probepure", "reflease",
+		"sentinel", "seqnumcmp", "suppress", "timeflow", "timeflowcross",
 	} {
-		p := loadFixture(t, ld, fixture)
-		if n := len(Run(p, AllRules(ld.Module))); n == 0 {
+		p := loadFixture(t, m.Loader(), fixture)
+		if n := len(Run(p, AllRules(m))); n == 0 {
 			t.Errorf("fixture %s: want at least one diagnostic under the full rule set, got 0", fixture)
 		}
 	}
@@ -159,7 +169,8 @@ func TestSeededFixturesFailFullRuleSet(t *testing.T) {
 // requires zero findings, so a violation anywhere in the tree fails
 // plain `go test ./...` even when the lint target is skipped.
 func TestModuleTreeClean(t *testing.T) {
-	ld := newTestLoader(t)
+	m := newTestModule(t)
+	ld := m.Loader()
 	dirs, err := ModuleDirs(ld.Root)
 	if err != nil {
 		t.Fatalf("ModuleDirs: %v", err)
@@ -170,7 +181,7 @@ func TestModuleTreeClean(t *testing.T) {
 			t.Fatalf("load %s: %v", dir, err)
 		}
 		rel := strings.TrimPrefix(strings.TrimPrefix(p.ImportPath, ld.Module), "/")
-		for _, d := range Run(p, RulesFor(ld.Module, rel)) {
+		for _, d := range Run(p, RulesFor(m, rel)) {
 			t.Errorf("tree not lint-clean: %s", d)
 		}
 	}

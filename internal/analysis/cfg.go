@@ -1,0 +1,470 @@
+package analysis
+
+// Control-flow graphs for the flow-sensitive rules. The builder turns
+// one function body (go/ast) into basic blocks with explicit edges for
+// branches, loops, switches, labeled break/continue, goto, and panics.
+// Statements appear in blocks in execution order; branch conditions are
+// appended to the block that evaluates them, so a dataflow transfer
+// function sees every expression exactly where it runs.
+//
+// Two virtual blocks terminate every path: Exit collects normal returns
+// (and falling off the end of the body) and Panic collects calls to
+// panic and the known process-terminating stdlib calls. The distinction
+// matters to the must-analyses: a pooled buffer dropped on a panic path
+// is the process dying, not a leak worth a diagnostic.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: a maximal straight-line node sequence.
+type Block struct {
+	Index int
+	Nodes []ast.Node // statements and branch conditions, execution order
+	Succs []*Block
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block // Blocks[0] is the entry block
+	Exit   *Block   // virtual: normal returns and end-of-body
+	Panic  *Block   // virtual: panic / process-exit paths
+}
+
+// Entry returns the function's entry block.
+func (c *CFG) Entry() *Block { return c.Blocks[0] }
+
+// builder carries the state of one CFG construction.
+type builder struct {
+	cfg    *CFG
+	cur    *Block
+	loops  []loopFrame
+	labels map[string]*Block   // labeled statements, for goto
+	gotos  map[string][]*Block // unresolved goto sources by label
+}
+
+// loopFrame is one enclosing breakable/continuable construct.
+type loopFrame struct {
+	label    string
+	brk      *Block
+	cont     *Block // nil for switch/select frames
+	isSwitch bool
+}
+
+// BuildCFG constructs the CFG for a function body. body may be nil
+// (declaration without body), in which case a trivial graph is
+// returned.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &builder{
+		cfg:    &CFG{},
+		labels: make(map[string]*Block),
+		gotos:  make(map[string][]*Block),
+	}
+	entry := b.newBlock()
+	exit := b.newBlock()
+	pan := b.newBlock()
+	b.cfg.Exit = exit
+	b.cfg.Panic = pan
+	b.cur = entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.edge(b.cur, exit) // falling off the end is an implicit return
+	// Unresolved gotos (labels in scopes the builder did not reach are
+	// impossible in well-typed code, but stay safe): route to Exit.
+	for _, srcs := range b.gotos {
+		for _, s := range srcs {
+			b.edge(s, exit)
+		}
+	}
+	return b.cfg
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edge links from → to, once.
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// terminate ends the current path (after return/panic/branch): further
+// statements land in a fresh, unreachable block.
+func (b *builder) terminate() {
+	b.cur = b.newBlock()
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt lowers one statement. label is the pending label when the
+// statement is the body of a LabeledStmt (consumed by loops/switches).
+func (b *builder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+	case *ast.SwitchStmt:
+		b.switchStmt(s, label)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, label)
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+	case *ast.LabeledStmt:
+		lb := b.newBlock()
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.labels[s.Label.Name] = lb
+		for _, src := range b.gotos[s.Label.Name] {
+			b.edge(src, lb)
+		}
+		delete(b.gotos, s.Label.Name)
+		b.stmt(s.Stmt, s.Label.Name)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.terminate()
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if isTerminalCall(s.X) {
+			b.edge(b.cur, b.cfg.Panic)
+			b.terminate()
+		}
+	default:
+		// Assign, IncDec, Decl, Defer, Go, Send, Empty: straight-line.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Init)
+	}
+	b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+	condBlk := b.cur
+	after := b.newBlock()
+
+	then := b.newBlock()
+	b.edge(condBlk, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, after)
+
+	if s.Else != nil {
+		els := b.newBlock()
+		b.edge(condBlk, els)
+		b.cur = els
+		b.stmt(s.Else, "")
+		b.edge(b.cur, after)
+	} else {
+		b.edge(condBlk, after)
+	}
+	b.cur = after
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Init)
+	}
+	head := b.newBlock()
+	body := b.newBlock()
+	post := b.newBlock()
+	after := b.newBlock()
+	b.edge(b.cur, head)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		b.edge(head, body)
+		b.edge(head, after)
+	} else {
+		b.edge(head, body)
+	}
+	b.loops = append(b.loops, loopFrame{label: label, brk: after, cont: post})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.loops = b.loops[:len(b.loops)-1]
+	b.edge(b.cur, post)
+	if s.Post != nil {
+		post.Nodes = append(post.Nodes, s.Post)
+	}
+	b.edge(post, head)
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock()
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(b.cur, head)
+	// Only the ranged expression goes in the head: storing the whole
+	// RangeStmt would drag the body into node walks of this block.
+	head.Nodes = append(head.Nodes, s.X)
+	b.edge(head, body)
+	b.edge(head, after)
+	b.loops = append(b.loops, loopFrame{label: label, brk: after, cont: head})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.loops = b.loops[:len(b.loops)-1]
+	b.edge(b.cur, head)
+	b.cur = after
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Init)
+	}
+	if s.Tag != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+	}
+	b.caseClauses(s.Body.List, label, func(c ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+		cc := c.(*ast.CaseClause)
+		var guards []ast.Node
+		for _, e := range cc.List {
+			guards = append(guards, e)
+		}
+		return guards, cc.Body, cc.List == nil
+	})
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Init)
+	}
+	b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+	b.caseClauses(s.Body.List, label, func(c ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+		cc := c.(*ast.CaseClause)
+		return nil, cc.Body, cc.List == nil
+	})
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	b.caseClauses(s.Body.List, label, func(c ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+		cc := c.(*ast.CommClause)
+		var guards []ast.Node
+		if cc.Comm != nil {
+			guards = append(guards, cc.Comm)
+		}
+		return guards, cc.Body, cc.Comm == nil
+	})
+}
+
+// caseClauses lowers switch/type-switch/select bodies: every clause is
+// a successor of the dispatch block, fallthrough chains clause bodies,
+// and a missing default adds a dispatch → after edge.
+func (b *builder) caseClauses(clauses []ast.Stmt, label string, split func(ast.Stmt) ([]ast.Node, []ast.Stmt, bool)) {
+	dispatch := b.cur
+	after := b.newBlock()
+	b.loops = append(b.loops, loopFrame{label: label, brk: after, isSwitch: true})
+	hasDefault := false
+	bodies := make([]*Block, len(clauses))
+	var bodyStmts [][]ast.Stmt
+	for i, c := range clauses {
+		guards, body, isDefault := split(c)
+		blk := b.newBlock()
+		blk.Nodes = append(blk.Nodes, guards...)
+		b.edge(dispatch, blk)
+		bodies[i] = blk
+		bodyStmts = append(bodyStmts, body)
+		if isDefault {
+			hasDefault = true
+		}
+	}
+	for i := range clauses {
+		b.cur = bodies[i]
+		fallsThrough := false
+		for _, st := range bodyStmts[i] {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				continue
+			}
+			b.stmt(st, "")
+		}
+		if fallsThrough && i+1 < len(bodies) {
+			b.edge(b.cur, bodies[i+1])
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	if !hasDefault {
+		b.edge(dispatch, after)
+	}
+	b.cur = after
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			f := b.loops[i]
+			if label == "" || f.label == label {
+				b.edge(b.cur, f.brk)
+				b.terminate()
+				return
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			f := b.loops[i]
+			if f.isSwitch {
+				continue // continue skips switch frames
+			}
+			if label == "" || f.label == label {
+				b.edge(b.cur, f.cont)
+				b.terminate()
+				return
+			}
+		}
+	case token.GOTO:
+		if target, ok := b.labels[label]; ok {
+			b.edge(b.cur, target)
+		} else {
+			b.gotos[label] = append(b.gotos[label], b.cur)
+		}
+		b.terminate()
+		return
+	}
+	// FALLTHROUGH is handled by caseClauses; a malformed branch falls
+	// through as a no-op.
+}
+
+// isTerminalCall reports whether the expression is a call that never
+// returns: the panic builtin or the well-known process terminators.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fn.X.(*ast.Ident); ok {
+			switch pkg.Name + "." + fn.Sel.Name {
+			case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln", "runtime.Goexit":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Reachable returns the set of blocks reachable from the entry.
+func (c *CFG) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{c.Entry(): true}
+	stack := []*Block{c.Entry()}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// Dominators computes the immediate-dominator relation over reachable
+// blocks with the standard iterative algorithm (Cooper/Harvey/Kennedy).
+// The entry block's idom is itself.
+func (c *CFG) Dominators() map[*Block]*Block {
+	reach := c.Reachable()
+	// Reverse postorder over reachable blocks.
+	var order []*Block
+	seen := make(map[*Block]bool)
+	var dfs func(*Block)
+	dfs = func(blk *Block) {
+		seen[blk] = true
+		for _, s := range blk.Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		order = append(order, blk)
+	}
+	dfs(c.Entry())
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	rpo := make(map[*Block]int, len(order))
+	for i, blk := range order {
+		rpo[blk] = i
+	}
+	idom := map[*Block]*Block{c.Entry(): c.Entry()}
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for rpo[a] > rpo[b] {
+				a = idom[a]
+			}
+			for rpo[b] > rpo[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range order[1:] {
+			var d *Block
+			for _, p := range blk.Preds {
+				if !reach[p] || idom[p] == nil {
+					continue
+				}
+				if d == nil {
+					d = p
+				} else {
+					d = intersect(d, p)
+				}
+			}
+			if d != nil && idom[blk] != d {
+				idom[blk] = d
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b under idom (every path from
+// the entry to b passes through a). A block dominates itself.
+func Dominates(idom map[*Block]*Block, a, b *Block) bool {
+	for {
+		if b == a {
+			return true
+		}
+		d, ok := idom[b]
+		if !ok || d == b {
+			return false
+		}
+		b = d
+	}
+}

@@ -1,0 +1,486 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildFromSrc parses one function declaration and builds its CFG. The
+// source is the body of `func f()`; mark points are calls to
+// single-letter functions (a(), b(), ...) that the assertions locate.
+func buildFromSrc(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\n" +
+		"func a(){}\nfunc b(){}\nfunc c(){}\nfunc d(){}\nfunc e(){}\n" +
+		"func cond() bool { return true }\n" +
+		"func f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return BuildCFG(fd.Body)
+		}
+	}
+	t.Fatal("func f not found")
+	return nil
+}
+
+// blockOf finds the block whose nodes contain a call to name.
+func blockOf(t *testing.T, c *CFG, name string) *Block {
+	t.Helper()
+	for _, blk := range c.Blocks {
+		for _, n := range blk.Nodes {
+			found := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return blk
+			}
+		}
+	}
+	t.Fatalf("no block contains a call to %s()", name)
+	return nil
+}
+
+// namedBlock resolves a mark name or one of the virtual names.
+func namedBlock(t *testing.T, c *CFG, name string) *Block {
+	switch name {
+	case "entry":
+		return c.Entry()
+	case "exit":
+		return c.Exit
+	case "panic":
+		return c.Panic
+	}
+	return blockOf(t, c, name)
+}
+
+// canReach reports whether to is reachable from from along Succs.
+func canReach(from, to *Block) bool {
+	seen := map[*Block]bool{}
+	stack := []*Block{from}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if blk == to {
+			return true
+		}
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		stack = append(stack, blk.Succs...)
+	}
+	return false
+}
+
+func TestBuildCFG(t *testing.T) {
+	cases := []struct {
+		name     string
+		body     string
+		reach    [][2]string // from-mark can reach to-mark
+		notReach [][2]string
+	}{
+		{
+			name: "if/else",
+			body: `if cond() { a() } else { b() }; c()`,
+			reach: [][2]string{
+				{"entry", "a"}, {"entry", "b"},
+				{"a", "c"}, {"b", "c"}, {"c", "exit"},
+			},
+			notReach: [][2]string{{"a", "b"}, {"b", "a"}},
+		},
+		{
+			name:  "if without else has skip edge",
+			body:  `a(); if cond() { b() }; c()`,
+			reach: [][2]string{{"a", "c"}, {"a", "b"}, {"b", "c"}},
+		},
+		{
+			name: "for loop with break and continue",
+			body: `for i := 0; i < 3; i++ {
+				a()
+				if cond() { break }
+				if cond() { continue }
+				b()
+			}
+			c()`,
+			reach: [][2]string{
+				{"entry", "a"}, {"a", "c"}, // break path
+				{"a", "b"}, {"b", "a"}, // back edge via post
+				{"a", "a"}, // continue re-enters the body
+			},
+		},
+		{
+			name:     "infinite for hides the tail",
+			body:     `a(); for { b() }; c()`,
+			reach:    [][2]string{{"a", "b"}, {"b", "b"}},
+			notReach: [][2]string{{"entry", "c"}, {"b", "exit"}},
+		},
+		{
+			name: "range loops and exits",
+			body: `var xs []int
+			for _, x := range xs { _ = x; a() }
+			b()`,
+			reach: [][2]string{{"entry", "a"}, {"entry", "b"}, {"a", "a"}, {"a", "b"}},
+		},
+		{
+			name: "switch with fallthrough and default",
+			body: `switch x := 1; x {
+			case 1:
+				a()
+				fallthrough
+			case 2:
+				b()
+			default:
+				c()
+			}
+			d()`,
+			reach: [][2]string{
+				{"entry", "a"}, {"entry", "b"}, {"entry", "c"},
+				{"a", "b"}, // fallthrough edge
+				{"b", "d"}, {"c", "d"},
+			},
+			notReach: [][2]string{{"a", "c"}, {"b", "c"}},
+		},
+		{
+			name: "switch without default reaches after directly",
+			body: `x := 1
+			switch x {
+			case 1:
+				a()
+			}
+			b()`,
+			reach: [][2]string{{"entry", "b"}, {"a", "b"}},
+		},
+		{
+			name: "labeled break exits the outer loop",
+			body: `outer:
+			for {
+				for {
+					a()
+					break outer
+				}
+			}
+			b()`,
+			reach:    [][2]string{{"entry", "a"}, {"a", "b"}, {"b", "exit"}},
+			notReach: [][2]string{{"a", "a"}},
+		},
+		{
+			name: "labeled continue restarts the outer loop",
+			body: `outer:
+			for i := 0; i < 2; i++ {
+				for {
+					a()
+					continue outer
+				}
+			}
+			b()`,
+			reach: [][2]string{{"a", "a"}, {"a", "b"}},
+		},
+		{
+			name:  "defer stays on the straight-line path",
+			body:  `defer a(); b()`,
+			reach: [][2]string{{"a", "b"}, {"b", "exit"}},
+		},
+		{
+			name:     "panic leaves via the panic block",
+			body:     `a(); if cond() { panic("x") }; b()`,
+			reach:    [][2]string{{"a", "panic"}, {"a", "b"}, {"b", "exit"}},
+			notReach: [][2]string{{"panic", "exit"}},
+		},
+		{
+			name: "code after return is unreachable",
+			body: `a()
+			if cond() {
+				b()
+				return
+			}
+			c()`,
+			reach:    [][2]string{{"b", "exit"}, {"a", "c"}},
+			notReach: [][2]string{{"b", "c"}},
+		},
+		{
+			name: "goto forward and backward",
+			body: `a()
+			goto skip
+			b()
+		skip:
+			c()
+			if cond() { goto skip }
+			d()`,
+			reach:    [][2]string{{"a", "c"}, {"c", "c"}, {"c", "d"}},
+			notReach: [][2]string{{"entry", "b"}},
+		},
+		{
+			name: "select: every clause is a successor",
+			body: `ch := make(chan int)
+			select {
+			case <-ch:
+				a()
+			case ch <- 1:
+				b()
+			default:
+				c()
+			}
+			d()`,
+			reach: [][2]string{
+				{"entry", "a"}, {"entry", "b"}, {"entry", "c"},
+				{"a", "d"}, {"b", "d"}, {"c", "d"},
+			},
+			notReach: [][2]string{{"a", "b"}},
+		},
+		{
+			name: "type switch covers all clauses",
+			body: `var v interface{} = 1
+			switch v.(type) {
+			case int:
+				a()
+			case string:
+				b()
+			}
+			c()`,
+			reach: [][2]string{{"entry", "a"}, {"entry", "b"}, {"a", "c"}, {"b", "c"}},
+		},
+		{
+			name:     "os.Exit terminates the path",
+			body:     `a(); os.Exit(1); b()`,
+			reach:    [][2]string{{"a", "panic"}},
+			notReach: [][2]string{{"a", "b"}, {"a", "exit"}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := buildFromSrc(t, tc.body)
+			for _, pair := range tc.reach {
+				from, to := namedBlock(t, c, pair[0]), namedBlock(t, c, pair[1])
+				ok := false
+				if pair[0] == pair[1] {
+					// Self-reachability means a real cycle: via a successor.
+					for _, s := range from.Succs {
+						if canReach(s, to) {
+							ok = true
+						}
+					}
+				} else {
+					ok = canReach(from, to)
+				}
+				if !ok {
+					t.Errorf("%s should reach %s", pair[0], pair[1])
+				}
+			}
+			for _, pair := range tc.notReach {
+				from, to := namedBlock(t, c, pair[0]), namedBlock(t, c, pair[1])
+				bad := false
+				if pair[0] == pair[1] {
+					for _, s := range from.Succs {
+						if canReach(s, to) {
+							bad = true
+						}
+					}
+				} else {
+					bad = canReach(from, to)
+				}
+				if bad {
+					t.Errorf("%s should NOT reach %s", pair[0], pair[1])
+				}
+			}
+			checkCFGInvariants(t, c, tc.name)
+		})
+	}
+}
+
+func TestDominators(t *testing.T) {
+	c := buildFromSrc(t, `a(); if cond() { b() } else { c() }; d()`)
+	idom := c.Dominators()
+	ba, bb, bc, bd := blockOf(t, c, "a"), blockOf(t, c, "b"), blockOf(t, c, "c"), blockOf(t, c, "d")
+	for _, blk := range []*Block{bb, bc, bd, c.Exit} {
+		if !Dominates(idom, ba, blk) {
+			t.Errorf("the condition block should dominate block %d", blk.Index)
+		}
+	}
+	if Dominates(idom, bb, bd) {
+		t.Error("a branch must not dominate the merge point")
+	}
+	if Dominates(idom, bb, bc) || Dominates(idom, bc, bb) {
+		t.Error("sibling branches must not dominate each other")
+	}
+	if !Dominates(idom, bd, bd) {
+		t.Error("a block dominates itself")
+	}
+}
+
+// checkCFGInvariants asserts the structural invariants every CFG must
+// satisfy: Succs/Preds mirror each other, and every reachable
+// non-virtual block has at least one successor (paths only end at Exit
+// or Panic).
+func checkCFGInvariants(t *testing.T, c *CFG, where string) {
+	t.Helper()
+	for _, blk := range c.Blocks {
+		for _, s := range blk.Succs {
+			found := false
+			for _, p := range s.Preds {
+				if p == blk {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: block %d → %d edge missing its Pred mirror", where, blk.Index, s.Index)
+			}
+		}
+		for _, p := range blk.Preds {
+			found := false
+			for _, s := range p.Succs {
+				if s == blk {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: block %d ← %d edge missing its Succ mirror", where, blk.Index, p.Index)
+			}
+		}
+	}
+	for blk := range c.Reachable() {
+		if blk == c.Exit || blk == c.Panic {
+			continue
+		}
+		if len(blk.Succs) == 0 {
+			t.Errorf("%s: reachable block %d has no successors (dead-end outside Exit/Panic)", where, blk.Index)
+		}
+	}
+}
+
+// TestCFGInvariantsOverModule is the fuzz-style coverage pass: build a
+// CFG for every function in the real module tree and assert the
+// structural invariants hold on each. Real code exercises combinations
+// no table can enumerate (nested labeled loops in selects, switches in
+// defers, ...).
+func TestCFGInvariantsOverModule(t *testing.T) {
+	dirs, err := ModuleDirs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	funcs := 0
+	for _, dir := range dirs {
+		matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, path := range matches {
+			if strings.HasSuffix(path, "_test.go") {
+				continue
+			}
+			file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("parse %s: %v", path, err)
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					body = fn.Body
+				case *ast.FuncLit:
+					body = fn.Body
+				}
+				if body == nil {
+					return true
+				}
+				funcs++
+				c := BuildCFG(body)
+				checkCFGInvariants(t, c, fset.Position(body.Pos()).String())
+				return true
+			})
+		}
+	}
+	if funcs < 100 {
+		t.Fatalf("expected to sweep hundreds of functions, got %d", funcs)
+	}
+	t.Logf("checked CFG invariants over %d functions", funcs)
+}
+
+func TestForwardSolveCountsPaths(t *testing.T) {
+	// A may-analysis counting whether a() has run: ⊥=0 (not run), 1
+	// (ran), 2=⊤ (unknown). After `if cond() { a() }` the merge must be ⊤.
+	c := buildFromSrc(t, `if cond() { a() }; b()`)
+	spec := DataflowSpec[int]{
+		Entry: 0,
+		Join: func(x, y int) int {
+			if x == y {
+				return x
+			}
+			return 2
+		},
+		Transfer: func(blk *Block, in int) int {
+			out := in
+			for _, n := range blk.Nodes {
+				ast.Inspect(n, func(x ast.Node) bool {
+					if call, ok := x.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "a" && out == 0 {
+							out = 1
+						}
+					}
+					return true
+				})
+			}
+			return out
+		},
+		Equal: func(x, y int) bool { return x == y },
+	}
+	in, out := ForwardSolve(c, spec)
+	if got := out[blockOf(t, c, "a")]; got != 1 {
+		t.Errorf("after a(): fact = %d, want 1", got)
+	}
+	if got := in[blockOf(t, c, "b")]; got != 2 {
+		t.Errorf("at the merge before b(): fact = %d, want ⊤ (2)", got)
+	}
+	if got := in[c.Exit]; got != 2 {
+		t.Errorf("at exit: fact = %d, want ⊤ (2)", got)
+	}
+}
+
+func TestForwardSolveLoopReachesFixpoint(t *testing.T) {
+	// A counting lattice capped at 3 (⊤): the loop body must drive the
+	// count to ⊤ rather than iterating forever.
+	c := buildFromSrc(t, `for i := 0; i < 10; i++ { a() }; b()`)
+	spec := DataflowSpec[int]{
+		Entry: 0,
+		Join: func(x, y int) int {
+			if x > y {
+				return x
+			}
+			return y
+		},
+		Transfer: func(blk *Block, in int) int {
+			out := in
+			for _, n := range blk.Nodes {
+				ast.Inspect(n, func(x ast.Node) bool {
+					if call, ok := x.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "a" && out < 3 {
+							out++
+						}
+					}
+					return true
+				})
+			}
+			return out
+		},
+		Equal: func(x, y int) bool { return x == y },
+	}
+	_, out := ForwardSolve(c, spec)
+	if got := out[blockOf(t, c, "a")]; got != 3 {
+		t.Errorf("loop body fact = %d, want saturated ⊤ (3)", got)
+	}
+}

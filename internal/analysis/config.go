@@ -4,8 +4,9 @@ import "strings"
 
 // simulatedPkgs are the module-relative package paths whose code runs
 // inside a simulation kernel. Everything here must be deterministic and
-// cooperatively scheduled, so the determinism, nopreempt, and maporder
-// rules apply on top of the everywhere rules.
+// cooperatively scheduled, so the simulation-world rules (timeflow in
+// direct mode, nopreempt, maporder, epochguard) apply on top of the
+// everywhere rules.
 var simulatedPkgs = []string{
 	"internal/sim",
 	"internal/netsim",
@@ -39,7 +40,16 @@ func Simulated(rel string) bool {
 // RuleNames lists every rule the suite knows, for directive validation
 // and -help output.
 func RuleNames() []string {
-	return []string{"determinism", "nopreempt", "seqnum", "maporder", "sentinel"}
+	return []string{
+		"epochguard",
+		"maporder",
+		"nopreempt",
+		"probepure",
+		"reflease",
+		"sentinel",
+		"seqnum",
+		"timeflow",
+	}
 }
 
 func knownRule(name string) bool {
@@ -52,25 +62,37 @@ func knownRule(name string) bool {
 }
 
 // AllRules returns the full rule set for a module (used for simulated
-// packages and for linting testdata fixtures). module is the module
-// path from go.mod, needed by the sentinel rule to recognize
-// module-local sentinel errors.
-func AllRules(module string) []Rule {
+// packages and for linting testdata fixtures). The flow-sensitive rules
+// (reflease, epochguard, probepure, timeflow) share m's memoized
+// cross-function summaries.
+func AllRules(m *Module) []Rule {
 	return []Rule{
-		Determinism(),
-		NoPreempt(module, kernelAllowlist),
-		SeqnumCmp(),
+		EpochGuard(m),
 		MapOrder(),
-		Sentinel(module),
+		NoPreempt(m.Path(), kernelAllowlist),
+		ProbePure(m),
+		Reflease(m),
+		Sentinel(m.Path()),
+		SeqnumCmp(),
+		Timeflow(m, true),
 	}
 }
 
 // RulesFor returns the rules that apply to the package with
-// module-relative path rel: seqnum and sentinel everywhere, plus the
-// simulation-world rules inside simulated packages.
-func RulesFor(module, rel string) []Rule {
+// module-relative path rel. The simulated world gets everything;
+// outside it, seqnum, sentinel, reflease, and probepure still apply
+// (pooled buffers and probe bindings can be touched from anywhere), and
+// timeflow runs in flow-only mode: tests and tools may read the wall
+// clock, but none of it may flow into simulated packages.
+func RulesFor(m *Module, rel string) []Rule {
 	if Simulated(rel) {
-		return AllRules(module)
+		return AllRules(m)
 	}
-	return []Rule{SeqnumCmp(), Sentinel(module)}
+	return []Rule{
+		ProbePure(m),
+		Reflease(m),
+		Sentinel(m.Path()),
+		SeqnumCmp(),
+		Timeflow(m, false),
+	}
 }

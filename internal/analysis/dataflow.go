@@ -1,0 +1,122 @@
+package analysis
+
+// A tiny forward dataflow solver over the CFGs built by BuildCFG. Rules
+// supply the lattice (Join, Equal), the transfer function over one
+// basic block, and the entry fact; the solver iterates to a fixpoint
+// with a reverse-postorder worklist.
+//
+// Facts flow only along edges between reachable blocks: the in-fact of
+// a block joins the out-facts of predecessors that have been computed,
+// so must-analyses never get polluted by unreachable code.
+
+// DataflowSpec parameterizes one forward analysis with fact type F.
+type DataflowSpec[F any] struct {
+	// Entry is the fact at the function entry.
+	Entry F
+	// Join merges facts at control-flow merges. It must be commutative,
+	// associative, and monotone toward a fixpoint (typically joining
+	// conflicting values to a ⊤ "unknown" that absorbs).
+	Join func(a, b F) F
+	// Transfer computes the out-fact of a block from its in-fact. It
+	// must not mutate in; return a fresh value when anything changes.
+	Transfer func(b *Block, in F) F
+	// Equal reports whether two facts are the same (fixpoint test).
+	Equal func(a, b F) bool
+}
+
+// ForwardSolve runs the analysis to a fixpoint and returns the in- and
+// out-facts of every reachable block.
+func ForwardSolve[F any](c *CFG, spec DataflowSpec[F]) (in, out map[*Block]F) {
+	order := c.ReversePostorder()
+	pos := make(map[*Block]int, len(order))
+	for i, b := range order {
+		pos[b] = i
+	}
+	in = make(map[*Block]F, len(order))
+	out = make(map[*Block]F, len(order))
+	haveOut := make(map[*Block]bool, len(order))
+
+	inWork := make([]bool, len(order))
+	work := make([]*Block, 0, len(order))
+	push := func(b *Block) {
+		if i, ok := pos[b]; ok && !inWork[i] {
+			inWork[i] = true
+			work = append(work, b)
+		}
+	}
+	for _, b := range order {
+		push(b)
+	}
+
+	for len(work) > 0 {
+		// Pop the block earliest in reverse postorder: loops converge in
+		// near-minimal passes.
+		best := 0
+		for i := 1; i < len(work); i++ {
+			if pos[work[i]] < pos[work[best]] {
+				best = i
+			}
+		}
+		b := work[best]
+		work[best] = work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[pos[b]] = false
+
+		var fact F
+		have := false
+		if b == c.Entry() {
+			fact = spec.Entry
+			have = true
+		}
+		for _, p := range b.Preds {
+			if !haveOut[p] {
+				continue
+			}
+			if !have {
+				fact = out[p]
+				have = true
+			} else {
+				fact = spec.Join(fact, out[p])
+			}
+		}
+		if !have {
+			// No computed predecessor yet (possible on first visits of
+			// loop bodies before their back-edge source): wait for a
+			// later push.
+			continue
+		}
+		in[b] = fact
+		next := spec.Transfer(b, fact)
+		if haveOut[b] && spec.Equal(out[b], next) {
+			continue
+		}
+		out[b] = next
+		haveOut[b] = true
+		for _, s := range b.Succs {
+			push(s)
+		}
+	}
+	return in, out
+}
+
+// ReversePostorder returns the reachable blocks in reverse postorder
+// (every block before its successors, back edges aside).
+func (c *CFG) ReversePostorder() []*Block {
+	var order []*Block
+	seen := make(map[*Block]bool)
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(c.Entry())
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}

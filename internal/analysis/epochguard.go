@@ -1,0 +1,271 @@
+package analysis
+
+// epochguard: epoch-stamped state may only be mutated under an epoch
+// comparison against the frame that triggered the mutation.
+//
+// The rmcast and rpi protocols version their per-operation state with
+// an epoch that is bumped on root failover. A handler that receives a
+// frame and mutates operation state without first comparing the frame's
+// epoch to the state's epoch will happily apply a stale retransmission
+// from a deposed root — the exact class of bug behind stale-ABORT
+// verdicts killing live operations.
+//
+// The rule is shape-based so it needs no per-protocol configuration:
+//
+//   - a "frame" is a by-value struct parameter whose type has a field
+//     named (case-insensitively) "epoch"
+//   - "epoch-stamped state" is any value reached through a pointer to a
+//     struct that also has such a field
+//   - a "guard" is a comparison mentioning the frame's epoch field
+//     (f.epoch != o.epoch, f.epoch < o.epoch, ...), or a call passing
+//     the frame to a module function that performs such a comparison
+//     itself (a validator, e.g. rmcast's recvOp)
+//
+// Every write to a field of epoch-stamped state inside a frame-taking
+// function must be dominated by a block containing a guard. Dominance —
+// not mere presence — is what catches the real bugs: a comparison
+// tucked inside the is-root arm does not protect the receiver arm.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// epochField returns the name of t's epoch field when t (through
+// pointers) is a struct with a field named like "epoch", else "".
+func epochField(t types.Type) string {
+	named := namedOf(t)
+	var st *types.Struct
+	if named != nil {
+		st, _ = named.Underlying().(*types.Struct)
+	} else if u, ok := t.Underlying().(*types.Struct); ok {
+		st = u
+	}
+	if st == nil {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if strings.EqualFold(st.Field(i).Name(), "epoch") {
+			return st.Field(i).Name()
+		}
+	}
+	return ""
+}
+
+// frameParams returns the by-value struct parameters of fd that carry
+// an epoch field, mapped to that field's name.
+func frameParams(p *Package, fd *ast.FuncDecl) map[types.Object]string {
+	out := make(map[types.Object]string)
+	for i, obj := range paramObjects(p, fd) {
+		if i < 0 {
+			continue // receivers hold state; frames arrive as arguments
+		}
+		if _, isPtr := obj.Type().Underlying().(*types.Pointer); isPtr {
+			continue // pointer params are state, not frames
+		}
+		if f := epochField(obj.Type()); f != "" {
+			out[obj] = f
+		}
+	}
+	return out
+}
+
+// stampedWrite reports whether lhs writes a field of epoch-stamped
+// state: a selector whose base is (a pointer to) a struct with an epoch
+// field. Writes through by-value frame params mutate a local copy and
+// are exempt.
+func stampedWrite(p *Package, lhs ast.Expr) (types.Type, bool) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok {
+		return nil, false
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); !isPtr {
+		return nil, false
+	}
+	if epochField(tv.Type) == "" {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+// isEpochValidator reports (memoized) whether fn compares some
+// by-value epoch-frame parameter's epoch field against anything in its
+// body, directly or by forwarding the frame to another validator.
+func (m *Module) isEpochValidator(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if v, ok := m.valid[fn]; ok {
+		return v
+	}
+	if m.validBusy[fn] {
+		return false
+	}
+	src, ok := m.funcDecl(fn)
+	if !ok {
+		return false
+	}
+	frames := frameParams(src.pkg, src.decl)
+	if len(frames) == 0 {
+		m.valid[fn] = false
+		return false
+	}
+	m.validBusy[fn] = true
+	found := false
+	ast.Inspect(src.decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if isEpochGuardNode(m, src.pkg, frames, n) {
+			found = true
+			return false
+		}
+		return true
+	})
+	delete(m.validBusy, fn)
+	m.valid[fn] = found
+	return found
+}
+
+// frameEpochSelector reports whether e reads the epoch field of one of
+// the frame params.
+func frameEpochSelector(p *Package, frames map[types.Object]string, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	field, ok := frames[p.Info.Uses[id]]
+	return ok && sel.Sel.Name == field
+}
+
+// isEpochGuardNode reports whether n guards subsequent code: an epoch
+// comparison against a frame, or a call handing a frame to a validator.
+func isEpochGuardNode(m *Module, p *Package, frames map[types.Object]string, n ast.Node) bool {
+	switch x := n.(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+			return frameEpochSelector(p, frames, x.X) || frameEpochSelector(p, frames, x.Y)
+		}
+	case *ast.CallExpr:
+		fn := calleeOf(p.Info, x)
+		if fn == nil || !moduleFunc(m, fn) {
+			return false
+		}
+		passesFrame := false
+		for _, arg := range x.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if _, isFrame := frames[p.Info.Uses[id]]; isFrame {
+					passesFrame = true
+					break
+				}
+			}
+		}
+		return passesFrame && m.isEpochValidator(fn)
+	}
+	return false
+}
+
+// EpochGuard checks that frame handlers only mutate epoch-stamped state
+// after an epoch comparison against the frame.
+func EpochGuard(m *Module) Rule {
+	return Rule{
+		Name: "epochguard",
+		Doc:  "frame handlers must compare the frame's epoch against operation state before mutating it",
+		Check: func(p *Package, report Reporter) {
+			for _, f := range p.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					m.checkEpochGuards(p, fd, report)
+				}
+			}
+		},
+	}
+}
+
+func (m *Module) checkEpochGuards(p *Package, fd *ast.FuncDecl, report Reporter) {
+	frames := frameParams(p, fd)
+	if len(frames) == 0 {
+		return
+	}
+	cfg := BuildCFG(fd.Body)
+	idom := cfg.Dominators()
+
+	guarded := make(map[*Block]bool)
+	for _, b := range cfg.ReversePostorder() {
+		for _, n := range b.Nodes {
+			hit := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				if hit {
+					return false
+				}
+				if _, isLit := x.(*ast.FuncLit); isLit {
+					return false
+				}
+				if isEpochGuardNode(m, p, frames, x) {
+					hit = true
+					return false
+				}
+				return true
+			})
+			if hit {
+				guarded[b] = true
+				break
+			}
+		}
+	}
+
+	dominatedByGuard := func(b *Block) bool {
+		for cur := b; cur != nil; cur = idom[cur] {
+			if guarded[cur] {
+				return true
+			}
+			if cur == cfg.Entry() {
+				break
+			}
+		}
+		return false
+	}
+
+	for _, b := range cfg.ReversePostorder() {
+		if dominatedByGuard(b) {
+			continue
+		}
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(x ast.Node) bool {
+				if _, isLit := x.(*ast.FuncLit); isLit {
+					return false
+				}
+				var lhss []ast.Expr
+				switch s := x.(type) {
+				case *ast.AssignStmt:
+					lhss = s.Lhs
+				case *ast.IncDecStmt:
+					lhss = []ast.Expr{s.X}
+				default:
+					return true
+				}
+				for _, lhs := range lhss {
+					if t, ok := stampedWrite(p, lhs); ok {
+						report(lhs.Pos(), "write to epoch-stamped %s is not dominated by an epoch comparison against the frame; a stale retransmission would be applied",
+							t.String())
+					}
+				}
+				return true
+			})
+		}
+	}
+}

@@ -11,7 +11,43 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
+
+// sharedLoaders is the process-wide loader registry, keyed by absolute
+// module root. go/importer's source importer parses and type-checks
+// every standard-library package it touches from source, which
+// dominates lint time: a cold import of net/fmt/time and friends costs
+// a couple of seconds, and before this cache every test and every
+// swept package directory that built its own Loader paid it again.
+// Sharing one Loader per module root means the stdlib is imported once
+// per process — the full-tree sweep and the whole analysis test suite
+// run in roughly the time one package used to take. Loaders are not
+// safe for concurrent use; the mutex only guards the registry itself.
+var (
+	sharedLoaderMu sync.Mutex
+	sharedLoaders  = map[string]*Loader{}
+)
+
+// SharedLoader returns the process-wide cached loader for the module
+// rooted at root, creating it on first use.
+func SharedLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	sharedLoaderMu.Lock()
+	defer sharedLoaderMu.Unlock()
+	if l, ok := sharedLoaders[abs]; ok {
+		return l, nil
+	}
+	l, err := NewLoader(abs)
+	if err != nil {
+		return nil, err
+	}
+	sharedLoaders[abs] = l
+	return l, nil
+}
 
 // Package is one parsed and fully type-checked package.
 type Package struct {

@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Module is the shared context for the flow-sensitive rules: one loader
+// plus lazily built cross-package indexes (function declarations by
+// *types.Func) and memoized per-function summaries. The flow rules are
+// intraprocedural at heart, but calls are resolved through bottom-up
+// summaries computed on demand over the module call graph, so ownership
+// transfer, epoch validation, purity, and taint all cross function
+// boundaries without a whole-program fixpoint.
+type Module struct {
+	loader *Loader
+
+	// funcs maps a module function/method object to its declaration and
+	// defining package. Rebuilt incrementally as the loader's package
+	// cache grows (type-checking a package pulls its dependencies in).
+	funcs   map[*types.Func]funcSrc
+	indexed map[string]bool // package dirs already indexed
+
+	own        map[sumKey]ownEffect // reflease: per-param ownership effects
+	ownBusy    map[sumKey]bool      // recursion guard
+	taint      map[*types.Func]bool // timeflow: returns a wall-clock/rand value
+	taintBusy  map[*types.Func]bool
+	impure     map[*types.Func]string // probepure: "" = pure, else what it does
+	impureBusy map[*types.Func]bool
+	valid      map[*types.Func]bool // epochguard: epoch-validating helpers
+	validBusy  map[*types.Func]bool
+
+	// litBind caches, per package, the local func-valued variables that
+	// are bound exactly once to a function literal (closures like
+	// `check := func(...) {...}`), so rules can analyze the literal
+	// instead of giving up on the func-value call.
+	litBind map[*Package]map[types.Object]*ast.FuncLit
+}
+
+type funcSrc struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// sumKey identifies one (function, parameter) ownership summary. The
+// receiver of a method is parameter -1.
+type sumKey struct {
+	fn    *types.Func
+	param int
+}
+
+// NewModule returns the rule context for the module rooted at root. The
+// underlying loader is shared process-wide (see SharedLoader), so
+// repeated Module construction does not re-import the standard library;
+// the summary memos themselves are per-Module.
+func NewModule(root string) (*Module, error) {
+	ld, err := SharedLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	return &Module{
+		loader:     ld,
+		funcs:      make(map[*types.Func]funcSrc),
+		indexed:    make(map[string]bool),
+		own:        make(map[sumKey]ownEffect),
+		ownBusy:    make(map[sumKey]bool),
+		taint:      make(map[*types.Func]bool),
+		taintBusy:  make(map[*types.Func]bool),
+		impure:     make(map[*types.Func]string),
+		impureBusy: make(map[*types.Func]bool),
+		valid:      make(map[*types.Func]bool),
+		validBusy:  make(map[*types.Func]bool),
+		litBind:    make(map[*Package]map[types.Object]*ast.FuncLit),
+	}, nil
+}
+
+// Loader exposes the module's loader (package loading, ModuleDirs).
+func (m *Module) Loader() *Loader { return m.loader }
+
+// Path returns the module path from go.mod.
+func (m *Module) Path() string { return m.loader.Module }
+
+// Rel returns the module-relative slash path for an import path, and
+// whether the path is module-internal at all.
+func (m *Module) Rel(importPath string) (string, bool) {
+	if importPath == m.Path() {
+		return ".", true
+	}
+	if rest, ok := strings.CutPrefix(importPath, m.Path()+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// funcDecl resolves a function object to its source declaration, if it
+// is a module function whose package has been loaded. Bodies of
+// external (stdlib) functions are never available.
+func (m *Module) funcDecl(fn *types.Func) (funcSrc, bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return funcSrc{}, false
+	}
+	if _, ok := m.Rel(fn.Pkg().Path()); !ok {
+		return funcSrc{}, false
+	}
+	if src, ok := m.funcs[fn]; ok {
+		return src, true
+	}
+	m.reindex()
+	src, ok := m.funcs[fn]
+	return src, ok
+}
+
+// reindex sweeps packages newly added to the loader cache into the
+// function index.
+func (m *Module) reindex() {
+	for dir, p := range m.loader.byDir {
+		if m.indexed[dir] {
+			continue
+		}
+		m.indexed[dir] = true
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					m.funcs[fn] = funcSrc{pkg: p, decl: fd}
+				}
+			}
+		}
+	}
+}
+
+// calleeOf resolves the function object a call expression invokes:
+// a declared function or method for direct calls, nil for calls through
+// func values, builtins, and type conversions. info must be the type
+// info of the package containing the call.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[fun]; ok {
+			fn, _ := s.Obj().(*types.Func)
+			return fn
+		}
+		// Package-qualified call: time.Now, wire.PutBuf, ...
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// funcLitFor resolves a func-valued variable to its function literal
+// when the variable is assigned exactly once in the package and that
+// one assignment is a literal. Single-assignment is what makes the
+// resolution sound: a `f := func() {...}` closure cannot be rebound
+// behind the analysis's back, and such a closure cannot even recurse
+// (its own name is not in scope inside the literal).
+func (m *Module) funcLitFor(p *Package, obj types.Object) *ast.FuncLit {
+	idx, ok := m.litBind[p]
+	if !ok {
+		idx = make(map[types.Object]*ast.FuncLit)
+		counts := make(map[types.Object]int)
+		bind := func(id *ast.Ident, rhs ast.Expr) {
+			if id.Name == "_" {
+				return
+			}
+			o := p.Info.Defs[id]
+			if o == nil {
+				o = p.Info.Uses[id]
+			}
+			if _, isVar := o.(*types.Var); !isVar {
+				return
+			}
+			counts[o]++
+			if rhs != nil {
+				if lit, ok := ast.Unparen(rhs).(*ast.FuncLit); ok {
+					idx[o] = lit
+				}
+			}
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					for i, lhs := range x.Lhs {
+						if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+							var rhs ast.Expr
+							if i < len(x.Rhs) {
+								rhs = x.Rhs[i]
+							}
+							bind(id, rhs)
+						}
+					}
+				case *ast.ValueSpec:
+					for i, id := range x.Names {
+						var rhs ast.Expr
+						if i < len(x.Values) {
+							rhs = x.Values[i]
+						}
+						bind(id, rhs)
+					}
+				}
+				return true
+			})
+		}
+		for o := range idx {
+			if counts[o] != 1 {
+				delete(idx, o)
+			}
+		}
+		m.litBind[p] = idx
+	}
+	return idx[obj]
+}
+
+// builtinName returns the name of the builtin a call invokes (len,
+// append, copy, ...), or "" for anything else. Builtins resolve to
+// *types.Builtin in Uses, not to a *types.Func.
+func builtinName(p *Package, call *ast.CallExpr) string {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+			return b.Name()
+		}
+	}
+	return ""
+}
+
+// isConversion reports whether a call is a type conversion.
+func isConversion(p *Package, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// fullName returns the canonical name of a function for config lookups
+// and messages: "path/pkg.Func" or "(path/pkg.Recv).Method" (pointer
+// receivers included, e.g. "(*repro/internal/netsim.Packet).Release").
+func fullName(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	return fn.FullName()
+}
+
+// rootIdent walks a selector/index/star/paren chain to its base
+// identifier: o.ops[f.op].x → o, (*p).field → p. Returns nil when the
+// base is not a plain identifier (a call result, a literal, ...).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// paramObjects returns the parameter objects of a declaration in order,
+// with the receiver (if any) at index -1 of the returned map.
+func paramObjects(p *Package, decl *ast.FuncDecl) map[int]types.Object {
+	out := make(map[int]types.Object)
+	if decl.Recv != nil && len(decl.Recv.List) == 1 && len(decl.Recv.List[0].Names) == 1 {
+		if obj := p.Info.Defs[decl.Recv.List[0].Names[0]]; obj != nil {
+			out[-1] = obj
+		}
+	}
+	i := 0
+	if decl.Type.Params != nil {
+		for _, field := range decl.Type.Params.List {
+			if len(field.Names) == 0 {
+				i++ // unnamed parameter still occupies a slot
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := p.Info.Defs[name]; obj != nil {
+					out[i] = obj
+				}
+				i++
+			}
+		}
+	}
+	return out
+}

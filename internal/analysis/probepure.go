@@ -1,0 +1,277 @@
+package analysis
+
+// probepure: oracle hooks must observe, never interfere.
+//
+// The chaos oracle hangs Probe/Observer structs full of func-valued
+// fields into the protocol stacks (sctp.Probe, rmcast.Probe,
+// rpi.Observer, ...). The whole methodology rests on those hooks being
+// read-only: a hook that mutates protocol state or recycles a buffer
+// perturbs the very run it is checking, and the oracle's verdicts stop
+// meaning anything.
+//
+// The rule finds every function bound to a func field of a struct whose
+// type name contains "Probe" or "Observer" (composite literals and
+// field assignments), then checks the bound function — and, through
+// memoized purity summaries, everything it calls inside the module —
+// for:
+//
+//   - writes through pointers to protected-package types (the simulated
+//     protocol world plus the wire buffer pool; the chaos package's own
+//     bookkeeping is exempt)
+//   - channel sends
+//   - calls through func values (unauditable, assumed impure)
+//
+// Protected-package accessors that only read (conn.LocalAddr(),
+// pkt.WireSize()) summarize as pure, so hooks can interrogate the
+// protocols freely.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// protectedPkg reports whether the module-relative package rel holds
+// protocol state a probe hook must not mutate.
+func protectedPkg(rel string) bool {
+	if rel == "internal/chaos" {
+		return false // the oracle's own bookkeeping
+	}
+	return Simulated(rel) || rel == "internal/wire"
+}
+
+// protectedWrite classifies an assignment target: writing a field or
+// element reached through a value of a protected-package named type.
+func (m *Module) protectedWrite(p *Package, lhs ast.Expr) (string, bool) {
+	var base ast.Expr
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		base = x.X
+	case *ast.IndexExpr:
+		base = x.X
+	case *ast.StarExpr:
+		base = x.X
+	default:
+		return "", false
+	}
+	// Check the immediate base and its root: e.ops[k].field should trip
+	// on either the map's owner or the element type.
+	for _, e := range []ast.Expr{base, rootIdent(base)} {
+		if e == nil {
+			continue
+		}
+		var t types.Type
+		if tv, ok := p.Info.Types[e]; ok {
+			t = tv.Type
+		} else if id, ok := e.(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil {
+				t = obj.Type()
+			}
+		}
+		if t == nil {
+			continue
+		}
+		named := namedOf(t)
+		if named == nil || named.Obj().Pkg() == nil {
+			continue
+		}
+		rel, ok := m.Rel(named.Obj().Pkg().Path())
+		if ok && protectedPkg(rel) {
+			return rel, true
+		}
+	}
+	return "", false
+}
+
+// impureOf returns (memoized) why fn is impure for probe purposes, or
+// "" when it is pure. Functions without module source are assumed pure:
+// the stdlib cannot reach protocol state. Recursion summarizes as pure
+// to break cycles (the cycle's other members still get checked).
+func (m *Module) impureOf(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	if why, ok := m.impure[fn]; ok {
+		return why
+	}
+	if m.impureBusy[fn] {
+		return ""
+	}
+	src, ok := m.funcDecl(fn)
+	if !ok {
+		return ""
+	}
+	m.impureBusy[fn] = true
+	why, _ := m.impurityIn(src.pkg, src.decl.Body)
+	delete(m.impureBusy, fn)
+	m.impure[fn] = why
+	return why
+}
+
+// impurityIn scans a body for probe-impure operations, returning the
+// first reason and its node (nil node when pure).
+func (m *Module) impurityIn(p *Package, body ast.Node) (string, ast.Node) {
+	var why string
+	var at ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if rel, bad := m.protectedWrite(p, lhs); bad {
+					why, at = "writes protocol state in "+rel, x
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if rel, bad := m.protectedWrite(p, x.X); bad {
+				why, at = "writes protocol state in "+rel, x
+				return false
+			}
+		case *ast.SendStmt:
+			why, at = "sends on a channel", x
+			return false
+		case *ast.CallExpr:
+			fn := calleeOf(p.Info, x)
+			if fn == nil {
+				if builtinName(p, x) != "" || isConversion(p, x) {
+					return true
+				}
+				// A func-valued field on a checker-side struct (e.g.
+				// Oracle.clock, bound to the kernel's Now at construction)
+				// is the checker's own plumbing: the binding sites are in
+				// unprotected code this rule already sees. Fields of
+				// protected-package structs and bare func values stay
+				// flagged — they can smuggle in anything.
+				if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+					if s, ok := p.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+						if named := namedOf(s.Recv()); named != nil && named.Obj().Pkg() != nil {
+							rel, ok := m.Rel(named.Obj().Pkg().Path())
+							if ok && !protectedPkg(rel) {
+								return true
+							}
+						}
+					}
+				}
+				if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+					if obj := p.Info.Uses[id]; obj != nil {
+						// A local closure bound exactly once is as
+						// auditable as a named function: check its body.
+						if lit := m.funcLitFor(p, obj); lit != nil {
+							if calleeWhy, _ := m.impurityIn(p, lit.Body); calleeWhy != "" {
+								why, at = "calls "+id.Name+", which "+calleeWhy, x
+								return false
+							}
+							return true
+						}
+					}
+					if _, isVar := p.Info.Uses[id].(*types.Var); isVar {
+						why, at = "calls through func value "+id.Name, x
+						return false
+					}
+				}
+				why, at = "calls through a func value", x
+				return false
+			}
+			if !moduleFunc(m, fn) {
+				return true // stdlib cannot touch protocol state
+			}
+			if kind := m.poolKindOf(fn); kind == poolRelease || kind == poolRetain {
+				why, at = "changes a pooled buffer's refcount via "+fn.Name(), x
+				return false
+			}
+			if calleeWhy := m.impureOf(fn); calleeWhy != "" {
+				why, at = "calls "+fn.Name()+", which "+calleeWhy, x
+				return false
+			}
+		case *ast.GoStmt:
+			why, at = "starts a goroutine", x
+			return false
+		}
+		return true
+	})
+	return why, at
+}
+
+// probeStructType reports whether t names a Probe/Observer hook struct.
+func probeStructType(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	name := named.Obj().Name()
+	return strings.Contains(name, "Probe") || strings.Contains(name, "Observer")
+}
+
+// ProbePure checks that every function bound into a Probe/Observer hook
+// field is transitively free of protocol-state mutation.
+func ProbePure(m *Module) Rule {
+	return Rule{
+		Name: "probepure",
+		Doc:  "functions bound to Probe/Observer hook fields must not mutate protocol state, send, or call unauditable func values",
+		Check: func(p *Package, report Reporter) {
+			check := func(bindPos ast.Node, field string, rhs ast.Expr) {
+				switch v := ast.Unparen(rhs).(type) {
+				case *ast.FuncLit:
+					if why, at := m.impurityIn(p, v.Body); why != "" {
+						report(at.Pos(), "probe hook %s %s; oracle hooks must only observe", field, why)
+					}
+				case *ast.Ident:
+					if fn, ok := p.Info.Uses[v].(*types.Func); ok {
+						if why := m.impureOf(fn); why != "" {
+							report(bindPos.Pos(), "probe hook %s binds %s, which %s; oracle hooks must only observe", field, fn.Name(), why)
+						}
+					}
+				case *ast.SelectorExpr:
+					if s, ok := p.Info.Selections[v]; ok {
+						if fn, ok := s.Obj().(*types.Func); ok {
+							if why := m.impureOf(fn); why != "" {
+								report(bindPos.Pos(), "probe hook %s binds %s, which %s; oracle hooks must only observe", field, fn.Name(), why)
+							}
+						}
+					}
+				}
+			}
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch x := n.(type) {
+					case *ast.CompositeLit:
+						tv, ok := p.Info.Types[x]
+						if !ok || !probeStructType(tv.Type) {
+							return true
+						}
+						for _, el := range x.Elts {
+							kv, ok := el.(*ast.KeyValueExpr)
+							if !ok {
+								continue
+							}
+							key, ok := kv.Key.(*ast.Ident)
+							if !ok {
+								continue
+							}
+							check(kv, key.Name, kv.Value)
+						}
+					case *ast.AssignStmt:
+						for i, lhs := range x.Lhs {
+							if i >= len(x.Rhs) {
+								break
+							}
+							sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+							if !ok {
+								continue
+							}
+							tv, ok := p.Info.Types[sel.X]
+							if !ok || !probeStructType(tv.Type) {
+								continue
+							}
+							check(x, sel.Sel.Name, x.Rhs[i])
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+}

@@ -1,0 +1,106 @@
+// Package fixepochguard seeds epoch-guard violations for the
+// epochguard analyzer's golden test. The rule is shape-based: any
+// by-value struct parameter with an epoch field is a frame, any
+// pointer-to-struct with an epoch field is epoch-stamped state, and
+// writes to that state must be dominated by a comparison against the
+// frame's epoch (directly, or via a validator helper that performs the
+// comparison on the forwarded frame).
+package fixepochguard
+
+type frame struct {
+	op    int
+	epoch uint32
+	root  int
+}
+
+type opState struct {
+	epoch uint32
+	root  int
+	naks  int
+}
+
+type engine struct {
+	ops map[int]*opState
+}
+
+// check is a validator: callers passing the frame to it are guarded.
+func (e *engine) check(f frame, o *opState) bool {
+	return f.epoch == o.epoch
+}
+
+// GoodGuarded compares the frame's epoch before mutating.
+func (e *engine) GoodGuarded(f frame) {
+	o := e.ops[f.op]
+	if o == nil {
+		return
+	}
+	if f.epoch != o.epoch {
+		return
+	}
+	o.naks++
+	o.root = f.root
+}
+
+// GoodViaValidator delegates the comparison to check.
+func (e *engine) GoodViaValidator(f frame) {
+	o := e.ops[f.op]
+	if o == nil || !e.check(f, o) {
+		return
+	}
+	o.naks++
+}
+
+// GoodRaisesEpoch may adopt a newer epoch, but only after comparing.
+func (e *engine) GoodRaisesEpoch(f frame) {
+	o := e.ops[f.op]
+	if o == nil {
+		return
+	}
+	if f.epoch > o.epoch {
+		o.epoch = f.epoch
+		o.root = f.root
+	}
+}
+
+// BadUnguarded mutates state without ever looking at the epoch: a stale
+// retransmission from a deposed root would be applied.
+func (e *engine) BadUnguarded(f frame) {
+	o := e.ops[f.op]
+	if o == nil {
+		return
+	}
+	o.naks++ // want "not dominated by an epoch comparison"
+}
+
+// BadBranchOnly guards the root arm but not the receiver arm: the
+// comparison exists but does not dominate the second write.
+func (e *engine) BadBranchOnly(f frame, isRoot bool) {
+	o := e.ops[f.op]
+	if o == nil {
+		return
+	}
+	if isRoot {
+		if f.epoch != o.epoch {
+			return
+		}
+		o.naks++
+		return
+	}
+	o.root = f.root // want "not dominated by an epoch comparison"
+}
+
+// FineLocalCopy mutates a by-value frame's own fields: that is a local
+// copy, not shared state.
+func (e *engine) FineLocalCopy(f frame) int {
+	f.root = 0
+	return f.root
+}
+
+// FineNoFrame has no frame parameter, so the rule does not apply even
+// though it writes stamped state (registration/bookkeeping paths).
+func (e *engine) FineNoFrame(op int) {
+	o := e.ops[op]
+	if o != nil {
+		o.naks = 0
+	}
+}

@@ -1,0 +1,123 @@
+// Package fixprobepure seeds oracle-hook purity violations for the
+// probepure analyzer's golden test. Probe is a hook struct by shape
+// (its name contains "Probe"); functions bound to its fields must not
+// mutate protocol state (here: the sctp package), send on channels,
+// recycle pooled buffers, or call through unauditable func values —
+// directly or through module helpers.
+package fixprobepure
+
+import (
+	"repro/internal/sctp"
+	"repro/internal/wire"
+)
+
+// Probe mimics the protocol probe structs: func-valued hook fields.
+type Probe struct {
+	OnDeliver func(m *sctp.Message)
+	OnCount   func(n int)
+}
+
+// oracle is checker-side bookkeeping: hooks may mutate it freely, and
+// its func-valued fields (bound at construction, e.g. to the kernel's
+// clock) may be called.
+type oracle struct {
+	seen   int
+	frames []int
+	clock  func() int
+}
+
+// escapeHatch is a bare func value: calling it from a hook is
+// unauditable and must be flagged.
+var escapeHatch func()
+
+func (o *oracle) note(n int) { o.seen += n }
+
+// scrub is an impure helper: it mutates protocol state.
+func scrub(m *sctp.Message) { m.Data = m.Data[:0] }
+
+var sink = make(chan int, 1)
+
+// Good hooks only read protocol state and write oracle state.
+func Good(o *oracle) *Probe {
+	return &Probe{
+		OnDeliver: func(m *sctp.Message) {
+			if m != nil {
+				o.seen += len(m.Data)
+				o.frames = append(o.frames, int(m.Stream))
+			}
+		},
+		OnCount: func(n int) {
+			o.note(n + o.clock())
+		},
+	}
+}
+
+// BadEscapeHatch calls a bare func value from a hook.
+func BadEscapeHatch() *Probe {
+	return &Probe{
+		OnCount: func(n int) {
+			escapeHatch() // want "calls through func value escapeHatch"
+		},
+	}
+}
+
+// BadDirectWrite mutates protocol state inline.
+func BadDirectWrite() *Probe {
+	return &Probe{
+		OnDeliver: func(m *sctp.Message) {
+			m.Data = nil // want "writes protocol state in internal/sctp"
+		},
+	}
+}
+
+// BadSend smuggles observations out through a channel.
+func BadSend() *Probe {
+	return &Probe{
+		OnCount: func(n int) {
+			sink <- n // want "sends on a channel"
+		},
+	}
+}
+
+// BadTransitive reaches the mutation through a module helper.
+func BadTransitive() *Probe {
+	return &Probe{
+		OnDeliver: func(m *sctp.Message) {
+			scrub(m) // want "calls scrub, which writes protocol state"
+		},
+	}
+}
+
+// BadRecycle perturbs the buffer pool from inside a hook.
+func BadRecycle() *Probe {
+	return &Probe{
+		OnDeliver: func(m *sctp.Message) {
+			wire.PutBuf(m.Data) // want "changes a pooled buffer's refcount via PutBuf"
+		},
+	}
+}
+
+// WithClosures exercises single-binding local closures: they are as
+// auditable as named functions, so a pure one passes and an impure one
+// is reported through the same transitive machinery.
+func WithClosures(o *oracle) *Probe {
+	bump := func(n int) { o.seen += n }
+	poison := func(m *sctp.Message) { m.Data = nil }
+	return &Probe{
+		OnCount: func(n int) { bump(n) },
+		OnDeliver: func(m *sctp.Message) {
+			poison(m) // want "calls poison, which writes protocol state"
+		},
+	}
+}
+
+// BadRebind catches the assignment form, binding a named impure
+// function after construction.
+func BadRebind(p *Probe) {
+	p.OnDeliver = scrub // want "binds scrub, which writes protocol state"
+}
+
+// FineRebind binds a pure reader the same way.
+func FineRebind(p *Probe, o *oracle) {
+	p.OnCount = o.note
+}

@@ -1,0 +1,155 @@
+// Package fixreflease seeds pooled-buffer lifetime violations for the
+// reflease analyzer's golden test: leaks on early-return paths, double
+// releases, overwrites while holding, and carrier parameters dropped on
+// one path while consumed on another. The Fine functions pin the
+// negatives: balanced paths, deferred releases, consuming helpers, and
+// data-dependent balancing (which must go silent, not guess).
+package fixreflease
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/sctp"
+	"repro/internal/wire"
+)
+
+func use(b []byte) { b[0] = 1 }
+
+// recycle summarizes as consuming its parameter on every path.
+func recycle(b []byte) { wire.PutBuf(b) }
+
+// LeakOnError drops the buffer on the error path but hands it out on
+// the success path.
+func LeakOnError(n int, fail bool) []byte {
+	b := wire.GetBuf(n)
+	if fail {
+		return nil // want "return path leaks pooled buffer"
+	}
+	return b
+}
+
+// LeakFallOff acquires and never releases.
+func LeakFallOff(n int) {
+	b := wire.GetBuf(n)
+	use(b) // want "return path leaks pooled buffer"
+}
+
+// DoubleRelease releases the same buffer twice on one path.
+func DoubleRelease(n int) {
+	b := wire.GetBuf(n)
+	wire.PutBuf(b)
+	wire.PutBuf(b) // want "released more times than acquired"
+}
+
+// OverwriteWhileHeld reassigns the variable while the first buffer is
+// still owed a release.
+func OverwriteWhileHeld(n int) {
+	b := wire.GetBuf(n)
+	b = wire.GetBuf(2 * n) // want "overwritten while still holding"
+	wire.PutBuf(b)
+}
+
+// LeakRetainedPacket takes an extra reference and releases only one on
+// the early path.
+func LeakRetainedPacket(n int, short bool) {
+	buf := wire.GetBuf(n)
+	pkt := netsim.NewPooledPacket(1, 2, 9, buf)
+	pkt.Retain()
+	if short {
+		pkt.Release()
+		return // want "return path leaks pooled packet"
+	}
+	pkt.Release()
+	pkt.Release()
+}
+
+// FineBalanced releases on every path.
+func FineBalanced(n int, fail bool) {
+	b := wire.GetBuf(n)
+	if fail {
+		wire.PutBuf(b)
+		return
+	}
+	use(b)
+	wire.PutBuf(b)
+}
+
+// FineDeferred counts the deferred release at every exit.
+func FineDeferred(n int, fail bool) {
+	b := wire.GetBuf(n)
+	defer wire.PutBuf(b)
+	if fail {
+		return
+	}
+	use(b)
+}
+
+// FineHelperConsumes relies on recycle's consume summary.
+func FineHelperConsumes(n int) {
+	b := wire.GetBuf(n)
+	recycle(b)
+}
+
+// FinePacketBalanced pairs every Retain with a Release.
+func FinePacketBalanced(n int) {
+	pkt := netsim.NewPooledPacket(1, 2, 9, wire.GetBuf(n))
+	pkt.Retain()
+	pkt.Release()
+	pkt.Release()
+}
+
+// FineDataDependent balances a loop-conditional Retain with a matching
+// conditional Release: the per-path counts differ at the merge, so the
+// analysis must go silent rather than guess.
+func FineDataDependent(n, fanout int) {
+	pkt := netsim.NewPooledPacket(1, 2, 9, wire.GetBuf(n))
+	for i := 0; i < fanout; i++ {
+		pkt.Retain()
+	}
+	for i := 0; i < fanout; i++ {
+		pkt.Release()
+	}
+	pkt.Release()
+}
+
+// FineEscapes hands the buffer to a channel; obligation moves with it.
+func FineEscapes(n int, sink chan []byte) {
+	b := wire.GetBuf(n)
+	sink <- b
+}
+
+// DropOnStale is a carrier mixed function: the stale path drops the
+// message while the live path forwards it to the owning callback.
+func DropOnStale(m sctp.Message, stale bool, deliver func(sctp.Message)) {
+	if stale {
+		return // want "drops Message"
+	}
+	deliver(m)
+}
+
+// DropBeforeStore consumes by storing into the reorder map on one path
+// and drops on the other.
+func DropBeforeStore(m sctp.Message, dup bool, reorder map[uint32]sctp.Message) {
+	if dup {
+		return // want "drops Message"
+	}
+	reorder[m.MID] = m
+}
+
+// FineRecycleOrDeliver consumes on both paths: recycling the payload is
+// as much a consumption as delivering it.
+func FineRecycleOrDeliver(m sctp.Message, stale bool, deliver func(sctp.Message)) {
+	if stale {
+		wire.PutBuf(m.Data)
+		return
+	}
+	deliver(m)
+}
+
+// FineBorrower never consumes: ownership stays with the caller by
+// convention, so dropping on every path is fine.
+func FineBorrower(m sctp.Message) int {
+	if len(m.Data) == 0 {
+		return 0
+	}
+	return len(m.Data) + int(m.Stream)
+}

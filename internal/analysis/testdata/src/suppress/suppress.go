@@ -8,17 +8,17 @@ package fixsuppress
 import "time"
 
 func Suppressed() time.Time {
-	//simlint:allow determinism fixture: this wall-clock read is the subject of the suppression-mechanism test
+	//simlint:allow timeflow fixture: this wall-clock read is the subject of the suppression-mechanism test
 	return time.Now()
 }
 
 func Trailing() time.Time {
-	return time.Now() //simlint:allow determinism fixture: trailing-comment form of the same test
+	return time.Now() //simlint:allow timeflow fixture: trailing-comment form of the same test
 }
 
 func Unjustified() time.Time {
 	// wantnext "missing its justification" "time.Now uses the wall clock"
-	return time.Now() //simlint:allow determinism
+	return time.Now() //simlint:allow timeflow
 }
 
 func MissingRule() time.Time {

@@ -1,7 +1,9 @@
-// Package fixdeterminism seeds wall-clock and global-rand violations
-// for the determinism analyzer's golden test. Every flagged line
-// carries a want comment with the expected diagnostic substring.
-package fixdeterminism
+// Package fixtimeflow seeds wall-clock and global-rand violations for
+// the timeflow analyzer's direct mode, which subsumes the old
+// determinism rule: every in-package use of the banned names is
+// flagged. Every flagged line carries a want comment with the expected
+// diagnostic substring.
+package fixtimeflow
 
 import (
 	"math/rand"

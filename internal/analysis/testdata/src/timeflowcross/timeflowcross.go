@@ -1,0 +1,69 @@
+// Package fixtimeflowcross seeds cross-package taint violations for
+// the timeflow analyzer's flow-only mode: this package is NOT part of
+// the simulated world, so reading the wall clock locally is fine — but
+// letting such a value reach a simulated package (as a call argument, a
+// field write, or a composite-literal element) is not, even when it is
+// laundered through a helper's return value.
+package fixtimeflowcross
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// wallSeed launders the wall clock through a return value; flow-only
+// mode does not flag the read itself.
+func wallSeed() int64 {
+	return time.Now().UnixNano()
+}
+
+// BadDirectArg passes a wall-clock value straight into the kernel.
+func BadDirectArg() *sim.Kernel {
+	return sim.New(time.Now().UnixNano()) // want "flows into simulated package internal/sim"
+}
+
+// BadLaunderedArg hides the source behind a module helper; the taint
+// summary of wallSeed carries it across the call.
+func BadLaunderedArg() *sim.Kernel {
+	return sim.New(wallSeed()) // want "flows into simulated package internal/sim"
+}
+
+// BadThroughLocal routes the taint through locals and arithmetic.
+func BadThroughLocal(k *sim.Kernel) error {
+	t0 := time.Now()
+	budget := time.Since(t0) + time.Second
+	return k.RunFor(budget) // want "flows into simulated package internal/sim"
+}
+
+// BadFieldWrite stamps a simulated struct's field with wall-clock time.
+func BadFieldWrite(lp *netsim.LinkParams) {
+	lp.Delay = time.Since(time.Unix(0, 0)) // want "written into field Delay of simulated type"
+}
+
+// BadComposite embeds the taint in a simulated composite literal.
+func BadComposite() netsim.LinkParams {
+	return netsim.LinkParams{
+		Jitter: time.Since(time.Unix(0, 0)), // want "embedded in composite literal of simulated type"
+	}
+}
+
+// FineSeed passes constants; FineLocalClock reads the wall clock for
+// its own (non-simulated) purposes.
+func FineSeed() *sim.Kernel {
+	return sim.New(42)
+}
+
+func FineLocalClock() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}
+
+// FineCleansed overwrites the tainted local before it reaches the
+// kernel: the strong update clears the taint.
+func FineCleansed(k *sim.Kernel) error {
+	d := time.Since(time.Unix(0, 0))
+	d = 5 * time.Millisecond
+	return k.RunFor(d)
+}

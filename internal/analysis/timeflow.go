@@ -1,0 +1,426 @@
+package analysis
+
+// timeflow: the interprocedural upgrade of the old determinism rule.
+//
+// The old rule flagged direct uses of the wall clock and the global
+// math/rand source inside simulated packages by name. That misses the
+// laundering cases: a helper in a non-simulated package that returns
+// time.Now() and is called from netsim, or a cmd/ tool that stamps a
+// simulated struct's field with wall-clock time before handing it to
+// the kernel. timeflow tracks those values with a flow-sensitive may
+// (taint) analysis over the CFG, with per-function "returns tainted"
+// summaries computed over the module call graph:
+//
+//   - sources: the banned time.* calls and global math/rand draws, plus
+//     calls to module functions summarized as returning such a value
+//   - propagation: assignments, arithmetic, field/index reads,
+//     conversions, composite literals, method calls on tainted values
+//   - sinks: a tainted value crossing into the simulated world — as an
+//     argument to a simulated-package function or method, written to a
+//     field of a simulated-package type, or embedded in a composite
+//     literal of a simulated-package type
+//
+// In direct mode (simulated packages and fixtures) the rule also
+// reports plain in-package uses of the banned names, subsuming the old
+// determinism rule. Non-simulated packages get flow checking only, so
+// tests and tools may use time freely as long as none of it leaks into
+// the simulation.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// bannedTime are the package time functions that read or wait on the
+// wall clock. Types and constants (time.Duration, time.Millisecond) are
+// fine: only the clock itself is off limits.
+var bannedTime = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// allowedRand are the math/rand identifiers that do not touch the
+// global source: explicitly seeded constructors and the types
+// themselves. Everything else (rand.Intn, rand.Shuffle, rand.Seed, ...)
+// draws from process-global state and breaks seed reproducibility.
+var allowedRand = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"Rand":      true,
+	"Source":    true,
+	"Source64":  true,
+	"Zipf":      true,
+}
+
+// bannedSelector reports whether sel names a wall-clock / global-rand
+// entry point, with a printable name.
+func bannedSelector(p *Package, sel *ast.SelectorExpr) (string, bool) {
+	switch qualifierPath(p, sel) {
+	case "time":
+		if bannedTime[sel.Sel.Name] {
+			return "time." + sel.Sel.Name, true
+		}
+	case "math/rand", "math/rand/v2":
+		if !allowedRand[sel.Sel.Name] {
+			return "rand." + sel.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// taintFact is the set of definitely-possibly-tainted locals on a path
+// (may analysis: union join, absence means clean).
+type taintFact map[types.Object]bool
+
+func joinTaint(a, b taintFact) taintFact {
+	out := make(taintFact, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func equalTaint(a, b taintFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// taintOf reports (memoized) whether calling fn can return a
+// wall-clock/global-rand-derived value. Recursive cycles and functions
+// without source summarize as clean.
+func (m *Module) taintOf(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if v, ok := m.taint[fn]; ok {
+		return v
+	}
+	if m.taintBusy[fn] {
+		return false
+	}
+	src, ok := m.funcDecl(fn)
+	if !ok {
+		return false
+	}
+	m.taintBusy[fn] = true
+	tw := &taintWalk{m: m, p: src.pkg}
+	cfg := BuildCFG(src.decl.Body)
+	in, _ := ForwardSolve(cfg, tw.spec())
+	tainted := false
+	for _, b := range cfg.Exit.Preds {
+		fact, ok := in[b]
+		if !ok {
+			continue
+		}
+		w := &taintWalk{m: m, p: src.pkg, f: fact.clone()}
+		for _, n := range b.Nodes {
+			if ret, isRet := n.(*ast.ReturnStmt); isRet {
+				for _, r := range ret.Results {
+					if w.tainted(r) {
+						tainted = true
+					}
+				}
+			}
+			w.node(n)
+		}
+	}
+	delete(m.taintBusy, fn)
+	m.taint[fn] = tainted
+	return tainted
+}
+
+func (f taintFact) clone() taintFact {
+	out := make(taintFact, len(f))
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+// taintWalk evaluates taint propagation and sinks over CFG nodes. When
+// report is non-nil, sink hits are reported.
+type taintWalk struct {
+	m      *Module
+	p      *Package
+	f      taintFact
+	report Reporter
+}
+
+func (w *taintWalk) spec() DataflowSpec[taintFact] {
+	return DataflowSpec[taintFact]{
+		Entry: taintFact{},
+		Join:  joinTaint,
+		Transfer: func(b *Block, in taintFact) taintFact {
+			tw := &taintWalk{m: w.m, p: w.p, f: in.clone()}
+			for _, n := range b.Nodes {
+				tw.node(n)
+			}
+			return tw.f
+		},
+		Equal: equalTaint,
+	}
+}
+
+// tainted reports whether evaluating e can yield a wall-clock /
+// global-rand-derived value under the current fact.
+func (w *taintWalk) tainted(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return w.f[w.p.Info.Uses[x]]
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+			if _, banned := bannedSelector(w.p, sel); banned {
+				return true
+			}
+			// Method on a tainted value: now.UnixNano(), r.Intn(...).
+			if w.tainted(sel.X) {
+				return true
+			}
+		}
+		if tv, ok := w.p.Info.Types[x.Fun]; ok && tv.IsType() {
+			// Conversion: int64(t) stays tainted.
+			return len(x.Args) == 1 && w.tainted(x.Args[0])
+		}
+		return w.m.taintOf(calleeOf(w.p.Info, x))
+	case *ast.BinaryExpr:
+		return w.tainted(x.X) || w.tainted(x.Y)
+	case *ast.UnaryExpr:
+		return w.tainted(x.X)
+	case *ast.StarExpr:
+		return w.tainted(x.X)
+	case *ast.SelectorExpr:
+		if _, banned := bannedSelector(w.p, x); banned {
+			return true
+		}
+		return w.tainted(x.X)
+	case *ast.IndexExpr:
+		return w.tainted(x.X)
+	case *ast.SliceExpr:
+		return w.tainted(x.X)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if w.tainted(el) {
+				return true
+			}
+		}
+	case *ast.TypeAssertExpr:
+		return w.tainted(x.X)
+	}
+	return false
+}
+
+// simulatedNamed returns the module-relative package of t's named type
+// if that package is simulated, else "".
+func (w *taintWalk) simulatedNamed(t types.Type) string {
+	named := namedOf(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	rel, ok := w.m.Rel(named.Obj().Pkg().Path())
+	if !ok || !Simulated(rel) {
+		return ""
+	}
+	return rel
+}
+
+func (w *taintWalk) node(n ast.Node) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == nil {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false // analyzed as its own flow problem
+		case *ast.AssignStmt:
+			w.assign(x)
+		case *ast.CallExpr:
+			w.sinkCall(x)
+		case *ast.CompositeLit:
+			w.sinkComposite(x)
+		}
+		return true
+	})
+}
+
+func (w *taintWalk) assign(x *ast.AssignStmt) {
+	taints := make([]bool, len(x.Lhs))
+	if len(x.Rhs) == len(x.Lhs) {
+		for i, rhs := range x.Rhs {
+			taints[i] = w.tainted(rhs)
+		}
+	} else if len(x.Rhs) == 1 {
+		// Tuple assignment from one call: taint all or nothing.
+		t := w.tainted(x.Rhs[0])
+		for i := range taints {
+			taints[i] = t
+		}
+	}
+	for i, lhs := range x.Lhs {
+		lhs = ast.Unparen(lhs)
+		if id, ok := lhs.(*ast.Ident); ok {
+			obj := w.p.Info.Defs[id]
+			if obj == nil {
+				obj = w.p.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if taints[i] {
+				w.f[obj] = true
+			} else {
+				delete(w.f, obj) // strong update: cleansed
+			}
+			continue
+		}
+		// Sink: write into a field of a simulated-package value.
+		if sel, ok := lhs.(*ast.SelectorExpr); ok && taints[i] && w.report != nil {
+			if tv, ok := w.p.Info.Types[sel.X]; ok {
+				if rel := w.simulatedNamed(tv.Type); rel != "" {
+					w.report(x.Pos(), "wall-clock/global-rand value is written into field %s of simulated type %s (%s); simulated state must be derived from the kernel's virtual clock and seeded generator",
+						sel.Sel.Name, tv.Type.String(), rel)
+				}
+			}
+		}
+	}
+}
+
+func (w *taintWalk) sinkCall(call *ast.CallExpr) {
+	if w.report == nil {
+		return
+	}
+	fn := calleeOf(w.p.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	rel, ok := w.m.Rel(fn.Pkg().Path())
+	if !ok || !Simulated(rel) {
+		return
+	}
+	if prel, ok := w.m.Rel(w.p.Types.Path()); ok && prel == rel {
+		// In-package calls are covered by direct mode / in-callee checks;
+		// the sink is the package boundary.
+		return
+	}
+	for _, arg := range call.Args {
+		if w.tainted(arg) {
+			w.report(arg.Pos(), "wall-clock/global-rand value flows into simulated package %s via call to %s; pass kernel-derived time/randomness instead",
+				rel, fn.Name())
+		}
+	}
+}
+
+func (w *taintWalk) sinkComposite(lit *ast.CompositeLit) {
+	if w.report == nil {
+		return
+	}
+	tv, ok := w.p.Info.Types[lit]
+	if !ok {
+		return
+	}
+	rel := w.simulatedNamed(tv.Type)
+	if rel == "" {
+		return
+	}
+	if prel, ok := w.m.Rel(w.p.Types.Path()); ok && Simulated(prel) {
+		return // inside the simulated world, direct mode owns reporting
+	}
+	for _, el := range lit.Elts {
+		val := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+		}
+		if w.tainted(val) {
+			w.report(val.Pos(), "wall-clock/global-rand value is embedded in composite literal of simulated type %s (%s)",
+				tv.Type.String(), rel)
+		}
+	}
+}
+
+// Timeflow checks that wall-clock time and global math/rand values
+// never reach the simulated world. With direct=true (simulated packages
+// and fixtures) it additionally reports every in-package use of the
+// banned names, subsuming the old purely syntactic determinism rule.
+func Timeflow(m *Module, direct bool) Rule {
+	return Rule{
+		Name: "timeflow",
+		Doc:  "wall-clock time and global math/rand must not be used in, or flow into, simulated packages",
+		Check: func(p *Package, report Reporter) {
+			if direct {
+				for _, f := range p.Files {
+					ast.Inspect(f, func(n ast.Node) bool {
+						sel, ok := n.(*ast.SelectorExpr)
+						if !ok {
+							return true
+						}
+						if name, banned := bannedSelector(p, sel); banned {
+							switch qualifierPath(p, sel) {
+							case "time":
+								report(sel.Pos(), "%s uses the wall clock; simulated code must use the kernel's virtual clock (sim.Kernel.Now / After)", name)
+							default:
+								report(sel.Pos(), "%s draws from the global, wall-seeded source; use the kernel's seeded generator (sim.Kernel.Rand)", name)
+							}
+						}
+						return true
+					})
+				}
+			}
+			for _, f := range p.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+						m.timeflowBody(p, fd.Body, report)
+					}
+				}
+			}
+		},
+	}
+}
+
+// timeflowBody runs the taint flow over one function body and each
+// nested function literal (literals start from a clean fact: captured
+// taint is out of scope for this analysis).
+func (m *Module) timeflowBody(p *Package, body *ast.BlockStmt, report Reporter) {
+	var bodies []*ast.BlockStmt
+	bodies = append(bodies, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			bodies = append(bodies, lit.Body)
+		}
+		return true
+	})
+	for _, b := range bodies {
+		tw := &taintWalk{m: m, p: p}
+		cfg := BuildCFG(b)
+		in, _ := ForwardSolve(cfg, tw.spec())
+		for _, blk := range cfg.ReversePostorder() {
+			fact, ok := in[blk]
+			if !ok {
+				continue
+			}
+			w := &taintWalk{m: m, p: p, f: fact.clone(), report: report}
+			for _, n := range blk.Nodes {
+				w.node(n)
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package rmcast
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// TestStaleVerdictIgnoredByLiveOp pins the onVerdictFrame epoch filter:
+// a straggler ABORT stamped with a deposed root's epoch must neither
+// settle a live operation the current epoch's root still owns nor wind
+// the operation's epoch backwards. Before the filter, a delayed
+// retransmit of a pre-failover ABORT killed the replacement root's
+// in-flight operation and regressed o.epoch.
+func TestStaleVerdictIgnoredByLiveOp(t *testing.T) {
+	world(t, 2, Options{}, netsim.DefaultLinkParams(),
+		func(rank int, p *sim.Proc, e *Endpoint) error {
+			if rank != 1 {
+				return nil
+			}
+			// A live receiver-side op in epoch 2 (two failovers deep).
+			o := e.newOp(7)
+			o.epoch = 2
+			o.root = 0
+			e.ops[7] = o
+
+			// Straggler ABORT from the epoch-1 root: discard.
+			e.onVerdictFrame(frame{typ: fAbort, epoch: 1, op: 7, root: 0, from: 0}, false)
+			if o.decided {
+				return fmt.Errorf("stale-epoch ABORT settled a live op")
+			}
+			if o.epoch != 2 {
+				return fmt.Errorf("stale-epoch ABORT regressed the op epoch to %d", o.epoch)
+			}
+
+			// A verdict from a newer epoch (a failover we have not heard
+			// about yet) must still land, raising the op's epoch with it.
+			e.onVerdictFrame(frame{typ: fAbort, epoch: 3, op: 7, root: 0, from: 0}, false)
+			if !o.decided || o.commit {
+				return fmt.Errorf("newer-epoch ABORT did not settle the op")
+			}
+			if o.epoch != 3 {
+				return fmt.Errorf("newer-epoch ABORT left the op epoch at %d, want 3", o.epoch)
+			}
+			if e.Epoch() != 4 {
+				return fmt.Errorf("abort should bump the group epoch to 4, got %d", e.Epoch())
+			}
+			return nil
+		})
+}
+
+// TestStaleNakDoesNotSuppressRepair pins the onNak receiver-path epoch
+// filter: an overheard NAK stamped with a dead epoch says nothing about
+// the current root's liveness, so it must not push back our own repair
+// requests (SRM suppression applies only to peers chasing the same
+// root).
+func TestStaleNakDoesNotSuppressRepair(t *testing.T) {
+	world(t, 2, Options{}, netsim.DefaultLinkParams(),
+		func(rank int, p *sim.Proc, e *Endpoint) error {
+			if rank != 1 {
+				return nil
+			}
+			o := e.newOp(9)
+			o.epoch = 2
+			o.root = 0
+			e.ops[9] = o
+
+			e.onNak(frame{typ: fNak, epoch: 1, op: 9, root: 0, from: 0})
+			if o.nakNotBefore != 0 {
+				return fmt.Errorf("stale-epoch NAK armed suppression backoff %v", o.nakNotBefore)
+			}
+
+			// A current-epoch NAK from another receiver does suppress.
+			e.onNak(frame{typ: fNak, epoch: 2, op: 9, root: 0, from: 0})
+			if o.nakNotBefore == 0 {
+				return fmt.Errorf("current-epoch NAK should arm the suppression backoff")
+			}
+			return nil
+		})
+}

@@ -596,6 +596,11 @@ func (e *Endpoint) onNak(f frame) {
 	}
 	// Another receiver asked first: suppress our own NAK for a backoff,
 	// SRM style. The retry timer re-checks nakNotBefore when it fires.
+	// A NAK from another epoch says nothing about the current root's
+	// liveness, so it must not delay our own repair requests.
+	if f.epoch != o.epoch {
+		return
+	}
 	if !o.decided && !o.doneSent {
 		o.nakNotBefore = e.k.Now() + nakBackoff
 	}
@@ -635,6 +640,13 @@ func (e *Endpoint) onFault(f frame) {
 func (e *Endpoint) onVerdictFrame(f frame, commit bool) {
 	o := e.ops[f.op]
 	if o == nil || o.decided || o.isRoot {
+		return
+	}
+	if f.epoch < o.epoch {
+		// Stale verdict from a deposed root (or a delayed retransmit
+		// from before a failover): applying it would abort — or worse,
+		// commit — an operation the current epoch's root still owns,
+		// and the epoch write below would regress o.epoch.
 		return
 	}
 	if commit && (o.total < 0 || o.haveCnt != o.total) {

@@ -179,12 +179,19 @@ func (ir *ireasm) deliverOrdered(m *Message, deliver func(*Message)) {
 	st := int(m.Stream)
 	mid := seqnum.MID(m.MID)
 	if mid.Less(ir.expectedMID[st]) {
-		return // already delivered
+		// Already delivered: the reassembled payload is pooled and this
+		// copy is never going anywhere, so recycle it here or leak it.
+		wire.PutBuf(m.Data)
+		return
 	}
 	if mid != ir.expectedMID[st] {
-		if _, dup := ir.reorder[st][mid]; !dup {
-			ir.reorder[st][mid] = m
+		if _, dup := ir.reorder[st][mid]; dup {
+			// Duplicate of a parked early arrival: drop this copy's
+			// buffer, the parked one keeps ownership.
+			wire.PutBuf(m.Data)
+			return
 		}
+		ir.reorder[st][mid] = m
 		return
 	}
 	deliver(m)

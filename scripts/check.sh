@@ -18,7 +18,19 @@ echo "== go vet =="
 go vet ./...
 
 echo "== simlint =="
+# The sweep (every package, syntactic + flow-sensitive rules) fails on
+# any unsuppressed finding. Budget: under 30 s wall clock — the shared
+# source importer loads the stdlib once per process, so the whole-tree
+# sweep costs about what one package used to (see internal/analysis
+# load.go); a blown budget means a summary memo stopped caching.
+lint_start=$(date +%s)
 go run ./cmd/simlint
+lint_elapsed=$(( $(date +%s) - lint_start ))
+echo "simlint took ${lint_elapsed}s (budget 30s)"
+if [ "$lint_elapsed" -gt 30 ]; then
+	echo "simlint exceeded the 30s budget" >&2
+	exit 1
+fi
 
 echo "== go build =="
 go build ./...
@@ -57,6 +69,21 @@ awk -v c="$cov" 'BEGIN {
 		exit 1
 	}
 	printf "internal/sctp coverage %.1f%% (floor %.0f%%)\n", c, floor
+}'
+
+echo "== coverage floor (internal/analysis) =="
+cov=$(go test -cover ./internal/analysis/ | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+if [ -z "$cov" ]; then
+	echo "could not parse internal/analysis coverage" >&2
+	exit 1
+fi
+awk -v c="$cov" 'BEGIN {
+	floor = 80.0
+	if (c + 0 < floor) {
+		printf "internal/analysis coverage %.1f%% is below the %.0f%% floor\n", c, floor
+		exit 1
+	}
+	printf "internal/analysis coverage %.1f%% (floor %.0f%%)\n", c, floor
 }'
 
 echo "== go test -race (chaos harness) =="
